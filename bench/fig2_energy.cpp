@@ -1,0 +1,32 @@
+// Fig. 2: average iteration energy by datatype for GEMM filled with
+// Gaussian random variables (mean 0, stddev 210 FP / 25 INT8).  Energy
+// tracks runtime (FP32 slowest => most energy per iteration) even though
+// power ordering differs — the paper's argument for reporting power.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "fig_harness.hpp"
+
+int main() {
+  using namespace gpupower;
+  const core::BenchEnv env = core::read_bench_env();
+  bench::print_preamble(
+      env, "Fig. 2: average iteration energy, Gaussian random inputs");
+
+  analysis::Table table(
+      {"datatype", "energy/iter (mJ)", "iter (ms)", "power (W)"});
+  for (const auto dtype : numeric::kAllDTypes) {
+    core::ExperimentConfig config;
+    config.dtype = dtype;
+    config.pattern = core::baseline_gaussian_spec();
+    env.apply(config);
+    const auto result = core::run_experiment(config);
+    table.add_row(std::string(numeric::name(dtype)),
+                  {result.energy_per_iter_j * 1e3, result.iteration_s * 1e3,
+                   result.power_w},
+                  3);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Regenerates fig3b of "Input-Dependent Power Usage in GPUs" (SC'24):
+// see core/figures.cpp for the sweep definition.
+#include "fig_harness.hpp"
+
+int main() {
+  gpupower::bench::run_figure(gpupower::core::FigureId::kFig3bDistributionMean);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 7: generalization across GPUs.  Replays four FP16 experiments —
+// distribution mean, most-significant-bit randomization, sorted-into-rows,
+// and general sparsity — on the V100, A100, H100, and Quadro RTX 6000
+// models.  Following the paper, the RTX 6000 runs at 512x512 (it throttles
+// at 2048x2048; this bench prints the throttle check) while the HBM parts
+// use the configured size.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "fig_harness.hpp"
+
+namespace {
+
+using namespace gpupower;
+
+struct Panel {
+  const char* title;
+  core::FigureId figure;
+};
+
+constexpr Panel kPanels[] = {
+    {"distribution mean", core::FigureId::kFig3bDistributionMean},
+    {"most significant bits randomized", core::FigureId::kFig4cMsbRandomized},
+    {"sorted into rows", core::FigureId::kFig5aSortedRows},
+    {"general sparsity", core::FigureId::kFig6aSparsity},
+};
+
+constexpr gpusim::GpuModel kGpus[] = {
+    gpusim::GpuModel::kV100SXM2, gpusim::GpuModel::kA100PCIe,
+    gpusim::GpuModel::kH100SXM, gpusim::GpuModel::kRTX6000};
+
+}  // namespace
+
+int main() {
+  const core::BenchEnv env = core::read_bench_env();
+  bench::print_preamble(env,
+                        "Fig. 7: FP16 experiments across NVIDIA GPUs "
+                        "(V100 / A100 / H100 / RTX 6000)");
+
+  // The paper's RTX 6000 protocol deviation: 512x512 because 2048x2048
+  // throttles.  Demonstrate the throttle first.
+  {
+    core::ExperimentConfig config;
+    config.gpu = gpusim::GpuModel::kRTX6000;
+    config.dtype = numeric::DType::kFP16;
+    config.pattern = core::baseline_gaussian_spec();
+    env.apply(config);
+    config.n = 2048;
+    config.seeds = 1;
+    const auto at2048 = core::run_experiment(config);
+    std::printf(
+        "RTX 6000 at 2048x2048: %.1f W, throttled=%s (clock frac %.3f) — "
+        "matching the paper, Fig. 7 uses 512x512 for this card.\n\n",
+        at2048.power_w, at2048.throttled ? "yes" : "no", at2048.clock_frac);
+  }
+
+  for (const Panel& panel : kPanels) {
+    std::printf("--- %s (FP16) ---\n", panel.title);
+    const auto sweep = core::figure_sweep(panel.figure);
+    std::vector<std::string> headers{
+        std::string(core::figure_axis(panel.figure))};
+    for (const auto gpu : kGpus) {
+      headers.emplace_back(gpusim::name(gpu));
+    }
+    analysis::Table table(std::move(headers));
+    for (const auto& point : sweep) {
+      std::vector<double> row;
+      for (const auto gpu : kGpus) {
+        core::ExperimentConfig config;
+        config.gpu = gpu;
+        config.dtype = numeric::DType::kFP16;
+        config.pattern = point.spec;
+        env.apply(config);
+        if (gpu == gpusim::GpuModel::kRTX6000) config.n = 512;
+        row.push_back(core::run_experiment(config).power_w);
+      }
+      table.add_row(point.label, row, 1);
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: V100/A100/H100 trends consistent; RTX 6000 flatter\n"
+      "(smaller 512x512 grid leaves SMs idle, compressing the data-dependent\n"
+      "share — the paper attributes this to its age/GDDR6/lower TDP).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 8: GPU power vs input bit alignment and Hamming weight.  Every
+// configuration from the Section IV sweeps becomes one scatter point
+// (alignment, weight, power); this bench prints the per-datatype scatter and
+// the correlations the paper eyeballs: higher alignment / lower weight tend
+// toward lower power, but not perfectly consistently.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "analysis/correlation.hpp"
+#include "analysis/table.hpp"
+#include "fig_harness.hpp"
+
+int main() {
+  using namespace gpupower;
+  const core::BenchEnv env = core::read_bench_env();
+  bench::print_preamble(env,
+                        "Fig. 8: power vs bit alignment and Hamming weight "
+                        "(every experiment configuration)");
+
+  for (const auto dtype : numeric::kAllDTypes) {
+    std::vector<double> alignment, weight, power;
+    analysis::Table table({"experiment", "alignment", "weight frac",
+                           "power (W)"});
+    for (const auto fig : core::kAllFigures) {
+      const auto sweep = core::figure_sweep(fig);
+      // Every other sweep point keeps the scatter dense but the bench fast.
+      for (std::size_t i = 0; i < sweep.size(); i += 2) {
+        core::ExperimentConfig config;
+        config.dtype = dtype;
+        config.pattern = sweep[i].spec;
+        env.apply(config);
+        config.seeds = 1;
+        const auto result = core::run_experiment(config);
+        alignment.push_back(result.alignment);
+        weight.push_back(result.weight_fraction);
+        power.push_back(result.power_w);
+        table.add_row(std::string(core::figure_name(fig)).substr(0, 8) + " " +
+                          sweep[i].label,
+                      {result.alignment, result.weight_fraction,
+                       result.power_w},
+                      3);
+      }
+    }
+    std::printf("--- %s scatter ---\n", std::string(numeric::name(dtype)).c_str());
+    table.print(std::cout);
+    std::printf(
+        "pearson(power, alignment) = %+.3f   pearson(power, weight) = %+.3f\n"
+        "spearman(power, alignment) = %+.3f  spearman(power, weight) = %+.3f\n\n",
+        analysis::pearson(alignment, power), analysis::pearson(weight, power),
+        analysis::spearman(alignment, power),
+        analysis::spearman(weight, power));
+  }
+  std::printf(
+      "Expected: negative power/alignment correlation and positive\n"
+      "power/weight correlation for FP datatypes — present but imperfect,\n"
+      "as the paper notes.\n");
+  return 0;
+}

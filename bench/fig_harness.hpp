@@ -1,0 +1,69 @@
+// Shared harness for the figure-regeneration benches: one bench binary per
+// paper figure, each printing the figure's series (power in watts per sweep
+// point, one column per datatype) exactly as the paper plots them.
+//
+// Environment knobs (see core/env.hpp): GPUPOWER_N, GPUPOWER_SEEDS,
+// GPUPOWER_TILES, GPUPOWER_KFRAC, GPUPOWER_CSV.  Defaults favour CI speed;
+// GPUPOWER_N=2048 GPUPOWER_SEEDS=10 reproduces the paper's protocol.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/env.hpp"
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+
+namespace gpupower::bench {
+
+inline void print_preamble(const core::BenchEnv& env, std::string_view title) {
+  std::printf("%s\n", std::string(title).c_str());
+  std::printf(
+      "  protocol: %zux%zu GEMM on simulated A100 PCIe, %d seed(s), "
+      "%zu sampled warp tiles, k-fraction %.2f\n",
+      env.n, env.n, env.seeds, env.tiles, env.k_fraction);
+  if (env.n < 2048) {
+    std::printf(
+        "  note: N<2048 leaves SMs idle (partial occupancy), deflating "
+        "absolute watts;\n"
+        "  run GPUPOWER_N=2048 GPUPOWER_SEEDS=10 for paper-protocol "
+        "levels.\n");
+  }
+  std::printf("\n");
+}
+
+/// Runs a figure's sweep for all four datatypes and prints the series table.
+inline void run_figure(core::FigureId id) {
+  const core::BenchEnv env = core::read_bench_env();
+  print_preamble(env, core::figure_name(id));
+
+  const auto sweep = core::figure_sweep(id);
+  std::vector<std::string> headers{std::string(core::figure_axis(id))};
+  for (const auto dtype : numeric::kAllDTypes) {
+    headers.push_back(std::string(numeric::name(dtype)) + " (W)");
+  }
+  analysis::Table table(std::move(headers));
+
+  for (const auto& point : sweep) {
+    std::vector<double> row;
+    for (const auto dtype : numeric::kAllDTypes) {
+      core::ExperimentConfig config;
+      config.dtype = dtype;
+      config.pattern = point.spec;
+      env.apply(config);
+      row.push_back(core::run_experiment(config).power_w);
+    }
+    table.add_row(point.label, row, 1);
+  }
+
+  table.print(std::cout);
+  if (env.csv) {
+    std::printf("\nCSV:\n");
+    table.print_csv(std::cout);
+  }
+}
+
+}  // namespace gpupower::bench

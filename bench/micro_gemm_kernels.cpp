@@ -1,0 +1,91 @@
+// Google-benchmark microbenchmarks of the substrate itself: the tiled GEMM
+// kernels against the reference oracle, the activity-instrumented walk, and
+// the pattern generators.  These guard the simulator's own performance (the
+// host machine is the "testbed" here).
+#include <benchmark/benchmark.h>
+
+#include "gemm/reference.hpp"
+#include "gemm/tiled.hpp"
+#include "gpusim/activity.hpp"
+#include "patterns/distributions.hpp"
+
+namespace {
+
+using namespace gpupower;
+
+template <typename T>
+gemm::Matrix<T> random_matrix(std::size_t n, std::uint64_t seed) {
+  return gemm::materialize<T>(patterns::gaussian_fill(n * n, 0.0, 210.0, seed),
+                              n, n);
+}
+
+template <typename T>
+void BM_ReferenceGemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = gemm::GemmProblem::square(n);
+  const auto a = random_matrix<T>(n, 1);
+  const auto b = random_matrix<T>(n, 2);
+  gemm::Matrix<numeric::accumulator_t<T>> c(n, n), d(n, n);
+  for (auto _ : state) {
+    gemm::reference_gemm(problem, a, b, c, d);
+    benchmark::DoNotOptimize(d.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(problem.mac_count()));
+}
+
+template <typename T>
+void BM_TiledGemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = gemm::GemmProblem::square(n);
+  const auto config =
+      gemm::TileConfig::for_dtype(numeric::scalar_traits<T>::kDType);
+  const auto a = random_matrix<T>(n, 1);
+  const auto b = random_matrix<T>(n, 2);
+  gemm::Matrix<numeric::accumulator_t<T>> c(n, n), d(n, n);
+  for (auto _ : state) {
+    gemm::tiled_gemm(problem, a, b, c, d, config);
+    benchmark::DoNotOptimize(d.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(problem.mac_count()));
+}
+
+template <typename T>
+void BM_ActivityWalk(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto problem = gemm::GemmProblem::square(n);
+  const auto config =
+      gemm::TileConfig::for_dtype(numeric::scalar_traits<T>::kDType);
+  const auto a = random_matrix<T>(n, 1);
+  const auto b = random_matrix<T>(n, 2);
+  for (auto _ : state) {
+    const auto est = gpusim::estimate_activity(problem, a, b, config);
+    benchmark::DoNotOptimize(est.totals.mult_pp);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(problem.mac_count()));
+}
+
+void BM_GaussianFill(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto v = patterns::gaussian_fill(count, 0.0, 210.0, 42);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(count));
+}
+
+BENCHMARK(BM_ReferenceGemm<float>)->Arg(128);
+BENCHMARK(BM_ReferenceGemm<numeric::float16_t>)->Arg(128);
+BENCHMARK(BM_TiledGemm<float>)->Arg(128)->Arg(256);
+BENCHMARK(BM_TiledGemm<numeric::float16_t>)->Arg(128)->Arg(256);
+BENCHMARK(BM_TiledGemm<numeric::int8_value_t>)->Arg(128)->Arg(256);
+BENCHMARK(BM_ActivityWalk<float>)->Arg(128)->Arg(256);
+BENCHMARK(BM_ActivityWalk<numeric::float16_t>)->Arg(128)->Arg(256);
+BENCHMARK(BM_ActivityWalk<numeric::int8_value_t>)->Arg(128)->Arg(256);
+BENCHMARK(BM_GaussianFill)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

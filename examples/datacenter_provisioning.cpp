@@ -1,0 +1,78 @@
+// Datacenter provisioning with input-dependent power models: power is
+// provisioned per worst case (a DGX-H100 node reserves 10 kW for 8 GPUs),
+// but the paper shows the *input data* moves per-GPU draw by tens of watts.
+// This example runs the input-dependent power model across the four
+// simulated GPUs and three workload input profiles, and reports how much
+// provisioning headroom an input-aware scheduler could reclaim per GPU and
+// per 1000-GPU cluster.
+//
+//   ./build/examples/datacenter_provisioning
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "core/env.hpp"
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+
+int main() {
+  using namespace gpupower;
+
+  const core::BenchEnv env = core::read_bench_env();
+  std::printf(
+      "Input-aware power provisioning (FP16-T GEMM, %zux%zu, %d seeds)\n\n",
+      env.n, env.n, env.seeds);
+
+  struct Profile {
+    const char* name;
+    core::PatternSpec spec;
+  };
+  std::vector<Profile> profiles;
+  profiles.push_back({"adversarial (random bits)", [] {
+                        core::PatternSpec s = core::baseline_gaussian_spec();
+                        s.bitop = core::PatternSpec::BitOp::kRandomizeLow;
+                        s.bit_fraction = 1.0;
+                        return s;
+                      }()});
+  profiles.push_back({"typical (gaussian)", core::baseline_gaussian_spec()});
+  profiles.push_back({"curated (sorted + 50% sparse)", [] {
+                        core::PatternSpec s = core::baseline_gaussian_spec();
+                        s.place = core::PatternSpec::Place::kSortRows;
+                        s.sort_percent = 100.0;
+                        s.sparsity = 0.5;
+                        return s;
+                      }()});
+
+  for (const auto gpu :
+       {gpusim::GpuModel::kA100PCIe, gpusim::GpuModel::kH100SXM,
+        gpusim::GpuModel::kV100SXM2, gpusim::GpuModel::kRTX6000}) {
+    const auto& dev = gpusim::device(gpu);
+    analysis::Table table({"input profile", "power (W)", "vs TDP"});
+    double worst = 0.0;
+    double best = 1e30;
+    for (const auto& profile : profiles) {
+      core::ExperimentConfig config;
+      config.gpu = gpu;
+      config.dtype = numeric::DType::kFP16T;
+      config.pattern = profile.spec;
+      env.apply(config);
+      const auto result = core::run_experiment(config);
+      worst = std::max(worst, result.power_w);
+      best = std::min(best, result.power_w);
+      table.add_row({profile.name, analysis::fixed(result.power_w, 1),
+                     analysis::fixed(100.0 * result.power_w / dev.tdp_w, 1) +
+                         " %"});
+    }
+    std::printf("--- %s (TDP %.0f W) ---\n", std::string(dev.name).c_str(),
+                dev.tdp_w);
+    table.print(std::cout);
+    std::printf(
+        "input-dependent swing: %.1f W/GPU => %.1f kW reclaimable per 1000 "
+        "GPUs\n\n",
+        worst - best, (worst - best));
+  }
+  std::printf(
+      "A scheduler that knows its tenants' input statistics can provision\n"
+      "against profile-specific peaks instead of a single worst case.\n");
+  return 0;
+}

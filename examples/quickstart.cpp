@@ -1,0 +1,46 @@
+// Quickstart: simulate the paper's baseline experiment — a 2048x2048 GEMM
+// with Gaussian random inputs on an A100 — for all four datatype setups, and
+// print the DCGM-style reported power, runtime, and the per-rail breakdown.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart            # fast sampled run at N=512
+//   GPUPOWER_N=2048 GPUPOWER_SEEDS=10 ./build/examples/quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "core/env.hpp"
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+
+int main() {
+  using namespace gpupower;
+
+  const core::BenchEnv env = core::read_bench_env();
+  std::printf("gpupower quickstart: %zux%zu GEMM, %d seed(s), A100 PCIe\n\n",
+              env.n, env.n, env.seeds);
+
+  analysis::Table table({"datatype", "power (W)", "std (W)", "iter (ms)",
+                         "energy/iter (J)", "fetch W", "operand W", "multiply W",
+                         "accum W", "issue W"});
+
+  for (const auto dtype : numeric::kAllDTypes) {
+    core::ExperimentConfig config;
+    config.dtype = dtype;
+    config.pattern = core::baseline_gaussian_spec();
+    env.apply(config);
+    const core::ExperimentResult r = core::run_experiment(config);
+    table.add_row(std::string(numeric::name(dtype)),
+                  {r.power_w, r.power_std_w, r.iteration_s * 1e3,
+                   r.energy_per_iter_j, r.rails.fetch_w, r.rails.operand_w,
+                   r.rails.multiply_w, r.rails.accum_w, r.rails.issue_w},
+                  3);
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\nPower varies with *input data*, not just shape: try the fig*_ benches\n"
+      "in build/bench/ to sweep the paper's input patterns.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Correlation measures for the Fig. 8 analysis: GPU power versus input bit
+// alignment and Hamming weight across all experiment configurations.
+#pragma once
+
+#include <span>
+
+namespace gpupower::analysis {
+
+/// Pearson linear correlation coefficient; 0 on degenerate input.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (average ranks on ties).
+[[nodiscard]] double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Least-squares line y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+[[nodiscard]] LinearFit fit_line(std::span<const double> x,
+                                 std::span<const double> y);
+
+}  // namespace gpupower::analysis

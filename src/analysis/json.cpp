@@ -1,0 +1,174 @@
+#include "analysis/json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace gpupower::analysis {
+
+JsonValue JsonValue::number(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+JsonValue JsonValue::integer(long long v) {
+  JsonValue j;
+  j.kind_ = Kind::kInteger;
+  j.integer_ = v;
+  return j;
+}
+
+JsonValue JsonValue::boolean(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::string(std::string_view v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.string_.assign(v);
+  return j;
+}
+
+JsonValue JsonValue::null() { return JsonValue{}; }
+
+JsonValue JsonValue::object() {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+JsonValue& JsonValue::set(std::string_view key, JsonValue value) {
+  assert(kind_ == Kind::kObject);
+  members_.emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  assert(kind_ == Kind::kArray);
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonValue::write(std::string& out, bool pretty, int depth) const {
+  const std::string indent = pretty ? std::string(2 * (depth + 1), ' ') : "";
+  const std::string closing = pretty ? std::string(2 * depth, ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInteger: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld", integer_);
+      out += buf;
+      return;
+    }
+    case Kind::kNumber: {
+      if (!std::isfinite(number_)) {
+        out += "null";  // JSON has no Inf/NaN
+        return;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.10g", number_);
+      out += buf;
+      return;
+    }
+    case Kind::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += indent;
+        items_[i].write(out, pretty, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += nl;
+      }
+      out += closing;
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += indent;
+        out += '"';
+        out += json_escape(members_[i].first);
+        out += pretty ? "\": " : "\":";
+        members_[i].second.write(out, pretty, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += nl;
+      }
+      out += closing;
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump(bool pretty) const {
+  std::string out;
+  write(out, pretty, 0);
+  return out;
+}
+
+}  // namespace gpupower::analysis

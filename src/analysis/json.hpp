@@ -1,0 +1,53 @@
+// Minimal JSON emission for structured experiment output: a small builder
+// (objects, arrays, scalars, correct string escaping and non-finite number
+// handling) — enough to export results to downstream analysis without an
+// external dependency.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gpupower::analysis {
+
+class JsonValue {
+ public:
+  /// Scalars.
+  static JsonValue number(double v);
+  static JsonValue integer(long long v);
+  static JsonValue boolean(bool v);
+  static JsonValue string(std::string_view v);
+  static JsonValue null();
+
+  /// Containers (built incrementally).
+  static JsonValue object();
+  static JsonValue array();
+
+  /// Object insertion; returns *this for chaining.  Aborts on non-objects.
+  JsonValue& set(std::string_view key, JsonValue value);
+  /// Array append.  Aborts on non-arrays.
+  JsonValue& push(JsonValue value);
+
+  /// Serialises compactly (no whitespace) or with 2-space indentation.
+  [[nodiscard]] std::string dump(bool pretty = false) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kInteger, kString, kArray, kObject };
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  long long integer_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  void write(std::string& out, bool pretty, int depth) const;
+};
+
+/// Escapes a string for inclusion in JSON (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace gpupower::analysis

@@ -1,0 +1,38 @@
+// Summary statistics for repeated measurements (the paper averages every
+// configuration over 10 seeds and reports means; error bars are standard
+// deviations).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace gpupower::analysis {
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Half-width of the ~95% normal confidence interval on the mean.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+[[nodiscard]] double median(std::span<const double> xs);
+
+}  // namespace gpupower::analysis

@@ -1,0 +1,40 @@
+// Plain-text table and CSV emission for the figure-regeneration benches:
+// each bench prints one series per datatype/GPU exactly as the paper's
+// figures plot them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpupower::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; cells are formatted by the caller.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: first cell as-is, remaining cells from doubles with fixed
+  /// precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  /// Renders an aligned, pipe-separated (markdown-compatible) table.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for bench output).
+[[nodiscard]] std::string fixed(double v, int precision = 2);
+
+}  // namespace gpupower::analysis

@@ -1,0 +1,39 @@
+#include "core/env.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace gpupower::core {
+namespace {
+
+long read_long(const char* name, long fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  return (end != nullptr && *end == '\0' && v >= 0) ? v : fallback;
+}
+
+double read_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  return (end != nullptr && *end == '\0' && v > 0.0) ? v : fallback;
+}
+
+}  // namespace
+
+BenchEnv read_bench_env() {
+  BenchEnv env;
+  env.n = static_cast<std::size_t>(read_long("GPUPOWER_N", 512));
+  env.seeds = static_cast<int>(read_long("GPUPOWER_SEEDS", 2));
+  env.tiles = static_cast<std::size_t>(read_long("GPUPOWER_TILES", 12));
+  env.k_fraction = read_double("GPUPOWER_KFRAC", 0.5);
+  env.csv = std::getenv("GPUPOWER_CSV") != nullptr;
+  if (env.seeds < 1) env.seeds = 1;
+  if (env.n < 64) env.n = 64;
+  return env;
+}
+
+}  // namespace gpupower::core

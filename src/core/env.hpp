@@ -1,0 +1,36 @@
+// Environment-variable configuration shared by the bench binaries, so a
+// single knob set scales every figure harness between CI speed and
+// paper-fidelity runs:
+//   GPUPOWER_N      matrix dimension (default 512; paper 2048)
+//   GPUPOWER_SEEDS  seeds per configuration (default 2; paper 10)
+//   GPUPOWER_TILES  sampled warp tiles, 0 = exact walk (default 12)
+//   GPUPOWER_KFRAC  fraction of K-slices walked (default 0.5)
+//   GPUPOWER_CSV    when set, benches also print CSV blocks
+#pragma once
+
+#include <cstddef>
+
+#include "core/experiment.hpp"
+
+namespace gpupower::core {
+
+struct BenchEnv {
+  std::size_t n = 512;
+  int seeds = 2;
+  std::size_t tiles = 12;
+  double k_fraction = 0.5;
+  bool csv = false;
+
+  /// Applies the environment knobs onto an ExperimentConfig.
+  void apply(ExperimentConfig& config) const {
+    config.n = n;
+    config.seeds = seeds;
+    config.sampling.max_tiles = tiles;
+    config.sampling.k_fraction = k_fraction;
+  }
+};
+
+/// Reads the GPUPOWER_* variables (invalid values fall back to defaults).
+[[nodiscard]] BenchEnv read_bench_env();
+
+}  // namespace gpupower::core

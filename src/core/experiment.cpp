@@ -1,0 +1,84 @@
+#include "core/experiment.hpp"
+
+#include "analysis/stats.hpp"
+#include "patterns/rng.hpp"
+
+namespace gpupower::core {
+namespace {
+
+template <typename T>
+ExperimentResult run_typed(const ExperimentConfig& config) {
+  using gpupower::gpusim::GpuSimulator;
+  using gpupower::gpusim::SimOptions;
+
+  SimOptions options;
+  options.sampling = config.sampling;
+  options.variation = config.variation;
+  const GpuSimulator sim(config.gpu, options);
+
+  const gemm::GemmProblem problem{config.n, config.n, config.n, 1.0f, 0.0f,
+                                  config.pattern.transpose_b};
+
+  analysis::RunningStats power;
+  analysis::RunningStats alignment;
+  analysis::RunningStats weight;
+  analysis::RunningStats fetch_w, operand_w, multiply_w, accum_w, issue_w;
+  ExperimentResult result;
+
+  for (int s = 0; s < config.seeds; ++s) {
+    const std::uint64_t replica_seed =
+        patterns::derive_seed(config.base_seed, static_cast<std::uint64_t>(s));
+    const ExperimentInputs<T> inputs =
+        build_inputs<T>(config.pattern, config.dtype, config.n, replica_seed);
+    const gpupower::gpusim::PowerReport report =
+        sim.run_gemm(problem, config.dtype, inputs.a, inputs.b);
+
+    telemetry::SamplerConfig sampler = config.sampler;
+    sampler.seed = patterns::derive_seed(replica_seed, 0xD0C6);
+    const telemetry::PowerTrace trace = telemetry::sample_run(
+        report, config.effective_iterations(), sampler);
+    power.add(telemetry::reported_power_w(trace, sampler));
+
+    alignment.add(inputs.alignment);
+    weight.add(inputs.weight_fraction);
+    fetch_w.add(report.rails.fetch_w);
+    operand_w.add(report.rails.operand_w);
+    multiply_w.add(report.rails.multiply_w);
+    accum_w.add(report.rails.accum_w);
+    issue_w.add(report.rails.issue_w);
+    result.iteration_s = report.realized_iteration_s;
+    result.energy_per_iter_j = report.energy_j;
+    result.throttled = result.throttled || report.throttled;
+    result.clock_frac = report.effective_clock_frac;
+  }
+
+  result.power_w = power.mean();
+  result.power_std_w = power.stddev();
+  result.alignment = alignment.mean();
+  result.weight_fraction = weight.mean();
+  result.rails.fetch_w = fetch_w.mean();
+  result.rails.operand_w = operand_w.mean();
+  result.rails.multiply_w = multiply_w.mean();
+  result.rails.accum_w = accum_w.mean();
+  result.rails.issue_w = issue_w.mean();
+  result.seeds = config.seeds;
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  using gpupower::numeric::DType;
+  switch (config.dtype) {
+    case DType::kFP32:
+      return run_typed<float>(config);
+    case DType::kFP16:
+    case DType::kFP16T:
+      return run_typed<gpupower::numeric::float16_t>(config);
+    case DType::kINT8:
+      return run_typed<gpupower::numeric::int8_value_t>(config);
+  }
+  return run_typed<float>(config);
+}
+
+}  // namespace gpupower::core

@@ -1,0 +1,52 @@
+// ExperimentRunner: reproduces the paper's measurement protocol end to end.
+// For each seed replica it builds the spec'd inputs, simulates the GEMM
+// kernel's power, replays the run through the DCGM-like sampler (100 ms
+// samples, 500 ms warmup trim), and averages the reported power across
+// seeds — exactly the pipeline behind every figure in Section IV.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/pattern_spec.hpp"
+#include "gpusim/power.hpp"
+#include "gpusim/simulator.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace gpupower::core {
+
+struct ExperimentConfig {
+  gpupower::gpusim::GpuModel gpu = gpupower::gpusim::GpuModel::kA100PCIe;
+  gpupower::numeric::DType dtype = gpupower::numeric::DType::kFP16;
+  std::size_t n = 2048;
+  PatternSpec pattern;
+  int seeds = 10;           ///< paper: 10 seeds per configuration
+  std::size_t iterations = 0;  ///< 0 = paper default (20k FP16-T, 10k others)
+  std::uint64_t base_seed = 42;
+  gpupower::gpusim::SamplingPlan sampling;  ///< exact by default
+  telemetry::SamplerConfig sampler;
+  std::optional<gpupower::gpusim::ProcessVariation> variation;
+
+  [[nodiscard]] std::size_t effective_iterations() const noexcept {
+    if (iterations != 0) return iterations;
+    return dtype == gpupower::numeric::DType::kFP16T ? 20000 : 10000;
+  }
+};
+
+struct ExperimentResult {
+  double power_w = 0.0;        ///< mean of per-seed DCGM-style averages
+  double power_std_w = 0.0;    ///< across seeds
+  double iteration_s = 0.0;    ///< realized (post-throttle) iteration time
+  double energy_per_iter_j = 0.0;
+  double alignment = 0.0;      ///< Fig. 8 feature, averaged across seeds
+  double weight_fraction = 0.0;
+  gpupower::gpusim::RailPower rails;  ///< averaged across seeds
+  bool throttled = false;
+  double clock_frac = 1.0;
+  int seeds = 0;
+};
+
+/// Runs one experiment configuration (all seed replicas).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace gpupower::core

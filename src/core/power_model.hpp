@@ -1,0 +1,76 @@
+// Input-dependent GPU power model (the Section V "future work" the paper
+// sketches): predict GEMM power from cheap, O(N^2) statistics of the input
+// data — no kernel walk required.  The model is linear in the features and
+// is fit by ordinary least squares on simulated (or measured) samples.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "gemm/matrix.hpp"
+#include "numeric/dtype.hpp"
+
+namespace gpupower::core {
+
+/// Cheap input statistics: one pass over each operand matrix.
+struct DataFeatures {
+  static constexpr std::size_t kCount = 6;
+
+  double weight_fraction = 0.0;   ///< avg Hamming weight / width, A and B
+  double neighbor_toggles = 0.0;  ///< avg row-consecutive Hamming distance / width
+  double alignment = 0.0;         ///< avg elementwise A/B bit alignment
+  double zero_fraction = 0.0;     ///< fraction of exactly-zero elements
+  double significand_activity = 0.0;  ///< mean popcount product of significands / width^2
+  double exponent_weight = 0.0;   ///< avg exponent-field popcount / width (FP), 0 INT8
+
+  [[nodiscard]] std::array<double, kCount> vector() const noexcept {
+    return {weight_fraction, neighbor_toggles,      alignment,
+            zero_fraction,   significand_activity,  exponent_weight};
+  }
+};
+
+/// Extracts features from typed operand matrices.
+template <typename T>
+[[nodiscard]] DataFeatures extract_features(const gemm::Matrix<T>& a,
+                                            const gemm::Matrix<T>& b);
+
+extern template DataFeatures extract_features<float>(const gemm::Matrix<float>&,
+                                                     const gemm::Matrix<float>&);
+extern template DataFeatures extract_features<gpupower::numeric::float16_t>(
+    const gemm::Matrix<gpupower::numeric::float16_t>&,
+    const gemm::Matrix<gpupower::numeric::float16_t>&);
+extern template DataFeatures extract_features<gpupower::numeric::int8_value_t>(
+    const gemm::Matrix<gpupower::numeric::int8_value_t>&,
+    const gemm::Matrix<gpupower::numeric::int8_value_t>&);
+
+/// One training sample: features plus the observed power.
+struct PowerSample {
+  DataFeatures features;
+  double power_w = 0.0;
+};
+
+/// Linear model power = intercept + w . features, fit by least squares.
+class InputDependentPowerModel {
+ public:
+  /// Fits on the samples (normal equations with ridge damping for
+  /// ill-conditioned feature sets).  Requires at least kCount + 1 samples.
+  [[nodiscard]] static InputDependentPowerModel fit(
+      std::span<const PowerSample> samples, double ridge = 1e-6);
+
+  [[nodiscard]] double predict(const DataFeatures& f) const noexcept;
+
+  /// Coefficient of determination on a sample set.
+  [[nodiscard]] double r2(std::span<const PowerSample> samples) const;
+
+  [[nodiscard]] double intercept() const noexcept { return intercept_; }
+  [[nodiscard]] const std::array<double, DataFeatures::kCount>& weights()
+      const noexcept {
+    return weights_;
+  }
+
+ private:
+  double intercept_ = 0.0;
+  std::array<double, DataFeatures::kCount> weights_{};
+};
+
+}  // namespace gpupower::core

@@ -1,0 +1,67 @@
+#include "core/report.hpp"
+
+#include "core/pattern_dsl.hpp"
+#include "gpusim/device.hpp"
+
+namespace gpupower::core {
+
+analysis::JsonValue to_json(const ExperimentConfig& config,
+                            const ExperimentResult& result) {
+  using analysis::JsonValue;
+  JsonValue rails = JsonValue::object();
+  rails.set("fetch_w", JsonValue::number(result.rails.fetch_w))
+      .set("operand_w", JsonValue::number(result.rails.operand_w))
+      .set("multiply_w", JsonValue::number(result.rails.multiply_w))
+      .set("accum_w", JsonValue::number(result.rails.accum_w))
+      .set("issue_w", JsonValue::number(result.rails.issue_w));
+
+  JsonValue protocol = JsonValue::object();
+  protocol
+      .set("n", JsonValue::integer(static_cast<long long>(config.n)))
+      .set("seeds", JsonValue::integer(result.seeds))
+      .set("iterations",
+           JsonValue::integer(
+               static_cast<long long>(config.effective_iterations())))
+      .set("sampled_tiles",
+           JsonValue::integer(
+               static_cast<long long>(config.sampling.max_tiles)))
+      .set("k_fraction", JsonValue::number(config.sampling.k_fraction));
+
+  JsonValue j = JsonValue::object();
+  j.set("gpu", JsonValue::string(gpusim::name(config.gpu)))
+      .set("dtype", JsonValue::string(gpupower::numeric::name(config.dtype)))
+      .set("pattern", JsonValue::string(to_dsl(config.pattern)))
+      .set("power_w", JsonValue::number(result.power_w))
+      .set("power_std_w", JsonValue::number(result.power_std_w))
+      .set("iteration_s", JsonValue::number(result.iteration_s))
+      .set("energy_per_iter_j", JsonValue::number(result.energy_per_iter_j))
+      .set("alignment", JsonValue::number(result.alignment))
+      .set("weight_fraction", JsonValue::number(result.weight_fraction))
+      .set("throttled", JsonValue::boolean(result.throttled))
+      .set("clock_frac", JsonValue::number(result.clock_frac))
+      .set("rails", std::move(rails))
+      .set("protocol", std::move(protocol));
+  return j;
+}
+
+analysis::JsonValue sweep_to_json(FigureId id, const ExperimentConfig& base,
+                                  std::span<const SweepEntry> entries) {
+  using analysis::JsonValue;
+  JsonValue series = JsonValue::array();
+  for (const SweepEntry& entry : entries) {
+    ExperimentConfig config = base;
+    config.pattern = entry.point.spec;
+    JsonValue point = to_json(config, entry.result);
+    point.set("x", JsonValue::number(entry.point.x))
+        .set("label", JsonValue::string(entry.point.label));
+    series.push(std::move(point));
+  }
+  JsonValue j = JsonValue::object();
+  j.set("figure", JsonValue::string(figure_key(id)))
+      .set("name", JsonValue::string(figure_name(id)))
+      .set("axis", JsonValue::string(figure_axis(id)))
+      .set("series", std::move(series));
+  return j;
+}
+
+}  // namespace gpupower::core

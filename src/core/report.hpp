@@ -1,0 +1,30 @@
+// Structured export of experiment results: turns ExperimentConfig/Result
+// pairs (and whole figure sweeps) into JSON for downstream analysis and
+// archival — the artifact format `gpowerctl sweep --json` and scripts can
+// consume.
+#pragma once
+
+#include <span>
+
+#include "analysis/json.hpp"
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+
+namespace gpupower::core {
+
+/// One experiment's config + result as a JSON object (pattern serialised in
+/// DSL form, rails broken out, protocol recorded).
+[[nodiscard]] analysis::JsonValue to_json(const ExperimentConfig& config,
+                                          const ExperimentResult& result);
+
+/// A whole figure sweep: {figure, axis, series: [{x, label, result...}]}.
+struct SweepEntry {
+  SweepPoint point;
+  ExperimentResult result;
+};
+
+[[nodiscard]] analysis::JsonValue sweep_to_json(FigureId id,
+                                                const ExperimentConfig& base,
+                                                std::span<const SweepEntry> entries);
+
+}  // namespace gpupower::core

@@ -1,0 +1,162 @@
+#include "core/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "patterns/distributions.hpp"
+#include "patterns/placement.hpp"
+
+namespace gpupower::core {
+
+MeanShiftResult mean_shift(const std::vector<float>& weights,
+                           double target_mean) {
+  MeanShiftResult result;
+  if (weights.empty()) return result;
+  double mean = 0.0;
+  double abs_sum = 0.0;
+  for (const float w : weights) {
+    mean += w;
+    abs_sum += std::fabs(w);
+  }
+  mean /= static_cast<double>(weights.size());
+  result.delta = target_mean - mean;
+  result.shifted.reserve(weights.size());
+  for (const float w : weights) {
+    result.shifted.push_back(static_cast<float>(w + result.delta));
+  }
+  const double mean_abs = abs_sum / static_cast<double>(weights.size());
+  result.relative_perturbation =
+      mean_abs > 0.0 ? std::fabs(result.delta) / mean_abs : 0.0;
+  return result;
+}
+
+RowSortResult sort_rows_permutation_invariant(const std::vector<float>& weights,
+                                              std::size_t rows,
+                                              std::size_t cols) {
+  RowSortResult result;
+  result.sorted.resize(weights.size());
+  result.permutation.resize(rows);
+
+  std::vector<double> means(rows, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) sum += weights[r * cols + c];
+    means[r] = sum / static_cast<double>(cols);
+  }
+  std::iota(result.permutation.begin(), result.permutation.end(),
+            std::size_t{0});
+  std::stable_sort(result.permutation.begin(), result.permutation.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return means[a] < means[b];
+                   });
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t src = result.permutation[r];
+    std::copy(weights.begin() + static_cast<std::ptrdiff_t>(src * cols),
+              weights.begin() + static_cast<std::ptrdiff_t>((src + 1) * cols),
+              result.sorted.begin() + static_cast<std::ptrdiff_t>(r * cols));
+  }
+  return result;
+}
+
+std::vector<float> unpermute_rows(const std::vector<float>& permuted,
+                                  const std::vector<std::size_t>& permutation,
+                                  std::size_t rows, std::size_t cols) {
+  std::vector<float> out(permuted.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t original = permutation[r];
+    std::copy(permuted.begin() + static_cast<std::ptrdiff_t>(r * cols),
+              permuted.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols),
+              out.begin() + static_cast<std::ptrdiff_t>(original * cols));
+  }
+  return out;
+}
+
+std::vector<float> magnitude_prune(const std::vector<float>& weights,
+                                   double fraction) {
+  std::vector<float> out = weights;
+  const auto k = static_cast<std::size_t>(
+      std::llround(std::clamp(fraction, 0.0, 1.0) *
+                   static_cast<double>(weights.size())));
+  if (k == 0) return out;
+  std::vector<std::size_t> idx(weights.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   idx.end(), [&](std::size_t a, std::size_t b) {
+                     return std::fabs(weights[a]) < std::fabs(weights[b]);
+                   });
+  for (std::size_t i = 0; i < k; ++i) out[idx[i]] = 0.0f;
+  return out;
+}
+
+PowerAwareSparsifier::PowerAwareSparsifier(gpupower::gpusim::GpuModel gpu,
+                                           gpupower::numeric::DType dtype,
+                                           gpupower::gpusim::SamplingPlan sampling)
+    : gpu_(gpu), dtype_(dtype), sampling_(sampling) {}
+
+namespace {
+
+template <typename T>
+double simulate_power(gpupower::gpusim::GpuModel gpu,
+                      gpupower::numeric::DType dtype,
+                      const gpupower::gpusim::SamplingPlan& sampling,
+                      const std::vector<float>& weights,
+                      const std::vector<float>& activations, std::size_t rows) {
+  gpupower::gpusim::SimOptions options;
+  options.sampling = sampling;
+  const gpupower::gpusim::GpuSimulator sim(gpu, options);
+  const auto a = gemm::materialize<T>(weights, rows, rows);
+  const auto b = gemm::materialize<T>(activations, rows, rows);
+  const auto problem = gemm::GemmProblem::square(rows);
+  return sim.run_gemm(problem, dtype, a, b).total_w;
+}
+
+}  // namespace
+
+SparsityDesign PowerAwareSparsifier::design(const std::vector<float>& weights,
+                                            std::size_t rows,
+                                            double power_cap_w,
+                                            const std::vector<double>& grid) const {
+  SparsityDesign best;
+  const std::vector<float> activations =
+      patterns::gaussian_fill(rows * rows, 0.0, 1.0, 0xAC71Fu);
+
+  double total_sq = 0.0;
+  for (const float w : weights) total_sq += static_cast<double>(w) * w;
+
+  for (const double s : grid) {
+    const std::vector<float> pruned = magnitude_prune(weights, s);
+    double power = 0.0;
+    using gpupower::numeric::DType;
+    switch (dtype_) {
+      case DType::kFP32:
+        power = simulate_power<float>(gpu_, dtype_, sampling_, pruned,
+                                      activations, rows);
+        break;
+      case DType::kFP16:
+      case DType::kFP16T:
+        power = simulate_power<gpupower::numeric::float16_t>(
+            gpu_, dtype_, sampling_, pruned, activations, rows);
+        break;
+      case DType::kINT8:
+        power = simulate_power<gpupower::numeric::int8_value_t>(
+            gpu_, dtype_, sampling_, pruned, activations, rows);
+        break;
+    }
+    if (power <= power_cap_w) {
+      double kept_sq = 0.0;
+      for (const float w : pruned) kept_sq += static_cast<double>(w) * w;
+      best.sparsity = s;
+      best.power_w = power;
+      best.l2_retained = total_sq > 0.0 ? kept_sq / total_sq : 1.0;
+      best.feasible = true;
+      return best;  // grid is ascending: first feasible level is minimal
+    }
+    best.power_w = power;  // remember the last evaluated level
+    best.sparsity = s;
+  }
+  best.feasible = false;
+  return best;
+}
+
+}  // namespace gpupower::core

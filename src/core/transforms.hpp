@@ -1,0 +1,81 @@
+// Power-aware input transforms — the three "future work" directions of
+// Section V made concrete:
+//   1. mean shifting of model weights into value ranges that draw less power,
+//   2. permutation-invariant weight sorting (computationally equivalent for
+//      independent neurons: permute rows, un-permute the output),
+//   3. power-aware sparsity design under a power cap.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gemm/matrix.hpp"
+#include "gpusim/simulator.hpp"
+#include "numeric/dtype.hpp"
+
+namespace gpupower::core {
+
+/// Mean shift: W' = W + delta.  NOT computation preserving — callers must
+/// tolerate the bias (the paper notes the accuracy/power trade-off).
+struct MeanShiftResult {
+  std::vector<float> shifted;
+  double delta = 0.0;
+  /// Mean absolute perturbation of an example activation y = W x relative
+  /// to |y|, a cheap proxy for accuracy impact.
+  double relative_perturbation = 0.0;
+};
+
+[[nodiscard]] MeanShiftResult mean_shift(const std::vector<float>& weights,
+                                         double target_mean);
+
+/// Permutation-invariant row sort: rows reordered by ascending row mean.
+/// Applying `permutation[i] = original row index now at position i` to the
+/// GEMM output restores the original ordering, so the computation is exact.
+struct RowSortResult {
+  std::vector<float> sorted;            ///< row-major, rows x cols
+  std::vector<std::size_t> permutation; ///< new position -> original row
+};
+
+[[nodiscard]] RowSortResult sort_rows_permutation_invariant(
+    const std::vector<float>& weights, std::size_t rows, std::size_t cols);
+
+/// Inverts the permutation on a row-major output matrix (rows x cols).
+[[nodiscard]] std::vector<float> unpermute_rows(
+    const std::vector<float>& permuted, const std::vector<std::size_t>& permutation,
+    std::size_t rows, std::size_t cols);
+
+/// Power-aware sparsity design: finds the smallest magnitude-pruning
+/// sparsity level whose simulated GEMM power fits the cap.
+struct SparsityDesign {
+  double sparsity = 0.0;       ///< fraction pruned (0 if cap already met)
+  double power_w = 0.0;        ///< simulated power at that level
+  double l2_retained = 1.0;    ///< fraction of squared weight norm kept
+  bool feasible = false;       ///< false if even full sparsity misses the cap
+};
+
+class PowerAwareSparsifier {
+ public:
+  PowerAwareSparsifier(gpupower::gpusim::GpuModel gpu,
+                       gpupower::numeric::DType dtype,
+                       gpupower::gpusim::SamplingPlan sampling = {});
+
+  /// Searches the given sparsity grid (ascending) against the power cap.
+  /// `weights` is a square rows x rows weight matrix; activations are
+  /// modelled as a Gaussian matrix of matching shape.
+  [[nodiscard]] SparsityDesign design(const std::vector<float>& weights,
+                                      std::size_t rows, double power_cap_w,
+                                      const std::vector<double>& grid = {
+                                          0.0, 0.125, 0.25, 0.375, 0.5, 0.625,
+                                          0.75, 0.875}) const;
+
+ private:
+  gpupower::gpusim::GpuModel gpu_;
+  gpupower::numeric::DType dtype_;
+  gpupower::gpusim::SamplingPlan sampling_;
+};
+
+/// Magnitude pruning: zeroes the `fraction` smallest-magnitude weights.
+[[nodiscard]] std::vector<float> magnitude_prune(const std::vector<float>& weights,
+                                                 double fraction);
+
+}  // namespace gpupower::core

@@ -1,0 +1,25 @@
+#include "gemm/kernel_desc.hpp"
+
+namespace gpupower::gemm {
+
+KernelDesc kernel_for(gpupower::numeric::DType dtype) noexcept {
+  using gpupower::numeric::DType;
+  switch (dtype) {
+    case DType::kFP32:
+      return {"cutlass_simt_sgemm_128x128_8x2_nt", dtype,
+              TileConfig::for_dtype(dtype), 0.89};
+    case DType::kFP16:
+      return {"cutlass_simt_hgemm_128x128_8x2_nt", dtype,
+              TileConfig::for_dtype(dtype), 0.87};
+    case DType::kFP16T:
+      return {"cutlass_tensorop_h16816gemm_128x128_32x4_nt", dtype,
+              TileConfig::for_dtype(dtype), 0.86};
+    case DType::kINT8:
+      return {"cutlass_tensorop_i16832gemm_128x128_64x4_nt", dtype,
+              TileConfig::for_dtype(dtype), 0.84};
+  }
+  return {"cutlass_simt_sgemm_128x128_8x2_nt", DType::kFP32,
+          TileConfig::for_dtype(DType::kFP32), 0.89};
+}
+
+}  // namespace gpupower::gemm

@@ -1,0 +1,26 @@
+// Kernel launch descriptors: names and pipeline characteristics of the
+// CUTLASS kernel each datatype setup maps to.  The runtime model in gpusim
+// uses the per-datatype pipeline throughput to derive iteration time, which
+// the paper shows is input-independent (Fig. 1).
+#pragma once
+
+#include <string_view>
+
+#include "gemm/tile_config.hpp"
+#include "numeric/dtype.hpp"
+
+namespace gpupower::gemm {
+
+struct KernelDesc {
+  std::string_view name;         ///< CUTLASS-style kernel identifier
+  gpupower::numeric::DType dtype;
+  TileConfig tiles;
+  /// Fraction of the device's peak math throughput this kernel sustains on
+  /// large square problems (CUTLASS kernels on 2048^2 reach ~85-95%).
+  double efficiency;
+};
+
+/// Returns the kernel the experiment harness launches for a datatype.
+[[nodiscard]] KernelDesc kernel_for(gpupower::numeric::DType dtype) noexcept;
+
+}  // namespace gpupower::gemm

@@ -1,0 +1,43 @@
+// GEMM problem descriptor: D = alpha * op(A) * op(B) + beta * C
+// (Section II).  A is (N, K); B is stored (N, K)-shaped with the same
+// pattern as A and is consumed transposed by default, matching the paper's
+// "B transposed unless otherwise noted" protocol.
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/dtype.hpp"
+
+namespace gpupower::gemm {
+
+struct GemmProblem {
+  std::size_t n = 0;  ///< rows of A and D
+  std::size_t k = 0;  ///< inner dimension
+  std::size_t m = 0;  ///< columns of B-as-consumed and D
+  float alpha = 1.0f;
+  float beta = 0.0f;
+  /// When true (paper default) the stored B buffer is (M, K) and consumed as
+  /// B^T, so B[k][j] is read from storage (j, k).  When false the stored
+  /// buffer is (K, M) and read directly.
+  bool transpose_b = true;
+
+  [[nodiscard]] static GemmProblem square(std::size_t n, bool transpose_b = true) {
+    return GemmProblem{n, n, n, 1.0f, 0.0f, transpose_b};
+  }
+
+  /// Multiply-accumulate operations in one GEMM.
+  [[nodiscard]] std::size_t mac_count() const noexcept { return n * k * m; }
+  /// FLOP count (2 per MAC) used by the runtime model.
+  [[nodiscard]] double flops() const noexcept {
+    return 2.0 * static_cast<double>(mac_count());
+  }
+};
+
+/// Reads the logical B(k, j) element given storage layout.
+template <typename MatrixT>
+[[nodiscard]] inline auto b_element(const MatrixT& b_storage, const GemmProblem& p,
+                                    std::size_t k, std::size_t j) {
+  return p.transpose_b ? b_storage.at(j, k) : b_storage.at(k, j);
+}
+
+}  // namespace gpupower::gemm

@@ -1,0 +1,53 @@
+#include "gemm/reference.hpp"
+
+#include <cassert>
+
+namespace gpupower::gemm {
+
+template <typename T>
+void reference_gemm(const GemmProblem& problem, const Matrix<T>& a,
+                    const Matrix<T>& b_storage,
+                    const Matrix<gpupower::numeric::accumulator_t<T>>& c,
+                    Matrix<gpupower::numeric::accumulator_t<T>>& d) {
+  using traits = gpupower::numeric::scalar_traits<T>;
+  using Acc = gpupower::numeric::accumulator_t<T>;
+
+  assert(a.rows() == problem.n && a.cols() == problem.k);
+  assert(c.rows() == problem.n && c.cols() == problem.m);
+  if (d.rows() != problem.n || d.cols() != problem.m) {
+    d = Matrix<Acc>(problem.n, problem.m);
+  }
+
+  for (std::size_t i = 0; i < problem.n; ++i) {
+    for (std::size_t j = 0; j < problem.m; ++j) {
+      Acc acc{};
+      for (std::size_t k = 0; k < problem.k; ++k) {
+        const float av = traits::to_float(a.at(i, k));
+        const float bv = traits::to_float(b_element(b_storage, problem, k, j));
+        if constexpr (std::is_same_v<Acc, float>) {
+          acc += av * bv;
+        } else {
+          acc += static_cast<Acc>(av) * static_cast<Acc>(bv);
+        }
+      }
+      const float source = static_cast<float>(c.at(i, j));
+      const float result =
+          problem.alpha * static_cast<float>(acc) + problem.beta * source;
+      d.at(i, j) = static_cast<Acc>(result);
+    }
+  }
+}
+
+template void reference_gemm<float>(const GemmProblem&, const Matrix<float>&,
+                                    const Matrix<float>&, const Matrix<float>&,
+                                    Matrix<float>&);
+template void reference_gemm<gpupower::numeric::float16_t>(
+    const GemmProblem&, const Matrix<gpupower::numeric::float16_t>&,
+    const Matrix<gpupower::numeric::float16_t>&, const Matrix<float>&,
+    Matrix<float>&);
+template void reference_gemm<gpupower::numeric::int8_value_t>(
+    const GemmProblem&, const Matrix<gpupower::numeric::int8_value_t>&,
+    const Matrix<gpupower::numeric::int8_value_t>&,
+    const Matrix<std::int32_t>&, Matrix<std::int32_t>&);
+
+}  // namespace gpupower::gemm

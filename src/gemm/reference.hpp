@@ -1,0 +1,33 @@
+// Naive reference GEMM — the correctness oracle every tiled kernel is tested
+// against.  Accumulates in the pipeline's accumulator type (FP32 for
+// floating point, INT32 for INT8) and applies the D = alpha*AB + beta*C
+// epilogue in FP32, mirroring CUTLASS's default epilogue functor.
+#pragma once
+
+#include "gemm/matrix.hpp"
+#include "gemm/problem.hpp"
+
+namespace gpupower::gemm {
+
+/// Computes D = alpha * A * op(B) + beta * C.  C may alias D (the paper
+/// notes the in-place update convention); it is read before being written.
+/// Output is produced in the accumulator domain (float or int32).
+template <typename T>
+void reference_gemm(const GemmProblem& problem, const Matrix<T>& a,
+                    const Matrix<T>& b_storage,
+                    const Matrix<gpupower::numeric::accumulator_t<T>>& c,
+                    Matrix<gpupower::numeric::accumulator_t<T>>& d);
+
+extern template void reference_gemm<float>(
+    const GemmProblem&, const Matrix<float>&, const Matrix<float>&,
+    const Matrix<float>&, Matrix<float>&);
+extern template void reference_gemm<gpupower::numeric::float16_t>(
+    const GemmProblem&, const Matrix<gpupower::numeric::float16_t>&,
+    const Matrix<gpupower::numeric::float16_t>&, const Matrix<float>&,
+    Matrix<float>&);
+extern template void reference_gemm<gpupower::numeric::int8_value_t>(
+    const GemmProblem&, const Matrix<gpupower::numeric::int8_value_t>&,
+    const Matrix<gpupower::numeric::int8_value_t>&,
+    const Matrix<std::int32_t>&, Matrix<std::int32_t>&);
+
+}  // namespace gpupower::gemm

@@ -1,0 +1,81 @@
+// CUTLASS-style tiling hierarchy.  The kernels decompose the output into
+// threadblock tiles, each threadblock iterates over K-slices of the A and B
+// operands, and within a slice work is issued either as per-thread FMA
+// streams (SIMT kernels: FP32, FP16) or as tensor-core MMA fragments
+// (FP16-T, INT8).  The traversal order defined here is shared between the
+// compute kernel and the power simulator's activity walker, because operand
+// bus toggle counts depend on exactly this streaming order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/dtype.hpp"
+
+namespace gpupower::gemm {
+
+/// Shape of one tile level, in elements of the output (M, N) and the inner
+/// dimension (K).
+struct TileShape {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+};
+
+/// Tensor-core MMA instruction shape (per-instruction fragment).
+struct MmaShape {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+};
+
+/// Per-datatype kernel tiling configuration, mirroring the default CUTLASS
+/// device-level GEMM configurations for each data path.
+struct TileConfig {
+  TileShape threadblock;
+  TileShape warp;
+  MmaShape mma;          ///< 1x1x1 for SIMT paths
+  bool tensor_core = false;
+
+  [[nodiscard]] static TileConfig for_dtype(gpupower::numeric::DType t) noexcept {
+    using gpupower::numeric::DType;
+    switch (t) {
+      case DType::kFP32:
+        // cutlass_simt_sgemm_128x128_8x2
+        return {{128, 128, 8}, {64, 32, 8}, {1, 1, 1}, false};
+      case DType::kFP16:
+        // SIMT half path
+        return {{128, 128, 8}, {64, 32, 8}, {1, 1, 1}, false};
+      case DType::kFP16T:
+        // cutlass_tensorop_h16816gemm_128x128_32x4 (HMMA m16n8k16)
+        return {{128, 128, 32}, {64, 64, 32}, {16, 8, 16}, true};
+      case DType::kINT8:
+        // cutlass_tensorop_i16832gemm (IMMA m16n8k32)
+        return {{128, 128, 64}, {64, 64, 64}, {16, 8, 32}, true};
+    }
+    return {{128, 128, 8}, {64, 32, 8}, {1, 1, 1}, false};
+  }
+};
+
+/// One threadblock tile's coordinates in the output grid.
+struct TileCoord {
+  std::size_t row = 0;  ///< starting output row
+  std::size_t col = 0;  ///< starting output column
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+/// Enumerates threadblock tiles covering an n x m output, in the row-major
+/// rasterisation order CUTLASS's default threadblock swizzle approximates.
+[[nodiscard]] inline std::vector<TileCoord> enumerate_tiles(
+    std::size_t n, std::size_t m, const TileShape& tb) {
+  std::vector<TileCoord> tiles;
+  for (std::size_t r = 0; r < n; r += tb.m) {
+    for (std::size_t c = 0; c < m; c += tb.n) {
+      tiles.push_back(TileCoord{r, c, std::min(tb.m, n - r), std::min(tb.n, m - c)});
+    }
+  }
+  return tiles;
+}
+
+}  // namespace gpupower::gemm

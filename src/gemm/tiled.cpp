@@ -1,0 +1,21 @@
+// Explicit instantiations of the compute-only kernel configurations so that
+// downstream targets linking only for computation do not re-instantiate the
+// templates.
+#include "gemm/tiled.hpp"
+
+namespace gpupower::gemm {
+
+template void tiled_gemm<float, NullObserver>(
+    const GemmProblem&, const Matrix<float>&, const Matrix<float>&,
+    const Matrix<float>&, Matrix<float>&, const TileConfig&, NullObserver&);
+template void tiled_gemm<gpupower::numeric::float16_t, NullObserver>(
+    const GemmProblem&, const Matrix<gpupower::numeric::float16_t>&,
+    const Matrix<gpupower::numeric::float16_t>&, const Matrix<float>&,
+    Matrix<float>&, const TileConfig&, NullObserver&);
+template void tiled_gemm<gpupower::numeric::int8_value_t, NullObserver>(
+    const GemmProblem&, const Matrix<gpupower::numeric::int8_value_t>&,
+    const Matrix<gpupower::numeric::int8_value_t>&,
+    const Matrix<std::int32_t>&, Matrix<std::int32_t>&, const TileConfig&,
+    NullObserver&);
+
+}  // namespace gpupower::gemm

@@ -1,0 +1,127 @@
+// Activity estimation: walks the tiled GEMM traversal with an observer that
+// counts bit toggles, Hamming weight, multiplier partial-product activity,
+// and accumulator switching — the raw inputs to the power model.
+//
+// Exact mode walks every threadblock tile (tests, small problems).  Sampled
+// mode walks a stratified subset of warp-tile-sized quanta and an evenly
+// strided subset of K-slices, then scales counts to the full problem; a
+// property test pins the sampled estimate against the exact walk.
+#pragma once
+
+#include <cstdint>
+
+#include "gemm/matrix.hpp"
+#include "gemm/problem.hpp"
+#include "gemm/tile_config.hpp"
+#include "gemm/tiled.hpp"
+#include "gpusim/energy_model.hpp"
+
+namespace gpupower::gpusim {
+
+/// Observer for gemm::process_tile that accumulates ActivityTotals.
+/// Port state (last word driven on each bus) persists across tiles, exactly
+/// like the physical wires do.
+class ActivityCounters {
+ public:
+  static constexpr bool kEnabled = true;
+
+  void fetch_a(std::uint32_t bits, int width) noexcept {
+    on_stream(bits, width, last_fetch_a_, totals_.fetch_words,
+              totals_.fetch_toggles, totals_.fetch_weight);
+  }
+  void fetch_b(std::uint32_t bits, int width) noexcept {
+    on_stream(bits, width, last_fetch_b_, totals_.fetch_words,
+              totals_.fetch_toggles, totals_.fetch_weight);
+  }
+  void operand_a(std::uint32_t bits, int width) noexcept {
+    on_stream(bits, width, last_operand_a_, totals_.operand_words,
+              totals_.operand_toggles, totals_.operand_weight);
+  }
+  void operand_b(std::uint32_t bits, int width) noexcept {
+    on_stream(bits, width, last_operand_b_, totals_.operand_words,
+              totals_.operand_toggles, totals_.operand_weight);
+  }
+  void mac_pair(std::uint32_t a_bits, std::uint32_t b_bits, int width) noexcept {
+    const std::uint32_t sig_a = significand(a_bits, width);
+    const std::uint32_t sig_b = significand(b_bits, width);
+    totals_.mult_pp +=
+        multiplier_switching(sig_a, prev_sig_a_, sig_b, prev_sig_b_);
+    totals_.exponent_bits += exponent_activity(a_bits, b_bits, width);
+    prev_sig_a_ = sig_a;
+    prev_sig_b_ = sig_b;
+    ++totals_.macs;
+  }
+  void acc_update(std::uint64_t before, std::uint64_t after) noexcept {
+    totals_.acc_toggles += static_cast<std::uint64_t>(
+        std::popcount(before ^ after));
+    ++totals_.acc_updates;
+  }
+
+  [[nodiscard]] const ActivityTotals& totals() const noexcept { return totals_; }
+  void reset() noexcept { *this = ActivityCounters{}; }
+
+ private:
+  static void on_stream(std::uint32_t bits, int width, std::uint32_t& last,
+                        std::uint64_t& words, std::uint64_t& toggles,
+                        std::uint64_t& weight) noexcept {
+    toggles += static_cast<std::uint64_t>(std::popcount(last ^ bits));
+    weight += static_cast<std::uint64_t>(std::popcount(bits));
+    ++words;
+    last = bits;
+    (void)width;
+  }
+
+  ActivityTotals totals_;
+  std::uint32_t last_fetch_a_ = 0;
+  std::uint32_t last_fetch_b_ = 0;
+  std::uint32_t last_operand_a_ = 0;
+  std::uint32_t last_operand_b_ = 0;
+  std::uint32_t prev_sig_a_ = 0;
+  std::uint32_t prev_sig_b_ = 0;
+};
+
+/// Controls how much of the GEMM the estimator walks.
+struct SamplingPlan {
+  /// Number of warp-tile quanta to walk; 0 walks every threadblock tile
+  /// exactly.
+  std::size_t max_tiles = 0;
+  /// Fraction of K-slices walked in each sampled tile (evenly strided).
+  double k_fraction = 1.0;
+  std::uint64_t seed = 0x5EEDu;
+
+  [[nodiscard]] static SamplingPlan exact() { return SamplingPlan{}; }
+  [[nodiscard]] static SamplingPlan fast(std::size_t tiles = 16,
+                                         double k_frac = 1.0) {
+    return SamplingPlan{tiles, k_frac, 0x5EEDu};
+  }
+};
+
+struct ActivityEstimate {
+  ActivityTotals totals;  ///< scaled to the full problem
+  bool sampled = false;
+  std::size_t tiles_walked = 0;
+  std::size_t tiles_total = 0;
+  double k_coverage = 1.0;
+};
+
+/// Estimates full-problem activity for one GEMM iteration.
+template <typename T>
+[[nodiscard]] ActivityEstimate estimate_activity(
+    const gemm::GemmProblem& problem, const gemm::Matrix<T>& a,
+    const gemm::Matrix<T>& b_storage, const gemm::TileConfig& config,
+    const SamplingPlan& plan = SamplingPlan::exact());
+
+extern template ActivityEstimate estimate_activity<float>(
+    const gemm::GemmProblem&, const gemm::Matrix<float>&,
+    const gemm::Matrix<float>&, const gemm::TileConfig&, const SamplingPlan&);
+extern template ActivityEstimate estimate_activity<gpupower::numeric::float16_t>(
+    const gemm::GemmProblem&, const gemm::Matrix<gpupower::numeric::float16_t>&,
+    const gemm::Matrix<gpupower::numeric::float16_t>&, const gemm::TileConfig&,
+    const SamplingPlan&);
+extern template ActivityEstimate estimate_activity<gpupower::numeric::int8_value_t>(
+    const gemm::GemmProblem&,
+    const gemm::Matrix<gpupower::numeric::int8_value_t>&,
+    const gemm::Matrix<gpupower::numeric::int8_value_t>&,
+    const gemm::TileConfig&, const SamplingPlan&);
+
+}  // namespace gpupower::gpusim

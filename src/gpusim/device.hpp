@@ -1,0 +1,75 @@
+// Device descriptors for the GPUs the paper measures: A100 PCIe (primary
+// testbed, Section III), plus H100 SXM5, V100 SXM2, and Quadro RTX 6000 for
+// the generalization study (Section IV-E, Fig. 7).  Specifications follow
+// the public NVIDIA datasheets; per-event energy coefficients are calibrated
+// so the simulated A100 reproduces the paper's reported power levels.
+#pragma once
+
+#include <string_view>
+
+#include "gpusim/energy_model.hpp"
+#include "numeric/dtype.hpp"
+
+namespace gpupower::gpusim {
+
+enum class GpuModel {
+  kA100PCIe,   ///< NVIDIA A100 PCIe 40GB, TDP 300 W (paper's main testbed)
+  kH100SXM,    ///< NVIDIA H100 80GB HBM3, TDP 700 W
+  kV100SXM2,   ///< NVIDIA Tesla V100-SXM2-32GB, TDP 300 W
+  kRTX6000,    ///< NVIDIA Quadro RTX 6000 24GB, TDP 260 W
+};
+
+inline constexpr GpuModel kAllGpuModels[] = {
+    GpuModel::kA100PCIe, GpuModel::kH100SXM, GpuModel::kV100SXM2,
+    GpuModel::kRTX6000};
+
+enum class MemoryKind { kHBM2, kHBM2e, kHBM3, kGDDR6 };
+
+struct DeviceDescriptor {
+  std::string_view name;
+  GpuModel model{};
+  int sm_count = 0;
+  double boost_clock_ghz = 0.0;
+  double tdp_w = 0.0;
+  double idle_w = 0.0;          ///< power at zero activity, fans/VRs/leakage
+  MemoryKind memory{};
+  double mem_bandwidth_gbs = 0.0;
+
+  /// Peak dense math throughput by datapath, in TFLOP/s (TOP/s for INT8).
+  double fp32_tflops = 0.0;
+  double fp16_tflops = 0.0;      ///< SIMT half pipeline
+  double fp16_tc_tflops = 0.0;   ///< tensor-core HMMA
+  double int8_tc_tops = 0.0;     ///< tensor-core IMMA (DP4A-equivalent on V100)
+
+  EnergyModel energy;
+
+  /// Thermal model: steady-state junction temperature rises by
+  /// `thermal_resistance_c_per_w` degrees per watt over 30 C ambient, and
+  /// leakage grows by `leakage_per_c` (fraction of idle_w) per degree over
+  /// the 40 C reference point.
+  double thermal_resistance_c_per_w = 0.12;
+  double leakage_per_c = 0.004;
+
+  [[nodiscard]] double peak_tflops(gpupower::numeric::DType t) const noexcept {
+    using gpupower::numeric::DType;
+    switch (t) {
+      case DType::kFP32:
+        return fp32_tflops;
+      case DType::kFP16:
+        return fp16_tflops;
+      case DType::kFP16T:
+        return fp16_tc_tflops;
+      case DType::kINT8:
+        return int8_tc_tops;
+    }
+    return fp32_tflops;
+  }
+};
+
+/// Returns the descriptor for a GPU model (static storage).
+[[nodiscard]] const DeviceDescriptor& device(GpuModel model) noexcept;
+
+[[nodiscard]] std::string_view name(GpuModel model) noexcept;
+[[nodiscard]] std::string_view name(MemoryKind kind) noexcept;
+
+}  // namespace gpupower::gpusim

@@ -1,0 +1,74 @@
+// Converts activity counts into watts: the dynamic-energy aggregation, the
+// input-independent runtime model (Fig. 1), the thermal/leakage fixed point,
+// and TDP throttling (DVFS clamping, which the paper avoided on the A100 by
+// choosing 2048x2048 but observed on the RTX 6000).
+#pragma once
+
+#include "gemm/problem.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/energy_model.hpp"
+#include "numeric/dtype.hpp"
+
+namespace gpupower::gpusim {
+
+/// Dynamic power broken down by physical rail, in watts at the realized
+/// clock.
+struct RailPower {
+  double fetch_w = 0.0;
+  double operand_w = 0.0;
+  double multiply_w = 0.0;
+  double accum_w = 0.0;
+  double issue_w = 0.0;
+
+  [[nodiscard]] double total() const noexcept {
+    return fetch_w + operand_w + multiply_w + accum_w + issue_w;
+  }
+};
+
+struct PowerReport {
+  double iteration_s = 0.0;           ///< at boost clock
+  double realized_iteration_s = 0.0;  ///< after any throttling
+  double effective_clock_frac = 1.0;  ///< 1.0 when not throttled
+  bool throttled = false;
+
+  RailPower rails;         ///< data-dependent + issue dynamic power
+  double dynamic_w = 0.0;  ///< rails.total()
+  double idle_w = 0.0;
+  double leakage_w = 0.0;  ///< temperature-dependent excess leakage
+  double total_w = 0.0;
+  double energy_j = 0.0;   ///< per GEMM iteration
+  double temperature_c = 0.0;
+  double utilization = 0.0;
+};
+
+/// Math instructions issued for `macs` multiply-accumulates on the given
+/// datapath: per-FMA for SIMT (HFMA2 pairs FP16 MACs), per-MMA for tensor
+/// cores.
+[[nodiscard]] double math_instructions(gpupower::numeric::DType dtype,
+                                       double macs) noexcept;
+
+class PowerCalculator {
+ public:
+  explicit PowerCalculator(const DeviceDescriptor& dev) : dev_(dev) {}
+
+  /// Iteration time at boost clock for one GEMM, from the roofline of the
+  /// datapath's sustained math throughput and memory bandwidth.  Input data
+  /// never enters this function — runtimes are input-independent, matching
+  /// the paper's microsecond-consistent Fig. 1.
+  [[nodiscard]] double iteration_time_s(const gemm::GemmProblem& problem,
+                                        gpupower::numeric::DType dtype) const;
+
+  /// Full power evaluation for one steady-state GEMM iteration.
+  [[nodiscard]] PowerReport evaluate(const gemm::GemmProblem& problem,
+                                     gpupower::numeric::DType dtype,
+                                     const ActivityTotals& activity) const;
+
+  [[nodiscard]] const DeviceDescriptor& descriptor() const noexcept {
+    return dev_;
+  }
+
+ private:
+  DeviceDescriptor dev_;
+};
+
+}  // namespace gpupower::gpusim

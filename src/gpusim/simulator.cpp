@@ -1,0 +1,21 @@
+#include "gpusim/simulator.hpp"
+
+#include "patterns/rng.hpp"
+
+namespace gpupower::gpusim {
+
+GpuSimulator::GpuSimulator(GpuModel model, SimOptions options)
+    : dev_(device(model)), options_(options) {
+  if (options_.variation) {
+    // Two independent draws per instance: one shifts switched capacitance
+    // (dynamic energy), one shifts static power.  Deterministic in the
+    // instance id so re-running on the "same VM" reproduces the same GPU.
+    patterns::Xoshiro256 rng(
+        patterns::derive_seed(0xFAB5EEDu, options_.variation->instance));
+    const double s = options_.variation->sigma_fraction;
+    dev_.energy.scale *= 1.0 + s * rng.gaussian();
+    dev_.idle_w *= 1.0 + s * rng.gaussian();
+  }
+}
+
+}  // namespace gpupower::gpusim

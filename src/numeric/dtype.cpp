@@ -1,0 +1,49 @@
+#include "numeric/dtype.hpp"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace gpupower::numeric {
+
+std::string_view name(DType t) noexcept {
+  switch (t) {
+    case DType::kFP32:
+      return "FP32";
+    case DType::kFP16:
+      return "FP16";
+    case DType::kFP16T:
+      return "FP16-T";
+    case DType::kINT8:
+      return "INT8";
+  }
+  return "?";
+}
+
+bool parse_dtype(std::string_view text, DType& out) noexcept {
+  std::string canon;
+  canon.reserve(text.size());
+  for (const char c : text) {
+    if (c == '_' || c == '-') continue;
+    canon.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (canon == "fp32" || canon == "float32" || canon == "float") {
+    out = DType::kFP32;
+    return true;
+  }
+  if (canon == "fp16" || canon == "half" || canon == "float16") {
+    out = DType::kFP16;
+    return true;
+  }
+  if (canon == "fp16t" || canon == "fp16tc" || canon == "fp16tensor") {
+    out = DType::kFP16T;
+    return true;
+  }
+  if (canon == "int8" || canon == "i8" || canon == "s8") {
+    out = DType::kINT8;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace gpupower::numeric

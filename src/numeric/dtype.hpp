@@ -1,0 +1,64 @@
+// Datatype registry for the four experiment setups in the paper
+// (Section III): FP32, FP16, FP16 with tensor cores (FP16-T), and INT8.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace gpupower::numeric {
+
+enum class DType : std::uint8_t {
+  kFP32,
+  kFP16,
+  kFP16T,  // same storage as FP16, executed on tensor-core MMA units
+  kINT8,
+};
+
+inline constexpr DType kAllDTypes[] = {DType::kFP32, DType::kFP16,
+                                       DType::kFP16T, DType::kINT8};
+
+/// Storage width in bits of one element.
+[[nodiscard]] constexpr int bit_width(DType t) noexcept {
+  switch (t) {
+    case DType::kFP32:
+      return 32;
+    case DType::kFP16:
+    case DType::kFP16T:
+      return 16;
+    case DType::kINT8:
+      return 8;
+  }
+  return 0;
+}
+
+/// Storage size in bytes of one element.
+[[nodiscard]] constexpr int byte_width(DType t) noexcept {
+  return bit_width(t) / 8;
+}
+
+/// True when GEMM for this setup runs on tensor-core MMA units rather than
+/// the regular FMA pipelines.
+[[nodiscard]] constexpr bool uses_tensor_cores(DType t) noexcept {
+  return t == DType::kFP16T || t == DType::kINT8;
+}
+
+/// True for floating-point setups (FP experiments in the paper share value
+/// generation: FP32 values converted round-to-nearest).
+[[nodiscard]] constexpr bool is_floating_point(DType t) noexcept {
+  return t != DType::kINT8;
+}
+
+[[nodiscard]] std::string_view name(DType t) noexcept;
+
+/// Parses "fp32" / "FP16-T" / "int8" style names; returns true on success.
+[[nodiscard]] bool parse_dtype(std::string_view text, DType& out) noexcept;
+
+/// The paper's Gaussian scale parameters (Section III / Fig. 2): standard
+/// deviation 210 for floating-point setups and 25 for INT8, chosen so values
+/// fall within each type's representable range.
+[[nodiscard]] constexpr double default_sigma(DType t) noexcept {
+  return t == DType::kINT8 ? 25.0 : 210.0;
+}
+
+}  // namespace gpupower::numeric

@@ -1,0 +1,85 @@
+// Software IEEE 754 binary16 ("half"), bit-exact with the storage format the
+// GPU sees.  The paper converts FP32-generated inputs to FP16 with
+// round-to-nearest(-even); all bit statistics (Hamming weight, alignment,
+// toggles) are computed on exactly these 16 storage bits, so the software
+// type must match hardware representation bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gpupower::numeric {
+
+class float16_t {
+ public:
+  constexpr float16_t() noexcept = default;
+
+  /// Converts from float with IEEE round-to-nearest-even, handling
+  /// subnormals, overflow-to-infinity, and NaN payload preservation.
+  explicit float16_t(float value) noexcept : bits_(from_float(value)) {}
+
+  /// Reinterprets raw storage bits as a half value.
+  [[nodiscard]] static constexpr float16_t from_bits(std::uint16_t bits) noexcept {
+    float16_t h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  /// Widens to float exactly (every binary16 value is representable).
+  [[nodiscard]] float to_float() const noexcept { return to_float_impl(bits_); }
+  explicit operator float() const noexcept { return to_float(); }
+
+  [[nodiscard]] constexpr bool is_nan() const noexcept {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) != 0;
+  }
+  [[nodiscard]] constexpr bool is_inf() const noexcept {
+    return (bits_ & 0x7FFFu) == 0x7C00u;
+  }
+  [[nodiscard]] constexpr bool is_zero() const noexcept {
+    return (bits_ & 0x7FFFu) == 0;
+  }
+  [[nodiscard]] constexpr bool signbit() const noexcept {
+    return (bits_ & 0x8000u) != 0;
+  }
+  [[nodiscard]] constexpr bool is_subnormal() const noexcept {
+    return (bits_ & 0x7C00u) == 0 && (bits_ & 0x03FFu) != 0;
+  }
+
+  friend constexpr bool operator==(float16_t a, float16_t b) noexcept {
+    if (a.is_nan() || b.is_nan()) return false;
+    if (a.is_zero() && b.is_zero()) return true;  // +0 == -0
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator<(float16_t a, float16_t b) noexcept {
+    return a.to_float() < b.to_float();
+  }
+
+  // Arithmetic routes through float; hardware FP16 units produce correctly
+  // rounded binary16 results, which double round-trip through binary32
+  // reproduces exactly for single operations (binary32 has enough precision).
+  friend float16_t operator+(float16_t a, float16_t b) noexcept {
+    return float16_t(a.to_float() + b.to_float());
+  }
+  friend float16_t operator-(float16_t a, float16_t b) noexcept {
+    return float16_t(a.to_float() - b.to_float());
+  }
+  friend float16_t operator*(float16_t a, float16_t b) noexcept {
+    return float16_t(a.to_float() * b.to_float());
+  }
+
+  static constexpr int kMantissaBits = 10;
+  static constexpr int kExponentBits = 5;
+  static constexpr int kBits = 16;
+
+ private:
+  [[nodiscard]] static std::uint16_t from_float(float value) noexcept;
+  [[nodiscard]] static float to_float_impl(std::uint16_t bits) noexcept;
+
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(float16_t) == 2, "binary16 storage must be 2 bytes");
+
+}  // namespace gpupower::numeric

@@ -1,0 +1,15 @@
+#include "numeric/int8.hpp"
+
+#include <cmath>
+
+namespace gpupower::numeric {
+
+std::int8_t int8_value_t::quantize(float value) noexcept {
+  if (std::isnan(value)) return 0;
+  const float rounded = std::round(value);
+  if (rounded <= -128.0f) return -128;
+  if (rounded >= 127.0f) return 127;
+  return static_cast<std::int8_t>(rounded);
+}
+
+}  // namespace gpupower::numeric

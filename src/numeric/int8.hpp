@@ -1,0 +1,56 @@
+// Signed 8-bit integer element type with the saturating round-to-nearest
+// conversion GPUs apply when narrowing accumulators or quantizing inputs.
+// Storage is two's-complement, matching what the hardware's operand buses
+// carry — bit statistics are computed on these raw bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace gpupower::numeric {
+
+class int8_value_t {
+ public:
+  constexpr int8_value_t() noexcept = default;
+
+  /// Quantizes a float: round to nearest (ties away from zero, matching
+  /// CUDA `__float2int_rn` semantics closely enough for value generation)
+  /// and saturate to [-128, 127].
+  explicit int8_value_t(float value) noexcept : value_(quantize(value)) {}
+
+  constexpr explicit int8_value_t(std::int8_t raw) noexcept : value_(raw) {}
+
+  [[nodiscard]] static constexpr int8_value_t from_bits(std::uint8_t bits) noexcept {
+    return int8_value_t(static_cast<std::int8_t>(bits));
+  }
+
+  [[nodiscard]] constexpr std::uint8_t bits() const noexcept {
+    return static_cast<std::uint8_t>(value_);
+  }
+  [[nodiscard]] constexpr std::int8_t value() const noexcept { return value_; }
+  [[nodiscard]] float to_float() const noexcept {
+    return static_cast<float>(value_);
+  }
+  explicit operator float() const noexcept { return to_float(); }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return value_ == 0; }
+
+  friend constexpr bool operator==(int8_value_t, int8_value_t) noexcept = default;
+  friend constexpr bool operator<(int8_value_t a, int8_value_t b) noexcept {
+    return a.value_ < b.value_;
+  }
+
+  static constexpr int kBits = 8;
+
+ private:
+  [[nodiscard]] static std::int8_t quantize(float value) noexcept;
+
+  std::int8_t value_ = 0;
+};
+
+static_assert(sizeof(int8_value_t) == 1, "int8 storage must be 1 byte");
+
+/// 32-bit accumulator used by integer GEMM pipelines (IMMA accumulates
+/// INT8xINT8 products into INT32 exactly).
+using int32_accum_t = std::int32_t;
+
+}  // namespace gpupower::numeric

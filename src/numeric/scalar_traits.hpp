@@ -1,0 +1,72 @@
+// Uniform compile-time interface over the element types used by the GEMM
+// kernels and the activity model: raw-bit extraction, float round-trips, and
+// the matching DType tag.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "numeric/dtype.hpp"
+#include "numeric/float16.hpp"
+#include "numeric/int8.hpp"
+
+namespace gpupower::numeric {
+
+template <typename T>
+struct scalar_traits;
+
+template <>
+struct scalar_traits<float> {
+  using bits_type = std::uint32_t;
+  static constexpr int kBits = 32;
+  static constexpr DType kDType = DType::kFP32;
+  static bits_type to_bits(float v) noexcept { return std::bit_cast<bits_type>(v); }
+  static float from_bits(bits_type b) noexcept { return std::bit_cast<float>(b); }
+  static float to_float(float v) noexcept { return v; }
+  static float from_float(float v) noexcept { return v; }
+  static bool is_zero(float v) noexcept { return v == 0.0f; }
+};
+
+template <>
+struct scalar_traits<float16_t> {
+  using bits_type = std::uint16_t;
+  static constexpr int kBits = 16;
+  static constexpr DType kDType = DType::kFP16;
+  static bits_type to_bits(float16_t v) noexcept { return v.bits(); }
+  static float16_t from_bits(bits_type b) noexcept { return float16_t::from_bits(b); }
+  static float to_float(float16_t v) noexcept { return v.to_float(); }
+  static float16_t from_float(float v) noexcept { return float16_t(v); }
+  static bool is_zero(float16_t v) noexcept { return v.is_zero(); }
+};
+
+template <>
+struct scalar_traits<int8_value_t> {
+  using bits_type = std::uint8_t;
+  static constexpr int kBits = 8;
+  static constexpr DType kDType = DType::kINT8;
+  static bits_type to_bits(int8_value_t v) noexcept { return v.bits(); }
+  static int8_value_t from_bits(bits_type b) noexcept {
+    return int8_value_t::from_bits(b);
+  }
+  static float to_float(int8_value_t v) noexcept { return v.to_float(); }
+  static int8_value_t from_float(float v) noexcept { return int8_value_t(v); }
+  static bool is_zero(int8_value_t v) noexcept { return v.is_zero(); }
+};
+
+/// Accumulator type used by each element type's GEMM pipeline.  FP16 kernels
+/// accumulate in FP32 (both SIMT HFMA2-with-F32-accumulate and tensor-core
+/// HMMA configurations the paper's CUTLASS kernels use); INT8 accumulates in
+/// INT32 exactly.
+template <typename T>
+struct accumulator_for {
+  using type = float;
+};
+template <>
+struct accumulator_for<int8_value_t> {
+  using type = std::int32_t;
+};
+
+template <typename T>
+using accumulator_t = typename accumulator_for<T>::type;
+
+}  // namespace gpupower::numeric

@@ -1,0 +1,115 @@
+#include "patterns/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gpupower::patterns {
+namespace {
+
+/// Applies the paper's partial-sort rule to an arbitrary index traversal:
+/// traversal[i] gives the storage index of the i-th logical slot.
+void partial_sort_traversal(std::vector<float>& data,
+                            const std::vector<std::size_t>& traversal,
+                            double percent) {
+  const std::size_t n = traversal.size();
+  const auto k = static_cast<std::size_t>(
+      std::llround(std::clamp(percent, 0.0, 100.0) / 100.0 *
+                   static_cast<double>(n)));
+  if (k == 0) return;
+
+  // Rank values by (value, traversal position) so ties resolve stably.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return data[traversal[a]] < data[traversal[b]];
+                   });
+
+  // The k smallest values, ascending.
+  std::vector<float> lowest(k);
+  for (std::size_t i = 0; i < k; ++i) lowest[i] = data[traversal[order[i]]];
+
+  // Remaining values in original traversal order.
+  std::vector<bool> selected(n, false);
+  for (std::size_t i = 0; i < k; ++i) selected[order[i]] = true;
+  std::vector<float> rest;
+  rest.reserve(n - k);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!selected[i]) rest.push_back(data[traversal[i]]);
+  }
+
+  for (std::size_t i = 0; i < k; ++i) data[traversal[i]] = lowest[i];
+  for (std::size_t i = k; i < n; ++i) data[traversal[i]] = rest[i - k];
+}
+
+std::vector<std::size_t> row_major_traversal(std::size_t rows, std::size_t cols) {
+  std::vector<std::size_t> t(rows * cols);
+  std::iota(t.begin(), t.end(), std::size_t{0});
+  return t;
+}
+
+std::vector<std::size_t> column_major_traversal(std::size_t rows,
+                                                std::size_t cols) {
+  std::vector<std::size_t> t;
+  t.reserve(rows * cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) t.push_back(r * cols + c);
+  }
+  return t;
+}
+
+}  // namespace
+
+void partial_sort_flat(std::vector<float>& data, double percent) {
+  partial_sort_traversal(data, row_major_traversal(1, data.size()), percent);
+}
+
+void partial_sort_rows(std::vector<float>& data, std::size_t rows,
+                       std::size_t cols, double percent) {
+  partial_sort_traversal(data, row_major_traversal(rows, cols), percent);
+}
+
+void partial_sort_columns(std::vector<float>& data, std::size_t rows,
+                          std::size_t cols, double percent) {
+  partial_sort_traversal(data, column_major_traversal(rows, cols), percent);
+}
+
+void partial_sort_within_rows(std::vector<float>& data, std::size_t rows,
+                              std::size_t cols, double percent) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<float> row(data.begin() + static_cast<std::ptrdiff_t>(r * cols),
+                           data.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols));
+    partial_sort_flat(row, percent);
+    std::copy(row.begin(), row.end(),
+              data.begin() + static_cast<std::ptrdiff_t>(r * cols));
+  }
+}
+
+void full_sort(std::vector<float>& data) {
+  std::sort(data.begin(), data.end());
+}
+
+void sort_rows_by_mean(std::vector<float>& data, std::size_t rows,
+                       std::size_t cols, bool ascending) {
+  std::vector<double> means(rows, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) sum += data[r * cols + c];
+    means[r] = sum / static_cast<double>(cols);
+  }
+  std::vector<std::size_t> order(rows);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return ascending ? means[a] < means[b] : means[a] > means[b];
+  });
+  std::vector<float> out(data.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(order[r] * cols),
+              data.begin() + static_cast<std::ptrdiff_t>((order[r] + 1) * cols),
+              out.begin() + static_cast<std::ptrdiff_t>(r * cols));
+  }
+  data = std::move(out);
+}
+
+}  // namespace gpupower::patterns

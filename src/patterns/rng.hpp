@@ -1,0 +1,69 @@
+// Deterministic, platform-independent random number generation.
+//
+// The paper averages every experiment over 10 seeds with A and B drawn from
+// different seeds (Section III).  Reproducing that protocol requires bit-
+// identical random streams across compilers, so we implement our own
+// xoshiro256** engine and Box-Muller Gaussian instead of relying on the
+// implementation-defined std::normal_distribution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace gpupower::patterns {
+
+/// SplitMix64: used to expand a single seed into engine state (the
+/// initialisation recommended by the xoshiro authors).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  std::uint64_t next() noexcept;
+  std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~std::uint64_t{0}; }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Standard normal via Box-Muller; caches the second variate.
+  double gaussian() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  std::optional<double> cached_gaussian_;
+};
+
+/// Derives a stream-specific seed so that e.g. the A and B matrices of the
+/// same experiment replica never share a random stream.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) noexcept;
+
+}  // namespace gpupower::patterns

@@ -1,0 +1,78 @@
+#include "telemetry/nvml.hpp"
+
+#include <cmath>
+
+namespace gpupower::telemetry::nvml {
+
+const char* error_string(Return r) noexcept {
+  switch (r) {
+    case Return::kSuccess:
+      return "Success";
+    case Return::kUninitialized:
+      return "Uninitialized";
+    case Return::kInvalidArgument:
+      return "Invalid Argument";
+    case Return::kNotFound:
+      return "Not Found";
+  }
+  return "Unknown Error";
+}
+
+Return Device::power_usage_mw(std::uint32_t& mw) const {
+  const double w = workload_ ? workload_->total_w : sim_.descriptor().idle_w;
+  mw = static_cast<std::uint32_t>(std::lround(w * 1000.0));
+  return Return::kSuccess;
+}
+
+Return Device::enforced_power_limit_mw(std::uint32_t& mw) const {
+  mw = static_cast<std::uint32_t>(std::lround(sim_.descriptor().tdp_w * 1000.0));
+  return Return::kSuccess;
+}
+
+Return Device::temperature_c(std::uint32_t& deg) const {
+  const double t = workload_ ? workload_->temperature_c : 33.0;
+  deg = static_cast<std::uint32_t>(std::lround(t));
+  return Return::kSuccess;
+}
+
+Return Device::clock_info_mhz(std::uint32_t& mhz) const {
+  const double frac = workload_ ? workload_->effective_clock_frac : 1.0;
+  mhz = static_cast<std::uint32_t>(
+      std::lround(sim_.descriptor().boost_clock_ghz * frac * 1000.0));
+  return Return::kSuccess;
+}
+
+Return Device::utilization_gpu_pct(std::uint32_t& pct) const {
+  pct = workload_
+            ? static_cast<std::uint32_t>(std::lround(workload_->utilization * 100.0))
+            : 0u;
+  return Return::kSuccess;
+}
+
+Return Device::name(std::string& out) const {
+  out = std::string(sim_.descriptor().name);
+  return Return::kSuccess;
+}
+
+Return device_get_handle_by_index(unsigned index, std::optional<Device>& out) {
+  using gpupower::gpusim::GpuModel;
+  switch (index) {
+    case 0:
+      out.emplace(GpuModel::kA100PCIe);
+      return Return::kSuccess;
+    case 1:
+      out.emplace(GpuModel::kH100SXM);
+      return Return::kSuccess;
+    case 2:
+      out.emplace(GpuModel::kV100SXM2);
+      return Return::kSuccess;
+    case 3:
+      out.emplace(GpuModel::kRTX6000);
+      return Return::kSuccess;
+    default:
+      out.reset();
+      return Return::kNotFound;
+  }
+}
+
+}  // namespace gpupower::telemetry::nvml

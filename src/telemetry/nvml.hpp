@@ -1,0 +1,70 @@
+// NVML-shaped facade over the simulator, so host code written against the
+// NVIDIA Management Library ports directly: handles, return codes,
+// milliwatt power queries, temperature, and clock queries.  Backing state
+// is the simulated device instead of a driver ioctl.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "gpusim/power.hpp"
+#include "gpusim/simulator.hpp"
+
+namespace gpupower::telemetry::nvml {
+
+enum class Return {
+  kSuccess = 0,
+  kUninitialized = 1,
+  kInvalidArgument = 2,
+  kNotFound = 6,
+};
+
+[[nodiscard]] const char* error_string(Return r) noexcept;
+
+/// Equivalent of nvmlDevice_t: a handle onto one simulated GPU whose
+/// "current workload" is the most recent PowerReport applied to it.
+class Device {
+ public:
+  explicit Device(gpupower::gpusim::GpuModel model)
+      : sim_(model) {}
+
+  /// Attaches the steady-state workload whose telemetry subsequent queries
+  /// report.  Clearing (nullopt) returns the device to idle.
+  void set_workload(std::optional<gpupower::gpusim::PowerReport> report) {
+    workload_ = std::move(report);
+  }
+
+  /// nvmlDeviceGetPowerUsage: current draw in milliwatts.
+  [[nodiscard]] Return power_usage_mw(std::uint32_t& mw) const;
+
+  /// nvmlDeviceGetEnforcedPowerLimit: TDP in milliwatts.
+  [[nodiscard]] Return enforced_power_limit_mw(std::uint32_t& mw) const;
+
+  /// nvmlDeviceGetTemperature(NVML_TEMPERATURE_GPU).
+  [[nodiscard]] Return temperature_c(std::uint32_t& deg) const;
+
+  /// nvmlDeviceGetClockInfo(NVML_CLOCK_SM), in MHz, reflecting throttling.
+  [[nodiscard]] Return clock_info_mhz(std::uint32_t& mhz) const;
+
+  /// nvmlDeviceGetUtilizationRates().gpu, percent.
+  [[nodiscard]] Return utilization_gpu_pct(std::uint32_t& pct) const;
+
+  /// nvmlDeviceGetName.
+  [[nodiscard]] Return name(std::string& out) const;
+
+  [[nodiscard]] const gpupower::gpusim::GpuSimulator& simulator() const {
+    return sim_;
+  }
+
+ private:
+  gpupower::gpusim::GpuSimulator sim_;
+  std::optional<gpupower::gpusim::PowerReport> workload_;
+};
+
+/// Equivalent of nvmlDeviceGetHandleByIndex over the four modelled GPUs
+/// (index order: A100, H100, V100, RTX 6000).
+[[nodiscard]] Return device_get_handle_by_index(unsigned index,
+                                                std::optional<Device>& out);
+
+}  // namespace gpupower::telemetry::nvml

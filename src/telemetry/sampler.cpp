@@ -1,0 +1,38 @@
+#include "telemetry/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "patterns/rng.hpp"
+
+namespace gpupower::telemetry {
+
+double min_duration_s(const SamplerConfig& cfg, std::size_t min_samples) {
+  return cfg.warmup_trim_s +
+         cfg.period_s * static_cast<double>(min_samples);
+}
+
+PowerTrace sample_run(const gpupower::gpusim::PowerReport& report,
+                      std::size_t iterations, const SamplerConfig& cfg) {
+  PowerTrace trace;
+  const double duration =
+      std::max(report.realized_iteration_s * static_cast<double>(iterations),
+               min_duration_s(cfg));
+  patterns::Xoshiro256 rng(cfg.seed);
+  const double steady = report.total_w;
+  const double idle = report.idle_w;
+  for (double t = 0.0; t <= duration; t += cfg.period_s) {
+    // First-order thermal/electrical ramp from idle toward steady state.
+    const double ramp = 1.0 - std::exp(-t / std::max(cfg.ramp_tau_s, 1e-6));
+    const double true_w = idle + (steady - idle) * ramp;
+    const double measured = true_w + rng.gaussian(0.0, cfg.noise_sigma_w);
+    trace.push(t, measured);
+  }
+  return trace;
+}
+
+double reported_power_w(const PowerTrace& trace, const SamplerConfig& cfg) {
+  return trace.trimmed(cfg.warmup_trim_s).mean_w();
+}
+
+}  // namespace gpupower::telemetry

@@ -1,0 +1,39 @@
+// The measurement loop: replays a steady-state PowerReport as a timed
+// experiment (launch kernel back-to-back for `iterations`) and samples it
+// the way `dcgmi dmon` at 100 ms would, including the thermal ramp from
+// idle at kernel start and DCGM's quantisation/measurement noise.  The
+// paper's pipeline — 100 ms samples, first 500 ms trimmed — then reduces
+// the trace to the reported average power.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/power.hpp"
+#include "telemetry/trace.hpp"
+
+namespace gpupower::telemetry {
+
+struct SamplerConfig {
+  double period_s = 0.100;     ///< DCGM sampling period (paper: 100 ms)
+  double warmup_trim_s = 0.500;///< samples discarded at the front (paper: 500 ms)
+  double ramp_tau_s = 0.150;   ///< exponential approach from idle to steady power
+  double noise_sigma_w = 1.2;  ///< sensor noise per sample
+  std::uint64_t seed = 0xD0C6;
+};
+
+/// Minimum wall-clock duration the experiment loop must run so that the
+/// trimmed trace still holds enough samples for a stable average.
+[[nodiscard]] double min_duration_s(const SamplerConfig& cfg,
+                                    std::size_t min_samples = 10);
+
+/// Produces the sampled power trace for a run of `iterations` back-to-back
+/// kernel launches in the steady state described by `report`.
+[[nodiscard]] PowerTrace sample_run(const gpupower::gpusim::PowerReport& report,
+                                    std::size_t iterations,
+                                    const SamplerConfig& cfg = {});
+
+/// The paper's reduction: trim the warmup, average what remains.
+[[nodiscard]] double reported_power_w(const PowerTrace& trace,
+                                      const SamplerConfig& cfg = {});
+
+}  // namespace gpupower::telemetry

@@ -1,0 +1,60 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+namespace gpupower::telemetry {
+
+PowerTrace PowerTrace::trimmed(double trim_s) const {
+  std::vector<PowerSample> kept;
+  kept.reserve(samples_.size());
+  for (const auto& s : samples_) {
+    if (s.t_s >= trim_s) kept.push_back(s);
+  }
+  return PowerTrace(std::move(kept));
+}
+
+double PowerTrace::mean_w() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : samples_) sum += s.power_w;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double PowerTrace::stddev_w() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean_w();
+  double sq = 0.0;
+  for (const auto& s : samples_) sq += (s.power_w - m) * (s.power_w - m);
+  return std::sqrt(sq / static_cast<double>(samples_.size() - 1));
+}
+
+double PowerTrace::min_w() const {
+  double v = std::numeric_limits<double>::infinity();
+  for (const auto& s : samples_) v = std::min(v, s.power_w);
+  return samples_.empty() ? 0.0 : v;
+}
+
+double PowerTrace::max_w() const {
+  double v = -std::numeric_limits<double>::infinity();
+  for (const auto& s : samples_) v = std::max(v, s.power_w);
+  return samples_.empty() ? 0.0 : v;
+}
+
+double PowerTrace::energy_j() const {
+  double e = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const double dt = samples_[i].t_s - samples_[i - 1].t_s;
+    e += 0.5 * (samples_[i].power_w + samples_[i - 1].power_w) * dt;
+  }
+  return e;
+}
+
+void PowerTrace::write_csv(std::ostream& os) const {
+  os << "t_s,power_w\n";
+  for (const auto& s : samples_) os << s.t_s << ',' << s.power_w << '\n';
+}
+
+}  // namespace gpupower::telemetry

@@ -1,0 +1,50 @@
+// Power traces: timestamped samples as a DCGM field poller would record
+// them, with the trimming and averaging pipeline the paper applies
+// (100 ms samples, first 500 ms discarded as warmup).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace gpupower::telemetry {
+
+struct PowerSample {
+  double t_s = 0.0;
+  double power_w = 0.0;
+};
+
+class PowerTrace {
+ public:
+  PowerTrace() = default;
+  explicit PowerTrace(std::vector<PowerSample> samples)
+      : samples_(std::move(samples)) {}
+
+  void push(double t_s, double power_w) { samples_.push_back({t_s, power_w}); }
+
+  [[nodiscard]] const std::vector<PowerSample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Returns a trace with every sample earlier than `trim_s` dropped
+  /// (the paper's 500 ms warmup trim).
+  [[nodiscard]] PowerTrace trimmed(double trim_s) const;
+
+  [[nodiscard]] double mean_w() const;
+  [[nodiscard]] double stddev_w() const;
+  [[nodiscard]] double min_w() const;
+  [[nodiscard]] double max_w() const;
+
+  /// Trapezoidal energy integral over the trace span, in joules.
+  [[nodiscard]] double energy_j() const;
+
+  /// Writes "t_s,power_w" rows with a header.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<PowerSample> samples_;
+};
+
+}  // namespace gpupower::telemetry

@@ -1,0 +1,169 @@
+#include "gpusim/activity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "patterns/distributions.hpp"
+
+namespace gpupower::gpusim {
+namespace {
+
+using gemm::GemmProblem;
+using gemm::Matrix;
+using gemm::TileConfig;
+using gpupower::numeric::DType;
+using gpupower::numeric::float16_t;
+
+template <typename T>
+Matrix<T> random_matrix(std::size_t n, std::uint64_t seed) {
+  return gemm::materialize<T>(
+      patterns::gaussian_fill(n * n, 0.0, 210.0, seed), n, n);
+}
+
+TEST(ActivityCounters, ZeroMatricesProduceNoDataActivity) {
+  const std::size_t n = 64;
+  Matrix<float16_t> a(n, n), b(n, n);  // all zeros
+  const auto est = estimate_activity(GemmProblem::square(n), a, b,
+                                     TileConfig::for_dtype(DType::kFP16));
+  EXPECT_EQ(est.totals.fetch_toggles, 0u);
+  EXPECT_EQ(est.totals.operand_toggles, 0u);
+  EXPECT_EQ(est.totals.fetch_weight, 0u);
+  EXPECT_EQ(est.totals.mult_pp, 0u);
+  EXPECT_EQ(est.totals.exponent_bits, 0u);
+  EXPECT_EQ(est.totals.acc_toggles, 0u);
+  // But the machine still moved words and issued MACs.
+  EXPECT_GT(est.totals.fetch_words, 0u);
+  EXPECT_EQ(est.totals.macs, n * n * n);
+}
+
+TEST(ActivityCounters, ConstantMatricesToggleOnlyAtBoundaries) {
+  const std::size_t n = 64;
+  Matrix<float16_t> a(n, n), b(n, n);
+  a.fill(float16_t(2.5f));
+  b.fill(float16_t(2.5f));
+  const auto est = estimate_activity(GemmProblem::square(n), a, b,
+                                     TileConfig::for_dtype(DType::kFP16));
+  // Identical words back to back: zero toggles after the first word, and
+  // zero multiplier transitions after the first MAC.
+  const int word_bits = 16;
+  EXPECT_LE(est.totals.fetch_toggles, static_cast<std::uint64_t>(word_bits));
+  EXPECT_LE(est.totals.operand_toggles, static_cast<std::uint64_t>(word_bits));
+  // Weight accumulates for every word regardless.
+  EXPECT_GT(est.totals.fetch_weight, 0u);
+}
+
+TEST(ActivityCounters, RandomDataTogglesHeavily) {
+  const std::size_t n = 64;
+  const auto a = random_matrix<float16_t>(n, 1);
+  const auto b = random_matrix<float16_t>(n, 2);
+  const auto est = estimate_activity(GemmProblem::square(n), a, b,
+                                     TileConfig::for_dtype(DType::kFP16));
+  // Random FP16 words differ in ~6-8 bits on average.
+  const double per_word = static_cast<double>(est.totals.operand_toggles) /
+                          static_cast<double>(est.totals.operand_words);
+  EXPECT_GT(per_word, 4.0);
+  EXPECT_LT(per_word, 10.0);
+}
+
+TEST(ActivityCounters, SortedInputsToggleLessThanRandom) {
+  const std::size_t n = 64;
+  auto values = patterns::gaussian_fill(n * n, 0.0, 210.0, 1);
+  auto sorted_values = values;
+  std::sort(sorted_values.begin(), sorted_values.end());
+  const auto random_a = gemm::materialize<float16_t>(values, n, n);
+  const auto sorted_a = gemm::materialize<float16_t>(sorted_values, n, n);
+
+  const auto config = TileConfig::for_dtype(DType::kFP16);
+  const auto est_random =
+      estimate_activity(GemmProblem::square(n), random_a, random_a, config);
+  const auto est_sorted =
+      estimate_activity(GemmProblem::square(n), sorted_a, sorted_a, config);
+  EXPECT_LT(est_sorted.totals.operand_toggles,
+            est_random.totals.operand_toggles);
+  EXPECT_LT(est_sorted.totals.mult_pp, est_random.totals.mult_pp);
+}
+
+TEST(ActivityTotals, AccumulateAndScale) {
+  ActivityTotals a;
+  a.macs = 10;
+  a.mult_pp = 100;
+  ActivityTotals b;
+  b.macs = 5;
+  b.mult_pp = 50;
+  a += b;
+  EXPECT_EQ(a.macs, 15u);
+  EXPECT_EQ(a.mult_pp, 150u);
+  a.scale_by(2.0);
+  EXPECT_EQ(a.macs, 30u);
+  EXPECT_EQ(a.mult_pp, 300u);
+}
+
+struct SamplingCase {
+  std::size_t max_tiles;
+  double k_fraction;
+};
+
+class SampledVsExact : public ::testing::TestWithParam<SamplingCase> {};
+
+TEST_P(SampledVsExact, EstimatesWithinTolerance) {
+  // Property: for statistically homogeneous inputs, the sampled estimate of
+  // every data-dependent counter stays within ~10% of the exact walk.
+  const std::size_t n = 192;
+  const auto a = random_matrix<float16_t>(n, 1);
+  const auto b = random_matrix<float16_t>(n, 2);
+  const auto config = TileConfig::for_dtype(DType::kFP16);
+  const auto problem = GemmProblem::square(n);
+
+  const auto exact = estimate_activity(problem, a, b, config);
+  SamplingPlan plan;
+  plan.max_tiles = GetParam().max_tiles;
+  plan.k_fraction = GetParam().k_fraction;
+  const auto sampled = estimate_activity(problem, a, b, config, plan);
+
+  const auto within = [](std::uint64_t s, std::uint64_t e, double tol) {
+    return std::fabs(static_cast<double>(s) - static_cast<double>(e)) <=
+           tol * static_cast<double>(e);
+  };
+  EXPECT_TRUE(within(sampled.totals.operand_toggles,
+                     exact.totals.operand_toggles, 0.10));
+  EXPECT_TRUE(within(sampled.totals.mult_pp, exact.totals.mult_pp, 0.10));
+  EXPECT_TRUE(within(sampled.totals.acc_toggles, exact.totals.acc_toggles,
+                     0.10));
+  EXPECT_TRUE(within(sampled.totals.macs, exact.totals.macs, 0.10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, SampledVsExact,
+                         ::testing::Values(SamplingCase{16, 1.0},
+                                           SamplingCase{8, 0.5},
+                                           SamplingCase{4, 0.5},
+                                           SamplingCase{16, 0.25}));
+
+TEST(Sampling, ExactPlanWalksEveryTile) {
+  const std::size_t n = 256;
+  const auto a = random_matrix<float16_t>(n, 1);
+  const auto b = random_matrix<float16_t>(n, 2);
+  const auto est = estimate_activity(GemmProblem::square(n), a, b,
+                                     TileConfig::for_dtype(DType::kFP16));
+  EXPECT_FALSE(est.sampled);
+  EXPECT_EQ(est.tiles_walked, est.tiles_total);
+  EXPECT_DOUBLE_EQ(est.k_coverage, 1.0);
+  EXPECT_EQ(est.totals.macs, n * n * n);
+}
+
+TEST(Sampling, SmallProblemNeverSamples) {
+  // When the grid has fewer quanta than max_tiles, the walk is exhaustive
+  // at warp granularity.
+  const std::size_t n = 64;
+  const auto a = random_matrix<float16_t>(n, 1);
+  const auto b = random_matrix<float16_t>(n, 2);
+  SamplingPlan plan;
+  plan.max_tiles = 1000;
+  const auto est = estimate_activity(GemmProblem::square(n), a, b,
+                                     TileConfig::for_dtype(DType::kFP16), plan);
+  EXPECT_FALSE(est.sampled);
+  EXPECT_EQ(est.totals.macs, n * n * n);
+}
+
+}  // namespace
+}  // namespace gpupower::gpusim

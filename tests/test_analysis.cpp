@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "analysis/correlation.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+
+namespace gpupower::analysis {
+namespace {
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_GT(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStatsTest, DegenerateCases) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(Stats, SpanHelpers) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+}
+
+TEST(Correlation, PearsonPerfectAndAnti) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> z{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonDegenerate) {
+  const std::vector<double> constant{3, 3, 3};
+  const std::vector<double> x{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, constant), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Correlation, SpearmanIsRankBased) {
+  // Monotonic but non-linear: Spearman 1, Pearson < 1.
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{1, 8, 27, 64, 125};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  const std::vector<double> x{1, 2, 2, 3};
+  const std::vector<double> y{1, 2, 2, 3};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, LinearFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 7.0);
+  }
+  const auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(TableTest, AlignedMarkdownOutput) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row("beta", {2.5}, 1);
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| beta  | 2.5   |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"x", "1"});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "a,b\nx,1\n");
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream ss;
+  t.print(ss);  // must not crash; missing cells render empty
+  EXPECT_NE(ss.str().find("only"), std::string::npos);
+}
+
+TEST(Fixed, Formatting) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace gpupower::analysis

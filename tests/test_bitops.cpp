@@ -1,0 +1,147 @@
+#include "patterns/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "numeric/float16.hpp"
+#include "numeric/int8.hpp"
+
+namespace gpupower::patterns {
+namespace {
+
+using gpupower::numeric::float16_t;
+using gpupower::numeric::int8_value_t;
+using gpupower::numeric::scalar_traits;
+
+template <typename T>
+class BitOpsTyped : public ::testing::Test {};
+
+using ElementTypes = ::testing::Types<float, float16_t, int8_value_t>;
+TYPED_TEST_SUITE(BitOpsTyped, ElementTypes);
+
+template <typename T>
+std::vector<T> constant_buffer(std::size_t count) {
+  using traits = scalar_traits<T>;
+  // A mid-range bit pattern so both set and clear bits exist.
+  const auto bits = static_cast<typename traits::bits_type>(
+      0x5A5A5A5Au & gpupower::numeric::low_mask<std::uint32_t>(traits::kBits));
+  return std::vector<T>(count, traits::from_bits(bits));
+}
+
+TYPED_TEST(BitOpsTyped, FlipRandomFlipsExactCount) {
+  using traits = scalar_traits<TypeParam>;
+  auto data = constant_buffer<TypeParam>(200);
+  const auto reference = data[0];
+  flip_random_bits<TypeParam>(data, 3, 42);
+  for (const auto& v : data) {
+    EXPECT_EQ(gpupower::numeric::hamming_distance(
+                  static_cast<std::uint32_t>(traits::to_bits(v)),
+                  static_cast<std::uint32_t>(traits::to_bits(reference))),
+              3);
+  }
+}
+
+TYPED_TEST(BitOpsTyped, FlipZeroIsIdentity) {
+  auto data = constant_buffer<TypeParam>(50);
+  const auto original = data;
+  flip_random_bits<TypeParam>(data, 0, 42);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(scalar_traits<TypeParam>::to_bits(data[i]),
+              scalar_traits<TypeParam>::to_bits(original[i]));
+  }
+}
+
+TYPED_TEST(BitOpsTyped, FlipFullWidthComplements) {
+  using traits = scalar_traits<TypeParam>;
+  auto data = constant_buffer<TypeParam>(20);
+  const auto before = traits::to_bits(data[0]);
+  flip_random_bits<TypeParam>(data, traits::kBits, 42);
+  const auto mask = gpupower::numeric::low_mask<std::uint32_t>(traits::kBits);
+  for (const auto& v : data) {
+    EXPECT_EQ(static_cast<std::uint32_t>(traits::to_bits(v)),
+              (~static_cast<std::uint32_t>(before)) & mask);
+  }
+}
+
+TYPED_TEST(BitOpsTyped, RandomizeLowLeavesHighBits) {
+  using traits = scalar_traits<TypeParam>;
+  auto data = constant_buffer<TypeParam>(200);
+  const auto before = static_cast<std::uint32_t>(traits::to_bits(data[0]));
+  const int low = traits::kBits / 2;
+  randomize_low_bits<TypeParam>(data, low, 42);
+  const auto high_mask =
+      ~gpupower::numeric::low_mask<std::uint32_t>(low) &
+      gpupower::numeric::low_mask<std::uint32_t>(traits::kBits);
+  bool any_low_changed = false;
+  for (const auto& v : data) {
+    const auto bits = static_cast<std::uint32_t>(traits::to_bits(v));
+    EXPECT_EQ(bits & high_mask, before & high_mask);
+    if ((bits ^ before) & ~high_mask) any_low_changed = true;
+  }
+  EXPECT_TRUE(any_low_changed);
+}
+
+TYPED_TEST(BitOpsTyped, RandomizeHighLeavesLowBits) {
+  using traits = scalar_traits<TypeParam>;
+  auto data = constant_buffer<TypeParam>(200);
+  const auto before = static_cast<std::uint32_t>(traits::to_bits(data[0]));
+  const int high = traits::kBits / 4;
+  randomize_high_bits<TypeParam>(data, high, 42);
+  const auto low_mask32 =
+      gpupower::numeric::low_mask<std::uint32_t>(traits::kBits - high);
+  bool any_high_changed = false;
+  for (const auto& v : data) {
+    const auto bits = static_cast<std::uint32_t>(traits::to_bits(v));
+    EXPECT_EQ(bits & low_mask32, before & low_mask32);
+    if ((bits ^ before) & ~low_mask32) any_high_changed = true;
+  }
+  EXPECT_TRUE(any_high_changed);
+}
+
+TYPED_TEST(BitOpsTyped, ZeroLowClearsExactBits) {
+  using traits = scalar_traits<TypeParam>;
+  auto data = constant_buffer<TypeParam>(50);
+  const auto before = static_cast<std::uint32_t>(traits::to_bits(data[0]));
+  const int low = traits::kBits / 2;
+  zero_low_bits<TypeParam>(data, low);
+  const auto cleared = gpupower::numeric::low_mask<std::uint32_t>(low);
+  for (const auto& v : data) {
+    const auto bits = static_cast<std::uint32_t>(traits::to_bits(v));
+    EXPECT_EQ(bits & cleared, 0u);
+    EXPECT_EQ(bits & ~cleared, before & ~cleared);
+  }
+}
+
+TYPED_TEST(BitOpsTyped, ZeroHighFullWidthZeroesValue) {
+  using traits = scalar_traits<TypeParam>;
+  auto data = constant_buffer<TypeParam>(50);
+  zero_high_bits<TypeParam>(data, traits::kBits);
+  for (const auto& v : data) EXPECT_EQ(traits::to_bits(v), 0u);
+}
+
+TEST(BitOps, ZeroHighOnFloat16ClearsSignAndExponent) {
+  std::vector<float16_t> data{float16_t(-2.5f)};
+  zero_high_bits<float16_t>(data, 6);  // sign + 5 exponent bits
+  EXPECT_EQ(data[0].bits() & 0xFC00u, 0u);
+}
+
+TEST(BitOps, RandomizationIsSeedDeterministic) {
+  auto a = constant_buffer<float16_t>(100);
+  auto b = constant_buffer<float16_t>(100);
+  randomize_low_bits<float16_t>(a, 8, 42);
+  randomize_low_bits<float16_t>(b, 8, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bits(), b[i].bits());
+  }
+  auto c = constant_buffer<float16_t>(100);
+  randomize_low_bits<float16_t>(c, 8, 43);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].bits() != c[i].bits()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace gpupower::patterns

@@ -1,0 +1,99 @@
+#include "numeric/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gpupower::numeric {
+namespace {
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask<std::uint32_t>(0), 0u);
+  EXPECT_EQ(low_mask<std::uint32_t>(1), 1u);
+  EXPECT_EQ(low_mask<std::uint32_t>(8), 0xFFu);
+  EXPECT_EQ(low_mask<std::uint32_t>(32), 0xFFFFFFFFu);
+  EXPECT_EQ(low_mask<std::uint16_t>(16), 0xFFFFu);
+  EXPECT_EQ(low_mask<std::uint8_t>(8), 0xFFu);
+}
+
+TEST(Bits, HammingDistance) {
+  EXPECT_EQ(hamming_distance<std::uint32_t>(0, 0), 0);
+  EXPECT_EQ(hamming_distance<std::uint32_t>(0xFFFFFFFFu, 0), 32);
+  EXPECT_EQ(hamming_distance<std::uint32_t>(0b1010, 0b0101), 4);
+  EXPECT_EQ(hamming_distance<std::uint8_t>(0xF0, 0x0F), 8);
+}
+
+TEST(Bits, HammingWeightRestrictsWidth) {
+  EXPECT_EQ(hamming_weight<std::uint32_t>(0xFFFFFFFFu, 8), 8);
+  EXPECT_EQ(hamming_weight<std::uint32_t>(0xFFFFFFFFu, 32), 32);
+  EXPECT_EQ(hamming_weight<std::uint32_t>(0x100u, 8), 0);
+}
+
+TEST(Bits, BitAlignmentEndpoints) {
+  // All bits equal -> 1; all bits opposite -> 0 (the paper's definition).
+  EXPECT_DOUBLE_EQ((bit_alignment<std::uint32_t>(0xABCDu, 0xABCDu, 16)), 1.0);
+  EXPECT_DOUBLE_EQ((bit_alignment<std::uint32_t>(0xFFFFu, 0x0000u, 16)), 0.0);
+  EXPECT_DOUBLE_EQ((bit_alignment<std::uint32_t>(0x00FFu, 0x0000u, 16)), 0.5);
+}
+
+TEST(Bits, BitAlignmentIgnoresHighBits) {
+  // Bits above `width` must not affect the result.
+  EXPECT_DOUBLE_EQ((bit_alignment<std::uint32_t>(0xFF00FFu, 0x0000FFu, 8)), 1.0);
+}
+
+TEST(Bits, StreamTogglesCountsTransitions) {
+  const std::vector<std::uint16_t> words{0x0000, 0xFFFF, 0xFFFF, 0x0F0F};
+  // 16 (all flip) + 0 (same) + 8.
+  EXPECT_EQ(stream_toggles(std::span<const std::uint16_t>(words)), 24u);
+}
+
+TEST(Bits, StreamTogglesEmptyAndSingle) {
+  const std::vector<std::uint32_t> empty;
+  EXPECT_EQ(stream_toggles(std::span<const std::uint32_t>(empty)), 0u);
+  const std::vector<std::uint32_t> one{0xFFFFFFFFu};
+  EXPECT_EQ(stream_toggles(std::span<const std::uint32_t>(one)), 0u);
+}
+
+TEST(Bits, StreamWeight) {
+  const std::vector<std::uint8_t> words{0xFF, 0x0F, 0x01, 0x00};
+  EXPECT_EQ(stream_weight(std::span<const std::uint8_t>(words)), 13u);
+}
+
+TEST(Bits, AverageAlignmentMatchesElementwise) {
+  const std::vector<std::uint32_t> a{0xFFFFu, 0x0000u};
+  const std::vector<std::uint32_t> b{0xFFFFu, 0xFFFFu};
+  // First pair fully aligned (1.0), second fully misaligned (0.0).
+  EXPECT_DOUBLE_EQ(average_alignment(a, b, 16), 0.5);
+}
+
+TEST(Bits, AverageAlignmentDegenerateInputs) {
+  const std::vector<std::uint32_t> a{1, 2};
+  const std::vector<std::uint32_t> b{1};
+  EXPECT_DOUBLE_EQ(average_alignment(a, b, 16), 0.0);  // size mismatch
+  EXPECT_DOUBLE_EQ(average_alignment({}, {}, 16), 0.0);
+}
+
+TEST(Bits, AverageWeightFraction) {
+  const std::vector<std::uint32_t> words{0xFFFFu, 0x0000u};
+  EXPECT_DOUBLE_EQ(average_weight_fraction(words, 16), 0.5);
+  EXPECT_DOUBLE_EQ(average_weight_fraction({}, 16), 0.0);
+}
+
+// Property: toggles along a stream equal the sum of pairwise distances.
+TEST(Bits, StreamTogglesMatchesPairwiseSum) {
+  std::vector<std::uint32_t> words;
+  std::uint32_t x = 0x12345678u;
+  for (int i = 0; i < 100; ++i) {
+    x = x * 1664525u + 1013904223u;
+    words.push_back(x);
+  }
+  std::uint64_t expected = 0;
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    expected += static_cast<std::uint64_t>(
+        hamming_distance(words[i - 1], words[i]));
+  }
+  EXPECT_EQ(stream_toggles(std::span<const std::uint32_t>(words)), expected);
+}
+
+}  // namespace
+}  // namespace gpupower::numeric

@@ -1,0 +1,69 @@
+#include "gpusim/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpupower::gpusim {
+namespace {
+
+class DeviceSweep : public ::testing::TestWithParam<GpuModel> {};
+
+TEST_P(DeviceSweep, DescriptorIsPhysicallySane) {
+  const DeviceDescriptor& dev = device(GetParam());
+  EXPECT_FALSE(dev.name.empty());
+  EXPECT_GT(dev.sm_count, 0);
+  EXPECT_GT(dev.boost_clock_ghz, 0.5);
+  EXPECT_LT(dev.boost_clock_ghz, 3.0);
+  EXPECT_GT(dev.tdp_w, dev.idle_w);
+  EXPECT_GT(dev.mem_bandwidth_gbs, 100.0);
+  EXPECT_GT(dev.fp32_tflops, 0.0);
+  EXPECT_GE(dev.fp16_tflops, dev.fp32_tflops);
+  EXPECT_GT(dev.fp16_tc_tflops, dev.fp16_tflops);
+  EXPECT_GT(dev.energy.scale, 0.0);
+  EXPECT_GT(dev.thermal_resistance_c_per_w, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGpus, DeviceSweep,
+                         ::testing::ValuesIn(kAllGpuModels));
+
+TEST(Device, PaperTdps) {
+  EXPECT_DOUBLE_EQ(device(GpuModel::kA100PCIe).tdp_w, 300.0);
+  EXPECT_DOUBLE_EQ(device(GpuModel::kH100SXM).tdp_w, 700.0);
+  EXPECT_DOUBLE_EQ(device(GpuModel::kV100SXM2).tdp_w, 300.0);
+  EXPECT_DOUBLE_EQ(device(GpuModel::kRTX6000).tdp_w, 260.0);
+}
+
+TEST(Device, MemoryTechnologies) {
+  // The paper singles out the RTX 6000 as the GDDR6 (non-HBM) part.
+  EXPECT_EQ(device(GpuModel::kRTX6000).memory, MemoryKind::kGDDR6);
+  EXPECT_EQ(device(GpuModel::kA100PCIe).memory, MemoryKind::kHBM2e);
+  EXPECT_EQ(device(GpuModel::kH100SXM).memory, MemoryKind::kHBM3);
+  EXPECT_EQ(device(GpuModel::kV100SXM2).memory, MemoryKind::kHBM2);
+}
+
+TEST(Device, PeakThroughputSelection) {
+  using gpupower::numeric::DType;
+  const auto& a100 = device(GpuModel::kA100PCIe);
+  EXPECT_DOUBLE_EQ(a100.peak_tflops(DType::kFP32), 19.5);
+  EXPECT_DOUBLE_EQ(a100.peak_tflops(DType::kFP16), 78.0);
+  EXPECT_DOUBLE_EQ(a100.peak_tflops(DType::kFP16T), 312.0);
+  EXPECT_DOUBLE_EQ(a100.peak_tflops(DType::kINT8), 624.0);
+}
+
+TEST(Device, ProcessCornerOrdering) {
+  // Newer processes cost less energy per event: H100 < A100 < V100/Turing.
+  EXPECT_LT(device(GpuModel::kH100SXM).energy.scale,
+            device(GpuModel::kA100PCIe).energy.scale);
+  EXPECT_GT(device(GpuModel::kV100SXM2).energy.scale,
+            device(GpuModel::kA100PCIe).energy.scale);
+  EXPECT_GT(device(GpuModel::kRTX6000).energy.scale,
+            device(GpuModel::kV100SXM2).energy.scale);
+}
+
+TEST(Device, Names) {
+  EXPECT_EQ(name(MemoryKind::kGDDR6), "GDDR6");
+  EXPECT_EQ(name(MemoryKind::kHBM3), "HBM3");
+  EXPECT_NE(name(GpuModel::kA100PCIe).find("A100"), std::string_view::npos);
+}
+
+}  // namespace
+}  // namespace gpupower::gpusim

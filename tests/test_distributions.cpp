@@ -1,0 +1,74 @@
+#include "patterns/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace gpupower::patterns {
+namespace {
+
+TEST(Distributions, GaussianMoments) {
+  const auto data = gaussian_fill(100000, 0.0, 210.0, 42);
+  const BufferStats stats = compute_stats(data);
+  EXPECT_NEAR(stats.mean, 0.0, 3.0);
+  EXPECT_NEAR(stats.stddev, 210.0, 3.0);
+}
+
+TEST(Distributions, GaussianShiftedMean) {
+  const auto data = gaussian_fill(50000, 1024.0, 1.0, 42);
+  const BufferStats stats = compute_stats(data);
+  EXPECT_NEAR(stats.mean, 1024.0, 0.1);
+  EXPECT_NEAR(stats.stddev, 1.0, 0.05);
+}
+
+TEST(Distributions, GaussianDeterministicPerSeed) {
+  EXPECT_EQ(gaussian_fill(100, 0.0, 1.0, 7), gaussian_fill(100, 0.0, 1.0, 7));
+  EXPECT_NE(gaussian_fill(100, 0.0, 1.0, 7), gaussian_fill(100, 0.0, 1.0, 8));
+}
+
+TEST(Distributions, ValueSetHasExactlySetSizeUniques) {
+  const auto data = value_set_fill(20000, 16, 0.0, 210.0, 42);
+  std::set<float> uniques(data.begin(), data.end());
+  EXPECT_EQ(uniques.size(), 16u);
+}
+
+TEST(Distributions, ValueSetSizeOneIsConstant) {
+  const auto data = value_set_fill(1000, 1, 0.0, 210.0, 42);
+  for (const float v : data) EXPECT_EQ(v, data[0]);
+}
+
+TEST(Distributions, ValueSetSamplesUniformly) {
+  const auto data = value_set_fill(64000, 4, 0.0, 210.0, 42);
+  std::set<float> uniques(data.begin(), data.end());
+  ASSERT_EQ(uniques.size(), 4u);
+  for (const float u : uniques) {
+    const auto count = std::count(data.begin(), data.end(), u);
+    EXPECT_NEAR(static_cast<double>(count), 16000.0, 800.0);
+  }
+}
+
+TEST(Distributions, ConstantFillIsOneGaussianDraw) {
+  const auto data = constant_random_fill(500, 0.0, 210.0, 42);
+  for (const float v : data) EXPECT_EQ(v, data[0]);
+  // Different seeds give different constants (Fig. 4: A and B differ).
+  const auto other = constant_random_fill(500, 0.0, 210.0, 43);
+  EXPECT_NE(data[0], other[0]);
+}
+
+TEST(Distributions, UniformFillRange) {
+  const auto data = uniform_fill(10000, -2.0, 2.0, 42);
+  const BufferStats stats = compute_stats(data);
+  EXPECT_GE(stats.min, -2.0f);
+  EXPECT_LT(stats.max, 2.0f);
+  EXPECT_NEAR(stats.mean, 0.0, 0.1);
+}
+
+TEST(Distributions, StatsCountsZeros) {
+  const std::vector<float> data{0.0f, 1.0f, 0.0f, -1.0f};
+  EXPECT_EQ(compute_stats(data).zeros, 2u);
+  EXPECT_EQ(compute_stats({}).zeros, 0u);
+}
+
+}  // namespace
+}  // namespace gpupower::patterns

@@ -1,0 +1,80 @@
+#include "numeric/dtype.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpupower::numeric {
+namespace {
+
+TEST(DType, Widths) {
+  EXPECT_EQ(bit_width(DType::kFP32), 32);
+  EXPECT_EQ(bit_width(DType::kFP16), 16);
+  EXPECT_EQ(bit_width(DType::kFP16T), 16);
+  EXPECT_EQ(bit_width(DType::kINT8), 8);
+  EXPECT_EQ(byte_width(DType::kFP32), 4);
+  EXPECT_EQ(byte_width(DType::kINT8), 1);
+}
+
+TEST(DType, TensorCoreFlag) {
+  EXPECT_FALSE(uses_tensor_cores(DType::kFP32));
+  EXPECT_FALSE(uses_tensor_cores(DType::kFP16));
+  EXPECT_TRUE(uses_tensor_cores(DType::kFP16T));
+  EXPECT_TRUE(uses_tensor_cores(DType::kINT8));
+}
+
+TEST(DType, FloatingPointFlag) {
+  EXPECT_TRUE(is_floating_point(DType::kFP32));
+  EXPECT_TRUE(is_floating_point(DType::kFP16T));
+  EXPECT_FALSE(is_floating_point(DType::kINT8));
+}
+
+TEST(DType, Names) {
+  EXPECT_EQ(name(DType::kFP32), "FP32");
+  EXPECT_EQ(name(DType::kFP16), "FP16");
+  EXPECT_EQ(name(DType::kFP16T), "FP16-T");
+  EXPECT_EQ(name(DType::kINT8), "INT8");
+}
+
+TEST(DType, PaperDefaultSigma) {
+  // Section III: sigma 210 for FP setups, 25 for INT8.
+  EXPECT_DOUBLE_EQ(default_sigma(DType::kFP32), 210.0);
+  EXPECT_DOUBLE_EQ(default_sigma(DType::kFP16), 210.0);
+  EXPECT_DOUBLE_EQ(default_sigma(DType::kFP16T), 210.0);
+  EXPECT_DOUBLE_EQ(default_sigma(DType::kINT8), 25.0);
+}
+
+struct ParseCase {
+  const char* text;
+  DType expected;
+};
+
+class DTypeParse : public ::testing::TestWithParam<ParseCase> {};
+
+TEST_P(DTypeParse, Parses) {
+  DType out{};
+  ASSERT_TRUE(parse_dtype(GetParam().text, out)) << GetParam().text;
+  EXPECT_EQ(out, GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spellings, DTypeParse,
+    ::testing::Values(ParseCase{"fp32", DType::kFP32},
+                      ParseCase{"FP32", DType::kFP32},
+                      ParseCase{"float", DType::kFP32},
+                      ParseCase{"fp16", DType::kFP16},
+                      ParseCase{"half", DType::kFP16},
+                      ParseCase{"FP16-T", DType::kFP16T},
+                      ParseCase{"fp16_t", DType::kFP16T},
+                      ParseCase{"fp16tc", DType::kFP16T},
+                      ParseCase{"int8", DType::kINT8},
+                      ParseCase{"INT8", DType::kINT8},
+                      ParseCase{"s8", DType::kINT8}));
+
+TEST(DType, ParseRejectsGarbage) {
+  DType out{};
+  EXPECT_FALSE(parse_dtype("fp64", out));
+  EXPECT_FALSE(parse_dtype("", out));
+  EXPECT_FALSE(parse_dtype("tensor", out));
+}
+
+}  // namespace
+}  // namespace gpupower::numeric

@@ -1,0 +1,103 @@
+#include "gpusim/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numeric/float16.hpp"
+
+namespace gpupower::gpusim {
+namespace {
+
+using gpupower::numeric::float16_t;
+
+TEST(Significand, Fp16HiddenBit) {
+  // 1.0 = 0x3C00: mantissa 0, hidden bit set -> 0x400.
+  EXPECT_EQ(significand(0x3C00u, 16), 0x400u);
+  // 1.5 = 0x3E00: mantissa 0x200 | hidden.
+  EXPECT_EQ(significand(0x3E00u, 16), 0x600u);
+  // Zero has no hidden bit.
+  EXPECT_EQ(significand(0x0000u, 16), 0u);
+  EXPECT_EQ(significand(0x8000u, 16), 0u);  // -0
+  // Subnormal keeps its mantissa without the hidden bit.
+  EXPECT_EQ(significand(0x0001u, 16), 1u);
+}
+
+TEST(Significand, Fp32HiddenBit) {
+  EXPECT_EQ(significand(0x3F800000u, 32), 0x800000u);  // 1.0f
+  EXPECT_EQ(significand(0x00000000u, 32), 0u);
+  EXPECT_EQ(significand(0x00000001u, 32), 1u);  // subnormal
+}
+
+TEST(Significand, Int8SignMagnitude) {
+  EXPECT_EQ(significand(0x7Fu, 8), 127u);   // +127
+  EXPECT_EQ(significand(0xFFu, 8), 1u);     // -1 -> |−1| = 1
+  EXPECT_EQ(significand(0x80u, 8), 128u);   // -128 -> 128
+  EXPECT_EQ(significand(0x00u, 8), 0u);
+}
+
+TEST(ExponentActivity, GatedByZeroOperand) {
+  const auto one = float16_t(1.0f).bits();
+  const auto zero = float16_t(0.0f).bits();
+  EXPECT_GT(exponent_activity(one, one, 16), 0u);
+  EXPECT_EQ(exponent_activity(one, zero, 16), 0u);
+  EXPECT_EQ(exponent_activity(zero, one, 16), 0u);
+}
+
+TEST(ExponentActivity, Int8HasNone) {
+  EXPECT_EQ(exponent_activity(0x7Fu, 0x7Fu, 8), 0u);
+}
+
+TEST(MultiplierSwitching, NoTransitionNoActivity) {
+  EXPECT_EQ(multiplier_switching(0x400u, 0x400u, 0x600u, 0x600u), 0u);
+}
+
+TEST(MultiplierSwitching, ZeroOperandGatesArray) {
+  // New operands both zero: nothing switches regardless of history.
+  EXPECT_EQ(multiplier_switching(0u, 0x7FFu, 0u, 0x7FFu), 0u);
+}
+
+TEST(MultiplierSwitching, TransitionScalesWithBothOperands) {
+  // a flips 2 bits while b holds 3 set bits -> 2*3; b stable.
+  const std::uint32_t a_prev = 0b1100u, a_now = 0b0000u;  // HD=2 ... but pc(a_now)=0
+  const std::uint32_t b = 0b0111u;                        // pc=3
+  EXPECT_EQ(multiplier_switching(a_now, a_prev, b, b), 2u * 3u);
+  // Symmetric case.
+  EXPECT_EQ(multiplier_switching(b, b, a_now, a_prev), 2u * 3u);
+}
+
+TEST(MultiplierSwitching, FirstMacFromColdArray) {
+  // From an all-zero array, activity is pc(a)*pc(b)*... = HD(a,0)*pc(b) +
+  // HD(b,0)*pc(a) = 2*pc(a)*pc(b).
+  const std::uint32_t a = 0b101u, b = 0b11u;
+  EXPECT_EQ(multiplier_switching(a, 0, b, 0), 2u * 2u * 2u);
+}
+
+TEST(MacActivity, StaticProxyMatchesPopcounts) {
+  const auto one = float16_t(1.0f).bits();    // sig 0x400, pc 1
+  const auto onep5 = float16_t(1.5f).bits();  // sig 0x600, pc 2
+  const auto act = mac_activity(one, onep5, 16);
+  EXPECT_EQ(act.pp, 2u);
+  EXPECT_GT(act.exp_bits, 0u);
+}
+
+TEST(ActivityTotals, ScaleByRoundsToNearest) {
+  ActivityTotals t;
+  t.macs = 3;
+  t.scale_by(1.5);
+  EXPECT_EQ(t.macs, 5u);  // 4.5 rounds up
+}
+
+TEST(EnergyModel, DefaultsArePositive) {
+  const EnergyModel e;
+  EXPECT_GT(e.fetch_toggle_pj, 0.0);
+  EXPECT_GT(e.operand_toggle_pj, 0.0);
+  EXPECT_GT(e.acc_toggle_pj, 0.0);
+  EXPECT_GT(e.multiply_pp_simt_pj, 0.0);
+  EXPECT_GT(e.multiply_pp_tc_pj, 0.0);
+  EXPECT_GT(e.mma_issue_pj, 0.0);
+  EXPECT_GT(e.scale, 0.0);
+  // Tensor-core arrays must be cheaper per partial product than SIMT FMA.
+  EXPECT_LT(e.multiply_pp_tc_pj, e.multiply_pp_simt_pj);
+}
+
+}  // namespace
+}  // namespace gpupower::gpusim

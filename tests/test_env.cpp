@@ -1,0 +1,74 @@
+#include "core/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace gpupower::core {
+namespace {
+
+class EnvGuard {
+ public:
+  ~EnvGuard() {
+    unsetenv("GPUPOWER_N");
+    unsetenv("GPUPOWER_SEEDS");
+    unsetenv("GPUPOWER_TILES");
+    unsetenv("GPUPOWER_KFRAC");
+    unsetenv("GPUPOWER_CSV");
+  }
+};
+
+TEST(BenchEnvTest, Defaults) {
+  EnvGuard guard;
+  const BenchEnv env = read_bench_env();
+  EXPECT_EQ(env.n, 512u);
+  EXPECT_EQ(env.seeds, 2);
+  EXPECT_EQ(env.tiles, 12u);
+  EXPECT_DOUBLE_EQ(env.k_fraction, 0.5);
+  EXPECT_FALSE(env.csv);
+}
+
+TEST(BenchEnvTest, ReadsOverrides) {
+  EnvGuard guard;
+  setenv("GPUPOWER_N", "2048", 1);
+  setenv("GPUPOWER_SEEDS", "10", 1);
+  setenv("GPUPOWER_TILES", "0", 1);
+  setenv("GPUPOWER_KFRAC", "1.0", 1);
+  setenv("GPUPOWER_CSV", "1", 1);
+  const BenchEnv env = read_bench_env();
+  EXPECT_EQ(env.n, 2048u);
+  EXPECT_EQ(env.seeds, 10);
+  EXPECT_EQ(env.tiles, 0u);  // 0 = exact walk
+  EXPECT_DOUBLE_EQ(env.k_fraction, 1.0);
+  EXPECT_TRUE(env.csv);
+}
+
+TEST(BenchEnvTest, RejectsGarbageAndClamps) {
+  EnvGuard guard;
+  setenv("GPUPOWER_N", "potato", 1);
+  setenv("GPUPOWER_SEEDS", "-3", 1);
+  setenv("GPUPOWER_KFRAC", "0", 1);  // non-positive -> default
+  const BenchEnv env = read_bench_env();
+  EXPECT_EQ(env.n, 512u);
+  EXPECT_GE(env.seeds, 1);
+  EXPECT_DOUBLE_EQ(env.k_fraction, 0.5);
+
+  setenv("GPUPOWER_N", "8", 1);  // below the floor
+  EXPECT_GE(read_bench_env().n, 64u);
+}
+
+TEST(BenchEnvTest, ApplyConfiguresExperiment) {
+  EnvGuard guard;
+  setenv("GPUPOWER_N", "256", 1);
+  setenv("GPUPOWER_SEEDS", "4", 1);
+  setenv("GPUPOWER_TILES", "6", 1);
+  const BenchEnv env = read_bench_env();
+  ExperimentConfig config;
+  env.apply(config);
+  EXPECT_EQ(config.n, 256u);
+  EXPECT_EQ(config.seeds, 4);
+  EXPECT_EQ(config.sampling.max_tiles, 6u);
+}
+
+}  // namespace
+}  // namespace gpupower::core

@@ -1,0 +1,102 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.hpp"
+
+namespace gpupower::core {
+namespace {
+
+ExperimentConfig small_config(gpupower::numeric::DType dtype) {
+  ExperimentConfig config;
+  config.dtype = dtype;
+  config.n = 128;
+  config.seeds = 2;
+  config.pattern = baseline_gaussian_spec();
+  return config;
+}
+
+TEST(Experiment, DefaultIterationsFollowPaper) {
+  ExperimentConfig config;
+  config.dtype = gpupower::numeric::DType::kFP16T;
+  EXPECT_EQ(config.effective_iterations(), 20000u);
+  config.dtype = gpupower::numeric::DType::kFP32;
+  EXPECT_EQ(config.effective_iterations(), 10000u);
+  config.iterations = 123;
+  EXPECT_EQ(config.effective_iterations(), 123u);
+}
+
+TEST(Experiment, DeterministicForSameConfig) {
+  const auto config = small_config(gpupower::numeric::DType::kFP16);
+  const auto a = run_experiment(config);
+  const auto b = run_experiment(config);
+  EXPECT_DOUBLE_EQ(a.power_w, b.power_w);
+  EXPECT_DOUBLE_EQ(a.alignment, b.alignment);
+}
+
+TEST(Experiment, BaseSeedChangesInputsNotProtocol) {
+  auto config = small_config(gpupower::numeric::DType::kFP16);
+  const auto a = run_experiment(config);
+  config.base_seed = 1234;
+  const auto b = run_experiment(config);
+  EXPECT_NE(a.power_w, b.power_w);        // different random inputs
+  EXPECT_DOUBLE_EQ(a.iteration_s, b.iteration_s);  // runtime is shape-only
+  // Same distribution: power within a few watts.
+  EXPECT_NEAR(a.power_w, b.power_w, 5.0);
+}
+
+TEST(Experiment, ResultFieldsPopulated) {
+  const auto result = run_experiment(small_config(gpupower::numeric::DType::kFP16));
+  EXPECT_GT(result.power_w, 0.0);
+  EXPECT_GT(result.iteration_s, 0.0);
+  EXPECT_GT(result.energy_per_iter_j, 0.0);
+  EXPECT_GT(result.weight_fraction, 0.0);
+  EXPECT_LT(result.weight_fraction, 1.0);
+  EXPECT_GE(result.alignment, 0.0);
+  EXPECT_LE(result.alignment, 1.0);
+  EXPECT_EQ(result.seeds, 2);
+  EXPECT_GT(result.rails.total(), 0.0);
+}
+
+TEST(Experiment, EverySeedContributes) {
+  auto config = small_config(gpupower::numeric::DType::kFP16);
+  config.seeds = 6;
+  const auto result = run_experiment(config);
+  EXPECT_EQ(result.seeds, 6);
+  // With measurement noise and input variation, the across-seed standard
+  // deviation is positive but small.
+  EXPECT_GT(result.power_std_w, 0.0);
+  EXPECT_LT(result.power_std_w, 5.0);
+}
+
+TEST(Experiment, AllDtypesRun) {
+  for (const auto dtype : gpupower::numeric::kAllDTypes) {
+    const auto result = run_experiment(small_config(dtype));
+    EXPECT_GT(result.power_w, 0.0) << gpupower::numeric::name(dtype);
+  }
+}
+
+TEST(Experiment, ProcessVariationShiftsPower) {
+  auto config = small_config(gpupower::numeric::DType::kFP16);
+  const auto base = run_experiment(config);
+  config.variation = gpupower::gpusim::ProcessVariation{0.05, 7};
+  const auto varied = run_experiment(config);
+  EXPECT_NE(base.power_w, varied.power_w);
+  // Section III: instance-to-instance shifts of up to ~10 W.
+  EXPECT_NEAR(base.power_w, varied.power_w, 15.0);
+  // Same instance is reproducible.
+  const auto again = run_experiment(config);
+  EXPECT_DOUBLE_EQ(varied.power_w, again.power_w);
+}
+
+TEST(Experiment, SampledConfigTracksExact) {
+  auto config = small_config(gpupower::numeric::DType::kFP16);
+  config.n = 192;
+  const auto exact = run_experiment(config);
+  config.sampling = gpupower::gpusim::SamplingPlan::fast(8, 0.5);
+  const auto sampled = run_experiment(config);
+  EXPECT_NEAR(sampled.power_w, exact.power_w, 0.05 * exact.power_w);
+}
+
+}  // namespace
+}  // namespace gpupower::core

@@ -1,0 +1,129 @@
+#include "numeric/float16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace gpupower::numeric {
+namespace {
+
+TEST(Float16, ExactSmallIntegers) {
+  for (int i = -2048; i <= 2048; ++i) {
+    const float16_t h(static_cast<float>(i));
+    EXPECT_EQ(h.to_float(), static_cast<float>(i)) << "value " << i;
+  }
+}
+
+TEST(Float16, KnownBitPatterns) {
+  EXPECT_EQ(float16_t(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(float16_t(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(float16_t(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(float16_t(-1.0f).bits(), 0xBC00u);
+  EXPECT_EQ(float16_t(2.0f).bits(), 0x4000u);
+  EXPECT_EQ(float16_t(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(float16_t(65504.0f).bits(), 0x7BFFu);  // largest finite half
+  EXPECT_EQ(float16_t(0x1p-14f).bits(), 0x0400u);  // smallest normal
+  EXPECT_EQ(float16_t(0x1p-24f).bits(), 0x0001u);  // smallest subnormal
+}
+
+TEST(Float16, OverflowToInfinity) {
+  EXPECT_TRUE(float16_t(65536.0f).is_inf());
+  EXPECT_TRUE(float16_t(1e30f).is_inf());
+  EXPECT_TRUE(float16_t(-1e30f).is_inf());
+  EXPECT_TRUE(float16_t(-1e30f).signbit());
+  EXPECT_TRUE(float16_t(std::numeric_limits<float>::infinity()).is_inf());
+}
+
+TEST(Float16, OverflowBoundary) {
+  // 65504 is the largest finite half; [65504, 65520) rounds to 65504,
+  // [65520, +inf) rounds to infinity under round-to-nearest-even.
+  EXPECT_EQ(float16_t(65519.0f).bits(), 0x7BFFu);
+  EXPECT_TRUE(float16_t(65520.0f).is_inf());
+}
+
+TEST(Float16, NaNPropagation) {
+  const float16_t h(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(h.is_nan());
+  EXPECT_TRUE(std::isnan(h.to_float()));
+  EXPECT_FALSE(h == h);  // NaN compares unequal to itself
+}
+
+TEST(Float16, RoundToNearestEvenTies) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1 + 2^-10);
+  // RNE keeps the even mantissa (1.0).
+  EXPECT_EQ(float16_t(1.0f + 0x1p-11f).bits(), 0x3C00u);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 (odd) and 1+2^-9 (even): round up.
+  EXPECT_EQ(float16_t(1.0f + 3 * 0x1p-11f).bits(), 0x3C02u);
+  // Slightly above the tie must round up.
+  EXPECT_EQ(float16_t(1.0f + 0x1p-11f + 0x1p-20f).bits(), 0x3C01u);
+}
+
+TEST(Float16, SubnormalRounding) {
+  // Half of the smallest subnormal is a tie with zero: RNE -> zero (even).
+  EXPECT_EQ(float16_t(0x1p-25f).bits(), 0x0000u);
+  // Just above the tie rounds up to the smallest subnormal.
+  EXPECT_EQ(float16_t(0x1p-25f + 0x1p-40f).bits(), 0x0001u);
+  // 1.5 * 2^-24 is a tie between subnormal 1 and 2: RNE -> 2 (even).
+  EXPECT_EQ(float16_t(1.5f * 0x1p-24f).bits(), 0x0002u);
+}
+
+TEST(Float16, RoundTripAllFiniteBitPatterns) {
+  // Every finite half converts to float and back to the identical bits.
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const auto h = float16_t::from_bits(static_cast<std::uint16_t>(bits));
+    if (h.is_nan() || h.is_inf()) continue;
+    const float16_t back(h.to_float());
+    EXPECT_EQ(back.bits(), h.bits()) << "bits 0x" << std::hex << bits;
+  }
+}
+
+TEST(Float16, ConversionIsMonotonic) {
+  // Increasing floats never produce decreasing halves.
+  float prev_value = -70000.0f;
+  float16_t prev(prev_value);
+  for (float v = -70000.0f; v <= 70000.0f; v += 173.31f) {
+    const float16_t h(v);
+    if (!h.is_nan() && !prev.is_nan()) {
+      EXPECT_FALSE(h.to_float() < prev.to_float())
+          << "not monotonic at " << v;
+    }
+    prev = h;
+  }
+}
+
+TEST(Float16, SubnormalClassification) {
+  EXPECT_TRUE(float16_t::from_bits(0x0001u).is_subnormal());
+  EXPECT_TRUE(float16_t::from_bits(0x03FFu).is_subnormal());
+  EXPECT_FALSE(float16_t::from_bits(0x0400u).is_subnormal());
+  EXPECT_FALSE(float16_t::from_bits(0x0000u).is_subnormal());
+}
+
+TEST(Float16, SignedZeroEquality) {
+  EXPECT_TRUE(float16_t(0.0f) == float16_t(-0.0f));
+}
+
+TEST(Float16, Arithmetic) {
+  EXPECT_EQ((float16_t(1.5f) + float16_t(2.5f)).to_float(), 4.0f);
+  EXPECT_EQ((float16_t(3.0f) * float16_t(0.5f)).to_float(), 1.5f);
+  EXPECT_EQ((float16_t(1.0f) - float16_t(4.0f)).to_float(), -3.0f);
+}
+
+class Float16SubnormalSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Float16SubnormalSweep, ExactSubnormalMultiples) {
+  // k * 2^-24 is exactly representable for k in [0, 1023].
+  const int k = GetParam();
+  const float value = static_cast<float>(k) * 0x1p-24f;
+  const float16_t h(value);
+  EXPECT_EQ(h.bits(), static_cast<std::uint16_t>(k));
+  EXPECT_EQ(h.to_float(), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(SubnormalGrid, Float16SubnormalSweep,
+                         ::testing::Values(0, 1, 2, 3, 7, 15, 100, 511, 512,
+                                           1000, 1023));
+
+}  // namespace
+}  // namespace gpupower::numeric

@@ -1,0 +1,51 @@
+#include "numeric/int8.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gpupower::numeric {
+namespace {
+
+TEST(Int8, RoundToNearest) {
+  EXPECT_EQ(int8_value_t(0.4f).value(), 0);
+  EXPECT_EQ(int8_value_t(0.6f).value(), 1);
+  EXPECT_EQ(int8_value_t(-0.6f).value(), -1);
+  EXPECT_EQ(int8_value_t(42.49f).value(), 42);
+  EXPECT_EQ(int8_value_t(42.51f).value(), 43);
+}
+
+TEST(Int8, Saturation) {
+  EXPECT_EQ(int8_value_t(1000.0f).value(), 127);
+  EXPECT_EQ(int8_value_t(-1000.0f).value(), -128);
+  EXPECT_EQ(int8_value_t(127.4f).value(), 127);
+  EXPECT_EQ(int8_value_t(-128.4f).value(), -128);
+}
+
+TEST(Int8, NaNQuantizesToZero) {
+  EXPECT_EQ(int8_value_t(std::nanf("")).value(), 0);
+}
+
+TEST(Int8, TwosComplementBits) {
+  EXPECT_EQ(int8_value_t(-1.0f).bits(), 0xFFu);
+  EXPECT_EQ(int8_value_t(-128.0f).bits(), 0x80u);
+  EXPECT_EQ(int8_value_t(127.0f).bits(), 0x7Fu);
+  EXPECT_EQ(int8_value_t(0.0f).bits(), 0x00u);
+}
+
+TEST(Int8, FromBitsRoundTrip) {
+  for (int raw = 0; raw < 256; ++raw) {
+    const auto v = int8_value_t::from_bits(static_cast<std::uint8_t>(raw));
+    EXPECT_EQ(v.bits(), static_cast<std::uint8_t>(raw));
+    EXPECT_EQ(int8_value_t(v.to_float()).value(), v.value());
+  }
+}
+
+TEST(Int8, Ordering) {
+  EXPECT_TRUE(int8_value_t(-5.0f) < int8_value_t(3.0f));
+  EXPECT_FALSE(int8_value_t(3.0f) < int8_value_t(-5.0f));
+  EXPECT_EQ(int8_value_t(7.0f), int8_value_t(7.2f));
+}
+
+}  // namespace
+}  // namespace gpupower::numeric

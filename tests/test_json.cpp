@@ -1,0 +1,99 @@
+#include "analysis/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/figures.hpp"
+#include "core/report.hpp"
+
+namespace gpupower::analysis {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(JsonValue::null().dump(), "null");
+  EXPECT_EQ(JsonValue::boolean(true).dump(), "true");
+  EXPECT_EQ(JsonValue::boolean(false).dump(), "false");
+  EXPECT_EQ(JsonValue::integer(-42).dump(), "-42");
+  EXPECT_EQ(JsonValue::number(2.5).dump(), "2.5");
+  EXPECT_EQ(JsonValue::string("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(JsonValue::number(std::nan("")).dump(), "null");
+  EXPECT_EQ(JsonValue::number(INFINITY).dump(), "null");
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonValue::string("x\ty").dump(), "\"x\\ty\"");
+}
+
+TEST(Json, ObjectsAndArraysCompact) {
+  JsonValue obj = JsonValue::object();
+  obj.set("a", JsonValue::integer(1)).set("b", JsonValue::string("two"));
+  EXPECT_EQ(obj.dump(), "{\"a\":1,\"b\":\"two\"}");
+
+  JsonValue arr = JsonValue::array();
+  arr.push(JsonValue::integer(1)).push(JsonValue::boolean(false));
+  EXPECT_EQ(arr.dump(), "[1,false]");
+
+  EXPECT_EQ(JsonValue::object().dump(), "{}");
+  EXPECT_EQ(JsonValue::array().dump(), "[]");
+}
+
+TEST(Json, PrettyPrinting) {
+  JsonValue obj = JsonValue::object();
+  obj.set("k", JsonValue::integer(1));
+  EXPECT_EQ(obj.dump(true), "{\n  \"k\": 1\n}");
+}
+
+TEST(Json, Nesting) {
+  JsonValue inner = JsonValue::array();
+  inner.push(JsonValue::number(1.5));
+  JsonValue obj = JsonValue::object();
+  obj.set("xs", std::move(inner));
+  EXPECT_EQ(obj.dump(), "{\"xs\":[1.5]}");
+}
+
+TEST(Report, ExperimentToJsonCarriesEverything) {
+  gpupower::core::ExperimentConfig config;
+  config.dtype = gpupower::numeric::DType::kFP16;
+  config.n = 128;
+  config.seeds = 1;
+  config.pattern = gpupower::core::baseline_gaussian_spec();
+  const auto result = gpupower::core::run_experiment(config);
+  const std::string json = gpupower::core::to_json(config, result).dump();
+  EXPECT_NE(json.find("\"gpu\":\"NVIDIA A100 PCIe 40GB\""), std::string::npos);
+  EXPECT_NE(json.find("\"dtype\":\"FP16\""), std::string::npos);
+  EXPECT_NE(json.find("\"pattern\":\"gaussian(mean=0)\""), std::string::npos);
+  EXPECT_NE(json.find("\"power_w\":"), std::string::npos);
+  EXPECT_NE(json.find("\"rails\":"), std::string::npos);
+  EXPECT_NE(json.find("\"protocol\":"), std::string::npos);
+}
+
+TEST(Report, SweepToJsonShapesSeries) {
+  using gpupower::core::FigureId;
+  gpupower::core::ExperimentConfig base;
+  base.dtype = gpupower::numeric::DType::kFP16;
+  base.n = 128;
+  base.seeds = 1;
+  const auto sweep =
+      gpupower::core::figure_sweep(FigureId::kFig6aSparsity);
+  std::vector<gpupower::core::SweepEntry> entries;
+  for (std::size_t i = 0; i < 2; ++i) {
+    gpupower::core::ExperimentConfig config = base;
+    config.pattern = sweep[i].spec;
+    entries.push_back({sweep[i], gpupower::core::run_experiment(config)});
+  }
+  const std::string json =
+      gpupower::core::sweep_to_json(FigureId::kFig6aSparsity, base, entries)
+          .dump();
+  EXPECT_NE(json.find("\"figure\":\"fig6a\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\":["), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"0%\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpupower::analysis

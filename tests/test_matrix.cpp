@@ -1,0 +1,87 @@
+#include "gemm/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "patterns/distributions.hpp"
+
+namespace gpupower::gemm {
+namespace {
+
+using gpupower::numeric::float16_t;
+using gpupower::numeric::int8_value_t;
+
+TEST(Matrix, ShapeAndIndexing) {
+  Matrix<float> m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  m.at(2, 3) = 7.0f;
+  EXPECT_EQ(m.at(2, 3), 7.0f);
+  EXPECT_EQ(m.span()[2 * 4 + 3], 7.0f);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix<float> m(2, 3);
+  float v = 0.0f;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m.at(r, c) = v++;
+  }
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(t.at(c, r), m.at(r, c));
+  }
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, Fill) {
+  Matrix<float> m(4, 4);
+  m.fill(3.5f);
+  for (const float v : m.span()) EXPECT_EQ(v, 3.5f);
+}
+
+TEST(Matrix, MaterializeConvertsRoundToNearest) {
+  const std::vector<float> values{1.0f, 1.0009765f, 65504.0f, -0.5f};
+  const auto m = materialize<float16_t>(values, 2, 2);
+  EXPECT_EQ(m.at(0, 0).bits(), float16_t(1.0f).bits());
+  EXPECT_EQ(m.at(1, 0).bits(), float16_t(65504.0f).bits());
+  EXPECT_EQ(m.at(1, 1).to_float(), -0.5f);
+}
+
+TEST(Matrix, MaterializeInt8Saturates) {
+  const std::vector<float> values{300.0f, -300.0f, 2.4f, -2.6f};
+  const auto m = materialize<int8_value_t>(values, 2, 2);
+  EXPECT_EQ(m.at(0, 0).value(), 127);
+  EXPECT_EQ(m.at(0, 1).value(), -128);
+  EXPECT_EQ(m.at(1, 0).value(), 2);
+  EXPECT_EQ(m.at(1, 1).value(), -3);
+}
+
+TEST(Matrix, RawBitsWidensToUint32) {
+  const std::vector<float> values{1.0f, -1.0f};
+  const auto fp16 = materialize<float16_t>(values, 1, 2);
+  const auto bits = raw_bits(fp16);
+  ASSERT_EQ(bits.size(), 2u);
+  EXPECT_EQ(bits[0], 0x3C00u);
+  EXPECT_EQ(bits[1], 0xBC00u);
+
+  const auto i8 = materialize<int8_value_t>(values, 1, 2);
+  const auto i8bits = raw_bits(i8);
+  EXPECT_EQ(i8bits[0], 0x01u);
+  EXPECT_EQ(i8bits[1], 0xFFu);
+}
+
+TEST(Matrix, EqualityComparesShapeAndData) {
+  Matrix<float> a(2, 2), b(2, 2), c(1, 4);
+  a.fill(1.0f);
+  b.fill(1.0f);
+  c.fill(1.0f);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);  // same data, different shape
+  b.at(0, 0) = 2.0f;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace gpupower::gemm

@@ -1,0 +1,147 @@
+#include "patterns/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "patterns/distributions.hpp"
+
+namespace gpupower::patterns {
+namespace {
+
+std::multiset<float> multiset_of(const std::vector<float>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(Placement, ZeroPercentIsIdentity) {
+  auto data = gaussian_fill(256, 0.0, 210.0, 42);
+  const auto original = data;
+  partial_sort_rows(data, 16, 16, 0.0);
+  EXPECT_EQ(data, original);
+}
+
+TEST(Placement, HundredPercentFullySorts) {
+  auto data = gaussian_fill(256, 0.0, 210.0, 42);
+  partial_sort_rows(data, 16, 16, 100.0);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+TEST(Placement, PartialSortPlacesLowestPrefix) {
+  // Paper definition: the lowest n% of values, sorted ascending, land in the
+  // first n% of row-major indices.
+  auto data = gaussian_fill(400, 0.0, 210.0, 42);
+  const auto original = data;
+  partial_sort_rows(data, 20, 20, 25.0);
+
+  auto sorted = original;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(data[i], sorted[i]) << "prefix index " << i;
+  }
+  // The remainder keeps the original relative order.
+  std::vector<float> expected_rest;
+  const std::multiset<float> lowest(sorted.begin(), sorted.begin() + 100);
+  std::multiset<float> budget = lowest;
+  for (const float v : original) {
+    auto it = budget.find(v);
+    if (it != budget.end()) {
+      budget.erase(it);
+    } else {
+      expected_rest.push_back(v);
+    }
+  }
+  for (std::size_t i = 0; i < expected_rest.size(); ++i) {
+    EXPECT_EQ(data[100 + i], expected_rest[i]) << "rest index " << i;
+  }
+}
+
+TEST(Placement, PreservesMultiset) {
+  auto data = gaussian_fill(1024, 0.0, 210.0, 42);
+  const auto before = multiset_of(data);
+  partial_sort_rows(data, 32, 32, 40.0);
+  EXPECT_EQ(multiset_of(data), before);
+
+  auto data2 = gaussian_fill(1024, 0.0, 210.0, 43);
+  const auto before2 = multiset_of(data2);
+  partial_sort_columns(data2, 32, 32, 60.0);
+  EXPECT_EQ(multiset_of(data2), before2);
+
+  auto data3 = gaussian_fill(1024, 0.0, 210.0, 44);
+  const auto before3 = multiset_of(data3);
+  partial_sort_within_rows(data3, 32, 32, 50.0);
+  EXPECT_EQ(multiset_of(data3), before3);
+}
+
+TEST(Placement, ColumnSortFillsLeftColumns) {
+  auto data = gaussian_fill(64, 0.0, 210.0, 42);
+  partial_sort_columns(data, 8, 8, 100.0);
+  // Fully column-sorted: reading column-major must be ascending.
+  std::vector<float> column_major;
+  for (std::size_t c = 0; c < 8; ++c) {
+    for (std::size_t r = 0; r < 8; ++r) column_major.push_back(data[r * 8 + c]);
+  }
+  EXPECT_TRUE(std::is_sorted(column_major.begin(), column_major.end()));
+}
+
+TEST(Placement, WithinRowsSortsEachRowIndependently) {
+  auto data = gaussian_fill(256, 0.0, 210.0, 42);
+  const auto original = data;
+  partial_sort_within_rows(data, 16, 16, 100.0);
+  for (std::size_t r = 0; r < 16; ++r) {
+    std::vector<float> row(data.begin() + static_cast<std::ptrdiff_t>(r * 16),
+                           data.begin() + static_cast<std::ptrdiff_t>((r + 1) * 16));
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end())) << "row " << r;
+    // Row contents unchanged (only reordered within the row).
+    std::vector<float> orig_row(
+        original.begin() + static_cast<std::ptrdiff_t>(r * 16),
+        original.begin() + static_cast<std::ptrdiff_t>((r + 1) * 16));
+    EXPECT_EQ(multiset_of(row), multiset_of(orig_row)) << "row " << r;
+  }
+}
+
+TEST(Placement, FullSortAscending) {
+  auto data = gaussian_fill(512, 0.0, 210.0, 42);
+  full_sort(data);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+TEST(Placement, SortRowsByMeanOrdersRowMeans) {
+  auto data = gaussian_fill(256, 0.0, 210.0, 42);
+  sort_rows_by_mean(data, 16, 16);
+  double prev = -1e30;
+  for (std::size_t r = 0; r < 16; ++r) {
+    double mean = 0.0;
+    for (std::size_t c = 0; c < 16; ++c) mean += data[r * 16 + c];
+    mean /= 16.0;
+    EXPECT_GE(mean, prev) << "row " << r;
+    prev = mean;
+  }
+}
+
+class PlacementPercentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlacementPercentSweep, PrefixSortedInvariant) {
+  const double pct = GetParam();
+  auto data = gaussian_fill(900, 0.0, 210.0, 77);
+  partial_sort_rows(data, 30, 30, pct);
+  const auto k = static_cast<std::size_t>(std::llround(pct / 100.0 * 900));
+  EXPECT_TRUE(std::is_sorted(data.begin(),
+                             data.begin() + static_cast<std::ptrdiff_t>(k)));
+  if (k > 0 && k < 900) {
+    // Everything in the prefix is <= everything after it.
+    const float prefix_max = *std::max_element(
+        data.begin(), data.begin() + static_cast<std::ptrdiff_t>(k));
+    const float rest_min = *std::min_element(
+        data.begin() + static_cast<std::ptrdiff_t>(k), data.end());
+    EXPECT_LE(prefix_max, rest_min);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Percents, PlacementPercentSweep,
+                         ::testing::Values(0.0, 10.0, 25.0, 33.3, 50.0, 66.7,
+                                           80.0, 99.0, 100.0));
+
+}  // namespace
+}  // namespace gpupower::patterns

@@ -1,0 +1,122 @@
+#include "gpusim/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/activity.hpp"
+#include "patterns/distributions.hpp"
+
+namespace gpupower::gpusim {
+namespace {
+
+using gemm::GemmProblem;
+using gpupower::numeric::DType;
+using gpupower::numeric::float16_t;
+
+ActivityTotals gaussian_activity(std::size_t n, DType dtype) {
+  const auto values = patterns::gaussian_fill(n * n, 0.0, 210.0, 1);
+  const auto values_b = patterns::gaussian_fill(n * n, 0.0, 210.0, 2);
+  const auto a = gemm::materialize<float16_t>(values, n, n);
+  const auto b = gemm::materialize<float16_t>(values_b, n, n);
+  return estimate_activity(GemmProblem::square(n), a, b,
+                           gemm::TileConfig::for_dtype(dtype))
+      .totals;
+}
+
+TEST(MathInstructions, PerDatapath) {
+  EXPECT_DOUBLE_EQ(math_instructions(DType::kFP32, 4096.0), 4096.0);
+  EXPECT_DOUBLE_EQ(math_instructions(DType::kFP16, 4096.0), 2048.0);
+  EXPECT_DOUBLE_EQ(math_instructions(DType::kFP16T, 2048.0), 1.0);
+  EXPECT_DOUBLE_EQ(math_instructions(DType::kINT8, 4096.0), 1.0);
+}
+
+TEST(IterationTime, InputIndependentAndThroughputOrdered) {
+  const PowerCalculator calc(device(GpuModel::kA100PCIe));
+  const auto p = GemmProblem::square(2048);
+  const double t32 = calc.iteration_time_s(p, DType::kFP32);
+  const double t16 = calc.iteration_time_s(p, DType::kFP16);
+  const double t16t = calc.iteration_time_s(p, DType::kFP16T);
+  const double t8 = calc.iteration_time_s(p, DType::kINT8);
+  // Fig. 1 ordering: FP32 slowest, INT8 fastest.
+  EXPECT_GT(t32, t16);
+  EXPECT_GT(t16, t16t);
+  EXPECT_GT(t16t, t8);
+  // A100 FP32 2048^3 at ~17.4 TFLOP/s sustained: just under a millisecond.
+  EXPECT_NEAR(t32, 0.99e-3, 0.1e-3);
+}
+
+TEST(IterationTime, OccupancyStretchesSmallProblems) {
+  const PowerCalculator calc(device(GpuModel::kA100PCIe));
+  const double full = calc.iteration_time_s(GemmProblem::square(2048),
+                                            DType::kFP32);
+  const double small = calc.iteration_time_s(GemmProblem::square(512),
+                                             DType::kFP32);
+  // 512^2 = 16 threadblocks on 108 SMs: per-FLOP time stretches by the
+  // occupancy deficit rather than shrinking with the cube of the size.
+  const double flops_ratio = 64.0;  // (2048/512)^3
+  EXPECT_GT(small * flops_ratio, full * 3.0);
+}
+
+TEST(Power, RailsSumToDynamic) {
+  const PowerCalculator calc(device(GpuModel::kA100PCIe));
+  const auto totals = gaussian_activity(256, DType::kFP16);
+  const auto report =
+      calc.evaluate(GemmProblem::square(256), DType::kFP16, totals);
+  EXPECT_NEAR(report.dynamic_w, report.rails.total(), 1e-9);
+  EXPECT_NEAR(report.total_w,
+              report.dynamic_w + report.idle_w + report.leakage_w, 1e-9);
+  EXPECT_GT(report.temperature_c, 30.0);
+  EXPECT_GT(report.energy_j, 0.0);
+}
+
+TEST(Power, ZeroActivityIsIdlePlusLeakage) {
+  const PowerCalculator calc(device(GpuModel::kA100PCIe));
+  const ActivityTotals empty;
+  const auto report =
+      calc.evaluate(GemmProblem::square(256), DType::kFP16, empty);
+  EXPECT_DOUBLE_EQ(report.dynamic_w, 0.0);
+  EXPECT_NEAR(report.total_w, report.idle_w + report.leakage_w, 1e-9);
+  EXPECT_FALSE(report.throttled);
+}
+
+TEST(Power, A100DoesNotThrottleAt2048) {
+  // The paper chose 2048 as the largest power of two that does not
+  // consistently throttle the A100.
+  const PowerCalculator calc(device(GpuModel::kA100PCIe));
+  const auto totals = gaussian_activity(256, DType::kFP16T);
+  // Scale the 256^3 walk up to the 2048^3 problem.
+  ActivityTotals scaled = totals;
+  scaled.scale_by(512.0);  // (2048/256)^3
+  const auto report =
+      calc.evaluate(GemmProblem::square(2048), DType::kFP16T, scaled);
+  EXPECT_FALSE(report.throttled);
+  EXPECT_LT(report.total_w, 300.0);
+  EXPECT_GT(report.total_w, 150.0);  // well above idle: a real workload
+}
+
+TEST(Power, ThrottleClampsToTdp) {
+  // Inflate activity until the device must throttle; total power must pin
+  // at TDP and the clock fraction drop below 1.
+  const PowerCalculator calc(device(GpuModel::kA100PCIe));
+  auto totals = gaussian_activity(256, DType::kFP16T);
+  totals.scale_by(4096.0);
+  const auto report =
+      calc.evaluate(GemmProblem::square(2048), DType::kFP16T, totals);
+  EXPECT_TRUE(report.throttled);
+  EXPECT_NEAR(report.total_w, 300.0, 1.0);
+  EXPECT_LT(report.effective_clock_frac, 1.0);
+  EXPECT_GT(report.realized_iteration_s, report.iteration_s);
+}
+
+TEST(Power, UtilizationMatchesPaperAtFullOccupancy) {
+  const PowerCalculator calc(device(GpuModel::kA100PCIe));
+  const auto totals = gaussian_activity(256, DType::kFP16);
+  const auto full =
+      calc.evaluate(GemmProblem::square(2048), DType::kFP16, totals);
+  EXPECT_NEAR(full.utilization, 0.985, 1e-6);
+  const auto partial =
+      calc.evaluate(GemmProblem::square(512), DType::kFP16, totals);
+  EXPECT_LT(partial.utilization, 0.5);
+}
+
+}  // namespace
+}  // namespace gpupower::gpusim

@@ -1,0 +1,96 @@
+#include "gemm/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "patterns/distributions.hpp"
+
+namespace gpupower::gemm {
+namespace {
+
+using gpupower::numeric::float16_t;
+using gpupower::numeric::int8_value_t;
+
+TEST(ReferenceGemm, TwoByTwoKnownResult) {
+  // A = [1 2; 3 4], B stored as B^T (transpose_b default): storage rows are
+  // the columns of the consumed B.  Use B = [5 6; 7 8] -> storage [5 7; 6 8].
+  GemmProblem p = GemmProblem::square(2);
+  Matrix<float> a(2, 2, {1, 2, 3, 4});
+  Matrix<float> b_storage(2, 2, {5, 7, 6, 8});
+  Matrix<float> c(2, 2);
+  Matrix<float> d;
+  reference_gemm(p, a, b_storage, c, d);
+  EXPECT_EQ(d.at(0, 0), 19.0f);
+  EXPECT_EQ(d.at(0, 1), 22.0f);
+  EXPECT_EQ(d.at(1, 0), 43.0f);
+  EXPECT_EQ(d.at(1, 1), 50.0f);
+}
+
+TEST(ReferenceGemm, UntransposedB) {
+  GemmProblem p = GemmProblem::square(2, /*transpose_b=*/false);
+  Matrix<float> a(2, 2, {1, 2, 3, 4});
+  Matrix<float> b(2, 2, {5, 6, 7, 8});  // consumed directly as (K, M)
+  Matrix<float> c(2, 2);
+  Matrix<float> d;
+  reference_gemm(p, a, b, c, d);
+  EXPECT_EQ(d.at(0, 0), 19.0f);
+  EXPECT_EQ(d.at(0, 1), 22.0f);
+}
+
+TEST(ReferenceGemm, AlphaBetaEpilogue) {
+  GemmProblem p = GemmProblem::square(2);
+  p.alpha = 2.0f;
+  p.beta = 0.5f;
+  Matrix<float> a(2, 2, {1, 0, 0, 1});  // identity
+  Matrix<float> b_storage(2, 2, {3, 5, 4, 6});
+  Matrix<float> c(2, 2, {10, 10, 10, 10});
+  Matrix<float> d;
+  reference_gemm(p, a, b_storage, c, d);
+  // D = 2 * B + 0.5 * C with B = [3 4; 5 6].
+  EXPECT_EQ(d.at(0, 0), 11.0f);
+  EXPECT_EQ(d.at(0, 1), 13.0f);
+  EXPECT_EQ(d.at(1, 0), 15.0f);
+  EXPECT_EQ(d.at(1, 1), 17.0f);
+}
+
+TEST(ReferenceGemm, Int8AccumulatesExactlyInInt32) {
+  GemmProblem p = GemmProblem::square(2);
+  Matrix<int8_value_t> a(2, 2);
+  Matrix<int8_value_t> b(2, 2);
+  a.fill(int8_value_t(127.0f));
+  b.fill(int8_value_t(127.0f));
+  Matrix<std::int32_t> c(2, 2);
+  Matrix<std::int32_t> d;
+  reference_gemm(p, a, b, c, d);
+  EXPECT_EQ(d.at(0, 0), 2 * 127 * 127);
+}
+
+TEST(ReferenceGemm, Fp16InputsAccumulateInFp32) {
+  // 2048 values of 1.0 sum exactly in FP32 accumulation; FP16 accumulation
+  // would saturate precision far earlier.
+  const std::size_t k = 2048;
+  GemmProblem p{1, k, 1, 1.0f, 0.0f, true};
+  Matrix<float16_t> a(1, k);
+  Matrix<float16_t> b(1, k);
+  a.fill(float16_t(1.0f));
+  b.fill(float16_t(1.0f));
+  Matrix<float> c(1, 1);
+  Matrix<float> d;
+  reference_gemm(p, a, b, c, d);
+  EXPECT_EQ(d.at(0, 0), 2048.0f);
+}
+
+TEST(ReferenceGemm, ZeroedCMatrixBetaZero) {
+  // The paper zeroes C and uses beta = 0: D must be pure A*B even when C
+  // holds garbage (beta annihilates it).
+  GemmProblem p = GemmProblem::square(2);
+  p.beta = 0.0f;
+  Matrix<float> a(2, 2, {1, 2, 3, 4});
+  Matrix<float> b_storage(2, 2, {5, 7, 6, 8});
+  Matrix<float> c(2, 2, {999, 999, 999, 999});
+  Matrix<float> d;
+  reference_gemm(p, a, b_storage, c, d);
+  EXPECT_EQ(d.at(0, 0), 19.0f);
+}
+
+}  // namespace
+}  // namespace gpupower::gemm

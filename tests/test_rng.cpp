@@ -1,0 +1,104 @@
+#include "patterns/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace gpupower::patterns {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformBelowIsUnbiased) {
+  Xoshiro256 rng(11);
+  int counts[7] = {};
+  for (int i = 0; i < 70000; ++i) {
+    const auto v = rng.uniform_below(7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, UniformBelowZeroAndOne) {
+  Xoshiro256 rng(13);
+  EXPECT_EQ(rng.uniform_below(0), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Xoshiro256 rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled) {
+  Xoshiro256 rng(19);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(100.0, 5.0);
+  EXPECT_NEAR(sum / n, 100.0, 0.5);
+}
+
+TEST(Rng, DeriveSeedSeparatesStreams) {
+  const auto s0 = derive_seed(42, 0);
+  const auto s1 = derive_seed(42, 1);
+  const auto t0 = derive_seed(43, 0);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, t0);
+  // Deterministic.
+  EXPECT_EQ(derive_seed(42, 0), s0);
+}
+
+TEST(Rng, SplitMixExpandsNonZero) {
+  SplitMix64 sm(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 16; ++i) values.insert(sm.next());
+  EXPECT_EQ(values.size(), 16u);  // no repeats in the first draws
+}
+
+}  // namespace
+}  // namespace gpupower::patterns

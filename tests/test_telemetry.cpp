@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/nvml.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace.hpp"
+
+namespace gpupower::telemetry {
+namespace {
+
+PowerTrace ramp_trace() {
+  PowerTrace t;
+  for (int i = 0; i <= 20; ++i) {
+    t.push(0.1 * i, 100.0 + 10.0 * i);
+  }
+  return t;
+}
+
+TEST(Trace, TrimDropsWarmup) {
+  const auto t = ramp_trace();
+  const auto trimmed = t.trimmed(0.5);
+  ASSERT_FALSE(trimmed.empty());
+  EXPECT_GE(trimmed.samples().front().t_s, 0.5);
+  EXPECT_EQ(trimmed.size(), 16u);  // samples at 0.5 .. 2.0
+}
+
+TEST(Trace, Statistics) {
+  PowerTrace t;
+  t.push(0.0, 100.0);
+  t.push(0.1, 200.0);
+  t.push(0.2, 300.0);
+  EXPECT_DOUBLE_EQ(t.mean_w(), 200.0);
+  EXPECT_DOUBLE_EQ(t.min_w(), 100.0);
+  EXPECT_DOUBLE_EQ(t.max_w(), 300.0);
+  EXPECT_NEAR(t.stddev_w(), 100.0, 1e-9);
+}
+
+TEST(Trace, EnergyIsTrapezoidalIntegral) {
+  PowerTrace t;
+  t.push(0.0, 100.0);
+  t.push(1.0, 100.0);
+  t.push(2.0, 200.0);
+  EXPECT_DOUBLE_EQ(t.energy_j(), 100.0 + 150.0);
+}
+
+TEST(Trace, CsvOutput) {
+  PowerTrace t;
+  t.push(0.0, 123.5);
+  std::ostringstream ss;
+  t.write_csv(ss);
+  EXPECT_EQ(ss.str(), "t_s,power_w\n0,123.5\n");
+}
+
+TEST(Sampler, TraceRampsFromIdleToSteady) {
+  gpusim::PowerReport report;
+  report.total_w = 250.0;
+  report.idle_w = 50.0;
+  report.realized_iteration_s = 1e-4;
+  SamplerConfig cfg;
+  cfg.noise_sigma_w = 0.0;  // deterministic for the shape check
+  const auto trace = sample_run(report, 20000, cfg);
+  ASSERT_GT(trace.size(), 10u);
+  // First sample starts at idle; late samples approach steady state.
+  EXPECT_NEAR(trace.samples().front().power_w, 50.0, 1.0);
+  EXPECT_NEAR(trace.samples().back().power_w, 250.0, 1.0);
+}
+
+TEST(Sampler, ReportedPowerTrimsWarmup) {
+  gpusim::PowerReport report;
+  report.total_w = 250.0;
+  report.idle_w = 50.0;
+  report.realized_iteration_s = 1e-4;
+  SamplerConfig cfg;
+  cfg.noise_sigma_w = 0.0;
+  const auto trace = sample_run(report, 20000, cfg);
+  // Untrimmed mean is dragged down by the ramp; the trimmed reduction must
+  // sit close to the steady level.
+  EXPECT_LT(trace.mean_w(), reported_power_w(trace, cfg));
+  EXPECT_NEAR(reported_power_w(trace, cfg), 250.0, 2.0);
+}
+
+TEST(Sampler, MinimumDurationGuaranteesSamples) {
+  gpusim::PowerReport report;
+  report.total_w = 200.0;
+  report.idle_w = 50.0;
+  report.realized_iteration_s = 1e-6;
+  const SamplerConfig cfg;
+  // Even a 10-iteration run must produce enough samples past the trim.
+  const auto trace = sample_run(report, 10, cfg);
+  EXPECT_GE(trace.trimmed(cfg.warmup_trim_s).size(), 10u);
+}
+
+TEST(Sampler, NoiseIsSeedDeterministic) {
+  gpusim::PowerReport report;
+  report.total_w = 200.0;
+  report.idle_w = 50.0;
+  report.realized_iteration_s = 1e-4;
+  SamplerConfig cfg;
+  cfg.seed = 99;
+  const auto a = sample_run(report, 10000, cfg);
+  const auto b = sample_run(report, 10000, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples()[i].power_w, b.samples()[i].power_w);
+  }
+}
+
+TEST(Nvml, DeviceQueries) {
+  std::optional<nvml::Device> dev;
+  ASSERT_EQ(nvml::device_get_handle_by_index(0, dev), nvml::Return::kSuccess);
+  ASSERT_TRUE(dev.has_value());
+
+  std::string name;
+  EXPECT_EQ(dev->name(name), nvml::Return::kSuccess);
+  EXPECT_NE(name.find("A100"), std::string::npos);
+
+  std::uint32_t mw = 0;
+  EXPECT_EQ(dev->power_usage_mw(mw), nvml::Return::kSuccess);
+  EXPECT_NEAR(mw, 52000u, 1000u);  // idle with no workload attached
+
+  std::uint32_t limit = 0;
+  EXPECT_EQ(dev->enforced_power_limit_mw(limit), nvml::Return::kSuccess);
+  EXPECT_EQ(limit, 300000u);
+
+  std::uint32_t util = 1;
+  EXPECT_EQ(dev->utilization_gpu_pct(util), nvml::Return::kSuccess);
+  EXPECT_EQ(util, 0u);
+
+  gpusim::PowerReport report;
+  report.total_w = 250.0;
+  report.utilization = 0.985;
+  report.temperature_c = 61.0;
+  report.effective_clock_frac = 0.9;
+  dev->set_workload(report);
+  EXPECT_EQ(dev->power_usage_mw(mw), nvml::Return::kSuccess);
+  EXPECT_EQ(mw, 250000u);
+  EXPECT_EQ(dev->utilization_gpu_pct(util), nvml::Return::kSuccess);
+  EXPECT_EQ(util, 99u);  // rounds 98.5
+  std::uint32_t deg = 0;
+  EXPECT_EQ(dev->temperature_c(deg), nvml::Return::kSuccess);
+  EXPECT_EQ(deg, 61u);
+  std::uint32_t mhz = 0;
+  EXPECT_EQ(dev->clock_info_mhz(mhz), nvml::Return::kSuccess);
+  EXPECT_EQ(mhz, 1269u);  // 1410 * 0.9
+}
+
+TEST(Nvml, OutOfRangeIndex) {
+  std::optional<nvml::Device> dev;
+  EXPECT_EQ(nvml::device_get_handle_by_index(99, dev),
+            nvml::Return::kNotFound);
+  EXPECT_FALSE(dev.has_value());
+}
+
+TEST(Nvml, ErrorStrings) {
+  EXPECT_STREQ(nvml::error_string(nvml::Return::kSuccess), "Success");
+  EXPECT_STREQ(nvml::error_string(nvml::Return::kNotFound), "Not Found");
+}
+
+}  // namespace
+}  // namespace gpupower::telemetry

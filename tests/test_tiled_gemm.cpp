@@ -1,0 +1,169 @@
+#include "gemm/tiled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gemm/reference.hpp"
+#include "patterns/distributions.hpp"
+
+namespace gpupower::gemm {
+namespace {
+
+using gpupower::numeric::DType;
+using gpupower::numeric::float16_t;
+using gpupower::numeric::int8_value_t;
+
+template <typename T>
+Matrix<T> random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed,
+                        double sigma) {
+  return materialize<T>(
+      patterns::gaussian_fill(rows * cols, 0.0, sigma, seed), rows, cols);
+}
+
+struct TiledCase {
+  std::size_t n;
+  bool transpose_b;
+  DType dtype;
+};
+
+class TiledVsReference : public ::testing::TestWithParam<TiledCase> {};
+
+template <typename T>
+void expect_tiled_matches_reference(const TiledCase& tc, double tolerance) {
+  GemmProblem p = GemmProblem::square(tc.n, tc.transpose_b);
+  p.alpha = 1.25f;
+  p.beta = -0.5f;
+  const double sigma = tc.dtype == DType::kINT8 ? 25.0 : 2.0;
+  const auto a = random_matrix<T>(tc.n, tc.n, 1, sigma);
+  const auto b = random_matrix<T>(tc.n, tc.n, 2, sigma);
+  using Acc = gpupower::numeric::accumulator_t<T>;
+  Matrix<Acc> c(tc.n, tc.n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c.span()[i] = static_cast<Acc>(static_cast<int>(i % 7) - 3);
+  }
+  Matrix<Acc> expected, actual;
+  reference_gemm(p, a, b, c, expected);
+  tiled_gemm(p, a, b, c, actual, TileConfig::for_dtype(tc.dtype));
+
+  ASSERT_EQ(actual.rows(), expected.rows());
+  for (std::size_t i = 0; i < tc.n; ++i) {
+    for (std::size_t j = 0; j < tc.n; ++j) {
+      const double e = static_cast<double>(expected.at(i, j));
+      const double g = static_cast<double>(actual.at(i, j));
+      // FP accumulation order differs between the naive loop and the tiled
+      // walk; allow a relative tolerance scaled to the dot-product length.
+      EXPECT_NEAR(g, e, tolerance * (std::fabs(e) + 1.0))
+          << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST_P(TiledVsReference, MatchesOracle) {
+  const TiledCase tc = GetParam();
+  switch (tc.dtype) {
+    case DType::kFP32:
+      expect_tiled_matches_reference<float>(tc, 1e-5);
+      break;
+    case DType::kFP16:
+    case DType::kFP16T:
+      // Tensor-core dot products reduce in mma.k chunks, reordering the FP32
+      // accumulation relative to the serial oracle; allow for the extra
+      // rounding headroom.
+      expect_tiled_matches_reference<float16_t>(tc, 2e-4);
+      break;
+    case DType::kINT8:
+      // INT32 accumulation is exact: zero tolerance.
+      expect_tiled_matches_reference<int8_value_t>(tc, 0.0);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTypes, TiledVsReference,
+    ::testing::Values(TiledCase{33, true, DType::kFP32},
+                      TiledCase{64, true, DType::kFP32},
+                      TiledCase{130, false, DType::kFP32},
+                      TiledCase{64, true, DType::kFP16},
+                      TiledCase{96, false, DType::kFP16},
+                      TiledCase{64, true, DType::kFP16T},
+                      TiledCase{100, false, DType::kFP16T},
+                      TiledCase{64, true, DType::kINT8},
+                      TiledCase{129, false, DType::kINT8},
+                      TiledCase{128, true, DType::kINT8}));
+
+struct CountingObserver {
+  static constexpr bool kEnabled = true;
+  std::size_t fetch = 0, operand = 0, macs = 0, accs = 0;
+  void fetch_a(std::uint32_t, int) { ++fetch; }
+  void fetch_b(std::uint32_t, int) { ++fetch; }
+  void operand_a(std::uint32_t, int) { ++operand; }
+  void operand_b(std::uint32_t, int) { ++operand; }
+  void mac_pair(std::uint32_t, std::uint32_t, int) { ++macs; }
+  void acc_update(std::uint64_t, std::uint64_t) { ++accs; }
+};
+
+TEST(TiledGemm, ObserverSeesEveryMac) {
+  const std::size_t n = 64;
+  GemmProblem p = GemmProblem::square(n);
+  const auto a = random_matrix<float>(n, n, 1, 2.0);
+  const auto b = random_matrix<float>(n, n, 2, 2.0);
+  Matrix<float> c(n, n), d;
+  CountingObserver obs;
+  tiled_gemm(p, a, b, c, d, TileConfig::for_dtype(DType::kFP32), obs);
+  EXPECT_EQ(obs.macs, n * n * n);
+  // SIMT: one accumulator update per MAC, two operand reads per MAC.
+  EXPECT_EQ(obs.accs, n * n * n);
+  EXPECT_EQ(obs.operand, 2 * n * n * n);
+  // Fetch: each k-slice streams the tile's A rows and B columns once.
+  EXPECT_GT(obs.fetch, 0u);
+}
+
+TEST(TiledGemm, TensorCoreAccumulatesPerMma) {
+  const std::size_t n = 64;
+  GemmProblem p = GemmProblem::square(n);
+  const auto a = random_matrix<float16_t>(n, n, 1, 2.0);
+  const auto b = random_matrix<float16_t>(n, n, 2, 2.0);
+  Matrix<float> c(n, n), d;
+  CountingObserver obs;
+  const auto config = TileConfig::for_dtype(DType::kFP16T);
+  tiled_gemm(p, a, b, c, d, config, obs);
+  EXPECT_EQ(obs.macs, n * n * n);
+  // One accumulator write per output element per MMA k-step (k = 16):
+  EXPECT_EQ(obs.accs, n * n * n / config.mma.k);
+  // Fragment reuse: far fewer operand reads than 2 per MAC.
+  EXPECT_LT(obs.operand, n * n * n);
+}
+
+TEST(TiledGemm, ProcessTileKRangeComposes) {
+  // Walking [0, k/2) then [k/2, k) must equal walking [0, k) in one go.
+  const std::size_t n = 64;
+  GemmProblem p = GemmProblem::square(n);
+  const auto a = random_matrix<float>(n, n, 1, 2.0);
+  const auto b = random_matrix<float>(n, n, 2, 2.0);
+  const auto config = TileConfig::for_dtype(DType::kFP32);
+  const TileCoord tile{0, 0, n, n};
+  NullObserver obs;
+
+  std::vector<float> full(n * n, 0.0f), split(n * n, 0.0f);
+  process_tile(p, a, b, tile, config, full, obs);
+  process_tile(p, a, b, tile, config, split, obs, 0, n / 2);
+  process_tile(p, a, b, tile, config, split, obs, n / 2, n);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_FLOAT_EQ(split[i], full[i]) << "index " << i;
+  }
+}
+
+TEST(TiledGemm, EnumerateTilesCoversOutputExactly) {
+  const auto tiles = enumerate_tiles(300, 200, TileShape{128, 128, 8});
+  std::size_t covered = 0;
+  for (const auto& t : tiles) covered += t.rows * t.cols;
+  EXPECT_EQ(covered, 300u * 200u);
+  EXPECT_EQ(tiles.size(), 3u * 2u);
+  // Ragged edge tiles are clipped.
+  EXPECT_EQ(tiles.back().rows, 300u - 256u);
+  EXPECT_EQ(tiles.back().cols, 200u - 128u);
+}
+
+}  // namespace
+}  // namespace gpupower::gemm

@@ -1,0 +1,144 @@
+#include "core/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gemm/reference.hpp"
+#include "patterns/distributions.hpp"
+
+namespace gpupower::core {
+namespace {
+
+using gpupower::numeric::DType;
+using gpupower::numeric::float16_t;
+
+TEST(MeanShift, HitsTargetMean) {
+  const auto weights = patterns::gaussian_fill(4096, 0.0, 1.0, 42);
+  const auto result = mean_shift(weights, 8.0);
+  double mean = 0.0;
+  for (const float w : result.shifted) mean += w;
+  mean /= static_cast<double>(result.shifted.size());
+  EXPECT_NEAR(mean, 8.0, 1e-3);
+  EXPECT_NEAR(result.delta, 8.0, 0.1);
+  EXPECT_GT(result.relative_perturbation, 0.0);
+}
+
+TEST(MeanShift, ZeroShiftIsFree) {
+  const auto weights = patterns::gaussian_fill(1024, 5.0, 1.0, 42);
+  const auto result = mean_shift(weights, 5.0);
+  EXPECT_NEAR(result.delta, 0.0, 0.1);
+  EXPECT_LT(result.relative_perturbation, 0.05);
+}
+
+TEST(RowSort, PermutationInvariantGemm) {
+  // The core claim of the Section V weight-sorting idea: sorting rows of W
+  // and un-permuting the output leaves the computation bit-identical for
+  // exact arithmetic paths.  Verify with an INT8 GEMM (exact accumulation).
+  using gpupower::numeric::int8_value_t;
+  const std::size_t n = 32;
+  const auto weights = patterns::gaussian_fill(n * n, 0.0, 25.0, 42);
+  const auto activations = patterns::gaussian_fill(n * n, 0.0, 25.0, 43);
+
+  const auto sorted = sort_rows_permutation_invariant(weights, n, n);
+
+  const auto problem = gemm::GemmProblem::square(n, /*transpose_b=*/false);
+  const auto x = gemm::materialize<int8_value_t>(activations, n, n);
+  gemm::Matrix<std::int32_t> c(n, n);
+
+  gemm::Matrix<std::int32_t> original_out;
+  gemm::reference_gemm(problem, gemm::materialize<int8_value_t>(weights, n, n),
+                       x, c, original_out);
+
+  gemm::Matrix<std::int32_t> sorted_out;
+  gemm::reference_gemm(problem,
+                       gemm::materialize<int8_value_t>(sorted.sorted, n, n), x,
+                       c, sorted_out);
+
+  // Un-permute the sorted output's rows and compare exactly.
+  std::vector<float> sorted_rows(sorted_out.span().size());
+  for (std::size_t i = 0; i < sorted_rows.size(); ++i) {
+    sorted_rows[i] = static_cast<float>(sorted_out.span()[i]);
+  }
+  const auto restored = unpermute_rows(sorted_rows, sorted.permutation, n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t col = 0; col < n; ++col) {
+      EXPECT_EQ(static_cast<std::int32_t>(restored[r * n + col]),
+                original_out.at(r, col))
+          << "(" << r << "," << col << ")";
+    }
+  }
+}
+
+TEST(RowSort, RowsAreOrderedByMean) {
+  const auto weights = patterns::gaussian_fill(16 * 8, 0.0, 10.0, 42);
+  const auto result = sort_rows_permutation_invariant(weights, 16, 8);
+  double prev = -1e30;
+  for (std::size_t r = 0; r < 16; ++r) {
+    double mean = 0.0;
+    for (std::size_t c = 0; c < 8; ++c) mean += result.sorted[r * 8 + c];
+    EXPECT_GE(mean, prev);
+    prev = mean;
+  }
+}
+
+TEST(RowSort, UnpermuteInvertsPermute) {
+  const auto original = patterns::gaussian_fill(12 * 4, 0.0, 1.0, 42);
+  const auto result = sort_rows_permutation_invariant(original, 12, 4);
+  const auto restored = unpermute_rows(result.sorted, result.permutation, 12, 4);
+  EXPECT_EQ(restored, original);
+}
+
+TEST(MagnitudePrune, PrunesSmallestMagnitudes) {
+  const std::vector<float> weights{0.1f, -5.0f, 0.2f, 3.0f, -0.05f, 1.0f,
+                                   -2.0f, 0.3f};
+  const auto pruned = magnitude_prune(weights, 0.5);
+  // The four smallest magnitudes (0.05, 0.1, 0.2, 0.3) become zero.
+  EXPECT_EQ(pruned[0], 0.0f);
+  EXPECT_EQ(pruned[2], 0.0f);
+  EXPECT_EQ(pruned[4], 0.0f);
+  EXPECT_EQ(pruned[7], 0.0f);
+  EXPECT_EQ(pruned[1], -5.0f);
+  EXPECT_EQ(pruned[3], 3.0f);
+  EXPECT_EQ(pruned[5], 1.0f);
+  EXPECT_EQ(pruned[6], -2.0f);
+}
+
+TEST(MagnitudePrune, Endpoints) {
+  const auto weights = patterns::gaussian_fill(100, 0.0, 1.0, 42);
+  EXPECT_EQ(magnitude_prune(weights, 0.0), weights);
+  const auto all = magnitude_prune(weights, 1.0);
+  for (const float w : all) EXPECT_EQ(w, 0.0f);
+}
+
+TEST(Sparsifier, FindsMinimalFeasibleSparsity) {
+  const std::size_t n = 256;
+  const auto weights = patterns::gaussian_fill(n * n, 0.0, 210.0, 42);
+  const PowerAwareSparsifier sparsifier(gpupower::gpusim::GpuModel::kA100PCIe,
+                                        DType::kFP16);
+  // First find the dense power, then cap slightly below it (the small
+  // problem runs at partial occupancy, compressing absolute swings).
+  const auto dense = sparsifier.design(weights, n, 1e9);
+  ASSERT_TRUE(dense.feasible);
+  EXPECT_DOUBLE_EQ(dense.sparsity, 0.0);
+
+  const double cap = dense.power_w - 1.0;
+  const auto design = sparsifier.design(weights, n, cap);
+  ASSERT_TRUE(design.feasible);
+  EXPECT_GT(design.sparsity, 0.0);
+  EXPECT_LE(design.power_w, cap);
+  EXPECT_LT(design.l2_retained, 1.0);
+  EXPECT_GT(design.l2_retained, 0.3);
+}
+
+TEST(Sparsifier, ReportsInfeasibleCap) {
+  const std::size_t n = 128;
+  const auto weights = patterns::gaussian_fill(n * n, 0.0, 210.0, 42);
+  const PowerAwareSparsifier sparsifier(gpupower::gpusim::GpuModel::kA100PCIe,
+                                        DType::kFP16);
+  const auto design = sparsifier.design(weights, n, 1.0);  // 1 W: impossible
+  EXPECT_FALSE(design.feasible);
+}
+
+}  // namespace
+}  // namespace gpupower::core

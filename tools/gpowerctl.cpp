@@ -1,0 +1,376 @@
+// gpowerctl — dcgmi/nvidia-smi-flavoured command-line front end for the
+// simulator.  Lets a user poke the full stack without writing C++:
+//
+//   gpowerctl discovery
+//       list the modelled GPUs (index, name, TDP, memory)
+//   gpowerctl dmon --gpu 0 --dtype fp16t --pattern "gaussian(sigma=210)"
+//       run one experiment and stream DCGM-style 100 ms power samples,
+//       then print the trimmed-average summary
+//   gpowerctl sweep --figure fig5b [--gpu 0] [--dtype fp16] [--csv]
+//       regenerate one paper figure series
+//   gpowerctl features --dtype fp16 --pattern "<dsl>"
+//       print the input statistics the power model consumes
+//   gpowerctl predict --dtype fp16 --pattern "<dsl>"
+//       train the input-dependent power model on the figure sweeps and
+//       predict the pattern's power without a kernel walk
+//
+// Common options: --n SIZE, --seeds K, --tiles T, --kfrac F (same meaning
+// as the GPUPOWER_* environment knobs).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/env.hpp"
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+#include "core/pattern_dsl.hpp"
+#include "core/power_model.hpp"
+#include "core/report.hpp"
+#include "telemetry/nvml.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace {
+
+using namespace gpupower;
+
+struct Options {
+  std::string command;
+  unsigned gpu_index = 0;
+  numeric::DType dtype = numeric::DType::kFP16;
+  std::string pattern = "gaussian()";
+  std::optional<core::FigureId> figure;
+  core::BenchEnv env;
+  bool csv = false;
+  bool json = false;
+};
+
+constexpr gpusim::GpuModel kGpuByIndex[] = {
+    gpusim::GpuModel::kA100PCIe, gpusim::GpuModel::kH100SXM,
+    gpusim::GpuModel::kV100SXM2, gpusim::GpuModel::kRTX6000};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <discovery|dmon|sweep|features|predict> [options]\n"
+               "  --gpu N          device index (see 'discovery'; default 0)\n"
+               "  --dtype T        fp32 | fp16 | fp16t | int8 (default fp16)\n"
+               "  --pattern DSL    e.g. \"gaussian(sigma=210) | sort_rows(40%%)\"\n"
+               "  --figure ID      fig3a..fig6d (sweep command)\n"
+               "  --n SIZE --seeds K --tiles T --kfrac F --csv --json\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opts, std::string& error) {
+  if (argc < 2) {
+    error = "missing command";
+    return false;
+  }
+  opts.command = argv[1];
+  opts.env = core::read_bench_env();
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--csv") {
+      opts.csv = true;
+    } else if (flag == "--json") {
+      opts.json = true;
+    } else if (flag == "--gpu") {
+      const char* v = next();
+      if (!v) {
+        error = "--gpu needs an index";
+        return false;
+      }
+      opts.gpu_index = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      if (opts.gpu_index >= 4) {
+        error = "gpu index out of range (0..3)";
+        return false;
+      }
+    } else if (flag == "--dtype") {
+      const char* v = next();
+      if (!v || !numeric::parse_dtype(v, opts.dtype)) {
+        error = "unknown dtype";
+        return false;
+      }
+    } else if (flag == "--pattern") {
+      const char* v = next();
+      if (!v) {
+        error = "--pattern needs a DSL string";
+        return false;
+      }
+      opts.pattern = v;
+    } else if (flag == "--figure") {
+      const char* v = next();
+      core::FigureId id;
+      if (!v || !core::parse_figure_id(v, id)) {
+        error = "unknown figure id";
+        return false;
+      }
+      opts.figure = id;
+    } else if (flag == "--n") {
+      const char* v = next();
+      if (!v) {
+        error = "--n needs a size";
+        return false;
+      }
+      opts.env.n = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--seeds") {
+      const char* v = next();
+      if (!v) {
+        error = "--seeds needs a count";
+        return false;
+      }
+      opts.env.seeds = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (flag == "--tiles") {
+      const char* v = next();
+      if (!v) {
+        error = "--tiles needs a count";
+        return false;
+      }
+      opts.env.tiles = std::strtoul(v, nullptr, 10);
+    } else if (flag == "--kfrac") {
+      const char* v = next();
+      if (!v) {
+        error = "--kfrac needs a fraction";
+        return false;
+      }
+      opts.env.k_fraction = std::strtod(v, nullptr);
+    } else {
+      error = "unknown option '" + std::string(flag) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_pattern_or_die(const Options& opts, core::PatternSpec& spec) {
+  const auto parsed = core::parse_pattern(opts.pattern);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "pattern error at offset %zu: %s\n",
+                 parsed.error_pos, parsed.error.c_str());
+    return false;
+  }
+  spec = parsed.spec;
+  return true;
+}
+
+int cmd_discovery() {
+  analysis::Table table(
+      {"idx", "name", "TDP (W)", "memory", "SMs", "boost (MHz)"});
+  for (unsigned i = 0; i < 4; ++i) {
+    const auto& dev = gpusim::device(kGpuByIndex[i]);
+    table.add_row({std::to_string(i), std::string(dev.name),
+                   analysis::fixed(dev.tdp_w, 0),
+                   std::string(gpusim::name(dev.memory)),
+                   std::to_string(dev.sm_count),
+                   analysis::fixed(dev.boost_clock_ghz * 1000.0, 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+core::ExperimentConfig make_config(const Options& opts,
+                                   const core::PatternSpec& spec) {
+  core::ExperimentConfig config;
+  config.gpu = kGpuByIndex[opts.gpu_index];
+  config.dtype = opts.dtype;
+  config.pattern = spec;
+  opts.env.apply(config);
+  return config;
+}
+
+int cmd_dmon(const Options& opts) {
+  core::PatternSpec spec;
+  if (!parse_pattern_or_die(opts, spec)) return 1;
+  const auto config = make_config(opts, spec);
+
+  // Single-replica run so the sample stream is concrete, then the full
+  // multi-seed summary.
+  gpusim::SimOptions sim_options;
+  sim_options.sampling = config.sampling;
+  const gpusim::GpuSimulator sim(config.gpu, sim_options);
+  const auto problem =
+      gemm::GemmProblem{config.n, config.n, config.n, 1.0f, 0.0f,
+                        spec.transpose_b};
+  telemetry::SamplerConfig sampler;
+  gpusim::PowerReport report;
+  switch (opts.dtype) {
+    case numeric::DType::kFP32: {
+      const auto in = core::build_inputs<float>(spec, opts.dtype, config.n, 42);
+      report = sim.run_gemm(problem, opts.dtype, in.a, in.b);
+      break;
+    }
+    case numeric::DType::kFP16:
+    case numeric::DType::kFP16T: {
+      const auto in = core::build_inputs<numeric::float16_t>(spec, opts.dtype,
+                                                             config.n, 42);
+      report = sim.run_gemm(problem, opts.dtype, in.a, in.b);
+      break;
+    }
+    case numeric::DType::kINT8: {
+      const auto in = core::build_inputs<numeric::int8_value_t>(
+          spec, opts.dtype, config.n, 42);
+      report = sim.run_gemm(problem, opts.dtype, in.a, in.b);
+      break;
+    }
+  }
+  const auto trace =
+      telemetry::sample_run(report, config.effective_iterations(), sampler);
+
+  std::printf("# gpowerctl dmon: %s, %s, pattern: %s\n",
+              std::string(gpusim::name(config.gpu)).c_str(),
+              std::string(numeric::name(opts.dtype)).c_str(),
+              core::to_dsl(spec).c_str());
+  std::printf("#  t(s)   power(W)\n");
+  const std::size_t stride = std::max<std::size_t>(1, trace.size() / 20);
+  for (std::size_t i = 0; i < trace.size(); i += stride) {
+    std::printf("  %6.2f  %8.2f\n", trace.samples()[i].t_s,
+                trace.samples()[i].power_w);
+  }
+  const auto result = core::run_experiment(config);
+  std::printf(
+      "\nsummary (%d seeds, first %.0f ms trimmed):\n"
+      "  power        %.2f W (std %.2f)\n"
+      "  iteration    %.3f ms   energy/iter %.4f J\n"
+      "  clock        %.0f%%%s   alignment %.3f   weight %.3f\n",
+      result.seeds, sampler.warmup_trim_s * 1000.0, result.power_w,
+      result.power_std_w, result.iteration_s * 1e3, result.energy_per_iter_j,
+      result.clock_frac * 100.0, result.throttled ? " (THROTTLED)" : "",
+      result.alignment, result.weight_fraction);
+  return 0;
+}
+
+int cmd_sweep(const Options& opts) {
+  if (!opts.figure) {
+    std::fprintf(stderr, "sweep needs --figure (fig3a..fig6d)\n");
+    return 2;
+  }
+  const auto sweep = core::figure_sweep(*opts.figure);
+  if (!opts.json) {
+    std::printf("%s on %s, %s\n",
+                std::string(core::figure_name(*opts.figure)).c_str(),
+                std::string(gpusim::name(kGpuByIndex[opts.gpu_index])).c_str(),
+                std::string(numeric::name(opts.dtype)).c_str());
+  }
+  analysis::Table table({std::string(core::figure_axis(*opts.figure)),
+                         "power (W)", "std (W)", "alignment", "weight"});
+  std::vector<core::SweepEntry> entries;
+  for (const auto& point : sweep) {
+    auto config = make_config(opts, point.spec);
+    const auto result = core::run_experiment(config);
+    entries.push_back({point, result});
+    table.add_row(point.label,
+                  {result.power_w, result.power_std_w, result.alignment,
+                   result.weight_fraction},
+                  3);
+  }
+  if (opts.json) {
+    const auto base = make_config(opts, core::baseline_gaussian_spec());
+    std::printf("%s\n",
+                core::sweep_to_json(*opts.figure, base, entries)
+                    .dump(/*pretty=*/true)
+                    .c_str());
+  } else if (opts.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+core::DataFeatures features_for(const core::PatternSpec& spec,
+                                numeric::DType dtype, std::size_t n) {
+  switch (dtype) {
+    case numeric::DType::kFP32: {
+      const auto in = core::build_inputs<float>(spec, dtype, n, 42);
+      return core::extract_features(in.a, in.b);
+    }
+    case numeric::DType::kFP16:
+    case numeric::DType::kFP16T: {
+      const auto in = core::build_inputs<numeric::float16_t>(spec, dtype, n, 42);
+      return core::extract_features(in.a, in.b);
+    }
+    case numeric::DType::kINT8: {
+      const auto in =
+          core::build_inputs<numeric::int8_value_t>(spec, dtype, n, 42);
+      return core::extract_features(in.a, in.b);
+    }
+  }
+  return {};
+}
+
+int cmd_features(const Options& opts) {
+  core::PatternSpec spec;
+  if (!parse_pattern_or_die(opts, spec)) return 1;
+  const core::DataFeatures features =
+      features_for(spec, opts.dtype, opts.env.n);
+  std::printf("pattern: %s\n", core::to_dsl(spec).c_str());
+  std::printf("  weight_fraction       %.4f\n", features.weight_fraction);
+  std::printf("  neighbor_toggles      %.4f\n", features.neighbor_toggles);
+  std::printf("  alignment             %.4f\n", features.alignment);
+  std::printf("  zero_fraction         %.4f\n", features.zero_fraction);
+  std::printf("  significand_activity  %.4f\n", features.significand_activity);
+  std::printf("  exponent_weight       %.4f\n", features.exponent_weight);
+  return 0;
+}
+
+int cmd_predict(const Options& opts) {
+  core::PatternSpec spec;
+  if (!parse_pattern_or_die(opts, spec)) return 1;
+
+  // Train on a few representative sweeps at the configured size.
+  std::printf("training input-dependent power model (%s, n=%zu)...\n",
+              std::string(numeric::name(opts.dtype)).c_str(), opts.env.n);
+  std::vector<core::PowerSample> samples;
+  for (const auto fig :
+       {core::FigureId::kFig3bDistributionMean,
+        core::FigureId::kFig5bSortedAligned, core::FigureId::kFig6aSparsity,
+        core::FigureId::kFig4bLsbRandomized, core::FigureId::kFig6cLsbZeroed}) {
+    for (const auto& point : core::figure_sweep(fig)) {
+      auto config = make_config(opts, point.spec);
+      config.seeds = 1;
+      const auto result = core::run_experiment(config);
+      core::PowerSample sample;
+      sample.power_w = result.power_w;
+      sample.features = features_for(point.spec, opts.dtype, opts.env.n);
+      samples.push_back(sample);
+    }
+  }
+  const auto model = core::InputDependentPowerModel::fit(samples);
+  std::printf("trained on %zu samples, R^2 = %.3f\n", samples.size(),
+              model.r2(samples));
+
+  const double predicted =
+      model.predict(features_for(spec, opts.dtype, opts.env.n));
+  auto config = make_config(opts, spec);
+  const auto measured = core::run_experiment(config);
+  std::printf("pattern:   %s\n", core::to_dsl(spec).c_str());
+  std::printf("predicted: %.2f W (no kernel walk)\n", predicted);
+  std::printf("simulated: %.2f W (error %+.2f W)\n", measured.power_w,
+              predicted - measured.power_w);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::string error;
+  if (!parse_args(argc, argv, opts, error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return usage(argv[0]);
+  }
+  if (opts.command == "discovery") return cmd_discovery();
+  if (opts.command == "dmon") return cmd_dmon(opts);
+  if (opts.command == "sweep") return cmd_sweep(opts);
+  if (opts.command == "features") return cmd_features(opts);
+  if (opts.command == "predict") return cmd_predict(opts);
+  std::fprintf(stderr, "error: unknown command '%s'\n", opts.command.c_str());
+  return usage(argv[0]);
+}
