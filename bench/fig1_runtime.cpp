@@ -3,7 +3,8 @@
 // level consistency), since every experiment launches the same CUTLASS
 // kernel on the same shape.  This bench runs every figure sweep and reports
 // mean iteration runtime per datatype plus the spread across experiments —
-// the "error bars a magnitude smaller" observation.
+// the "error bars a magnitude smaller" observation.  All experiment cells
+// are submitted to the ExperimentEngine up front and collected in order.
 #include <cstdio>
 #include <iostream>
 
@@ -16,27 +17,40 @@ int main() {
   const core::BenchEnv env = core::read_bench_env();
   bench::print_preamble(env, "Fig. 1: average iteration runtime by datatype");
 
+  core::ExperimentEngine engine = bench::make_engine(env);
+
+  // Pool one representative point from every figure sweep plus the
+  // baseline, mirroring "across all experiments".
+  std::vector<core::PatternSpec> specs{core::baseline_gaussian_spec()};
+  for (const auto fig : core::kAllFigures) {
+    const auto sweep = core::figure_sweep(fig);
+    specs.push_back(sweep[sweep.size() / 2].spec);
+  }
+
+  std::vector<std::vector<core::ExperimentHandle>> handles_by_dtype;
+  for (const auto dtype : numeric::kAllDTypes) {
+    std::vector<core::ExperimentHandle> handles;
+    for (const auto& spec : specs) {
+      const auto config = core::ExperimentConfigBuilder()
+                              .dtype(dtype)
+                              .env(env)
+                              .seeds(1)  // runtime is deterministic given shape
+                              .pattern(spec)
+                              .build();
+      handles.push_back(engine.submit(config));
+    }
+    handles_by_dtype.push_back(std::move(handles));
+  }
+  engine.wait_all();
+
   analysis::Table table({"datatype", "mean iter (ms)", "spread (us)",
                          "experiments"});
-  for (const auto dtype : numeric::kAllDTypes) {
+  for (std::size_t d = 0; d < std::size(numeric::kAllDTypes); ++d) {
     analysis::RunningStats runtime_ms;
-    // Pool one representative point from every figure sweep plus the
-    // baseline, mirroring "across all experiments".
-    std::vector<core::PatternSpec> specs{core::baseline_gaussian_spec()};
-    for (const auto fig : core::kAllFigures) {
-      const auto sweep = core::figure_sweep(fig);
-      specs.push_back(sweep[sweep.size() / 2].spec);
+    for (const auto& handle : handles_by_dtype[d]) {
+      runtime_ms.add(handle.get().iteration_s * 1e3);
     }
-    for (const auto& spec : specs) {
-      core::ExperimentConfig config;
-      config.dtype = dtype;
-      config.pattern = spec;
-      env.apply(config);
-      config.seeds = 1;  // runtime is deterministic given the shape
-      const auto result = core::run_experiment(config);
-      runtime_ms.add(result.iteration_s * 1e3);
-    }
-    table.add_row(std::string(numeric::name(dtype)),
+    table.add_row(std::string(numeric::name(numeric::kAllDTypes[d])),
                   {runtime_ms.mean(),
                    (runtime_ms.max() - runtime_ms.min()) * 1e3,
                    static_cast<double>(runtime_ms.count())},
@@ -46,5 +60,6 @@ int main() {
   std::printf(
       "\nRuntime depends only on shape and datapath throughput, never on the\n"
       "input bits — the spread column is the max-min across experiments.\n");
+  bench::print_engine_stats(engine);
   return 0;
 }

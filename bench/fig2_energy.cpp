@@ -1,7 +1,8 @@
 // Fig. 2: average iteration energy by datatype for GEMM filled with
 // Gaussian random variables (mean 0, stddev 210 FP / 25 INT8).  Energy
 // tracks runtime (FP32 slowest => most energy per iteration) even though
-// power ordering differs — the paper's argument for reporting power.
+// power ordering differs — the paper's argument for reporting power.  The
+// four datatype runs execute concurrently on the ExperimentEngine.
 #include <cstdio>
 #include <iostream>
 
@@ -14,19 +15,27 @@ int main() {
   bench::print_preamble(
       env, "Fig. 2: average iteration energy, Gaussian random inputs");
 
+  core::ExperimentEngine engine = bench::make_engine(env);
+  std::vector<core::ExperimentHandle> handles;
+  for (const auto dtype : numeric::kAllDTypes) {
+    handles.push_back(engine.submit(core::ExperimentConfigBuilder()
+                                        .dtype(dtype)
+                                        .env(env)
+                                        .pattern(core::baseline_gaussian_spec())
+                                        .build()));
+  }
+  engine.wait_all();
+
   analysis::Table table(
       {"datatype", "energy/iter (mJ)", "iter (ms)", "power (W)"});
-  for (const auto dtype : numeric::kAllDTypes) {
-    core::ExperimentConfig config;
-    config.dtype = dtype;
-    config.pattern = core::baseline_gaussian_spec();
-    env.apply(config);
-    const auto result = core::run_experiment(config);
-    table.add_row(std::string(numeric::name(dtype)),
+  for (std::size_t d = 0; d < std::size(numeric::kAllDTypes); ++d) {
+    const auto& result = handles[d].get();
+    table.add_row(std::string(numeric::name(numeric::kAllDTypes[d])),
                   {result.energy_per_iter_j * 1e3, result.iteration_s * 1e3,
                    result.power_w},
                   3);
   }
   table.print(std::cout);
+  bench::print_engine_stats(engine);
   return 0;
 }

@@ -1,8 +1,8 @@
 // Regenerates fig4a of "Input-Dependent Power Usage in GPUs" (SC'24):
-// see core/figures.cpp for the sweep definition.
+// see core/figures.cpp for the sweep definition; runs batched on the
+// ExperimentEngine (bench/fig_harness.hpp).
 #include "fig_harness.hpp"
 
 int main() {
-  gpupower::bench::run_figure(gpupower::core::FigureId::kFig4aRandomBitFlips);
-  return 0;
+  return gpupower::bench::run_figure(gpupower::core::FigureId::kFig4aRandomBitFlips);
 }

@@ -2,9 +2,15 @@
 // paper figure, each printing the figure's series (power in watts per sweep
 // point, one column per datatype) exactly as the paper plots them.
 //
+// The harness runs on the ExperimentEngine: every (sweep point x datatype)
+// cell is submitted up front, fans out across the worker pool, and shared
+// points (e.g. the baseline column that several figures repeat) are served
+// from the engine cache.  Results are bit-identical to the serial path.
+//
 // Environment knobs (see core/env.hpp): GPUPOWER_N, GPUPOWER_SEEDS,
-// GPUPOWER_TILES, GPUPOWER_KFRAC, GPUPOWER_CSV.  Defaults favour CI speed;
-// GPUPOWER_N=2048 GPUPOWER_SEEDS=10 reproduces the paper's protocol.
+// GPUPOWER_TILES, GPUPOWER_KFRAC, GPUPOWER_WORKERS, GPUPOWER_CSV.  Defaults
+// favour CI speed; GPUPOWER_N=2048 GPUPOWER_SEEDS=10 reproduces the paper's
+// protocol.
 #pragma once
 
 #include <cstdio>
@@ -13,8 +19,9 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "core/config_builder.hpp"
+#include "core/engine.hpp"
 #include "core/env.hpp"
-#include "core/experiment.hpp"
 #include "core/figures.hpp"
 
 namespace gpupower::bench {
@@ -35,28 +42,52 @@ inline void print_preamble(const core::BenchEnv& env, std::string_view title) {
   std::printf("\n");
 }
 
-/// Runs a figure's sweep for all four datatypes and prints the series table.
-inline void run_figure(core::FigureId id) {
+inline core::ExperimentEngine make_engine(const core::BenchEnv& env) {
+  core::EngineOptions options;
+  options.workers = env.workers;
+  return core::ExperimentEngine(options);
+}
+
+inline void print_engine_stats(const core::ExperimentEngine& engine) {
+  const core::EngineStats stats = engine.stats();
+  std::printf(
+      "\nengine: %d worker(s), %llu experiment(s) submitted, %llu computed, "
+      "%llu cache hit(s)\n",
+      engine.workers(), static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.jobs_computed),
+      static_cast<unsigned long long>(stats.cache_hits));
+}
+
+/// Runs a figure's sweep for all four datatypes through the engine and
+/// prints the series table.  Returns the process exit code.
+inline int run_figure(core::FigureId id) {
   const core::BenchEnv env = core::read_bench_env();
   print_preamble(env, core::figure_name(id));
 
-  const auto sweep = core::figure_sweep(id);
+  core::ExperimentEngine engine = make_engine(env);
+
+  // One sweep per datatype, all in flight at once.
+  std::vector<core::SweepRun> runs;
+  for (const auto dtype : numeric::kAllDTypes) {
+    const core::ExperimentConfig base =
+        core::ExperimentConfigBuilder().dtype(dtype).env(env).build();
+    runs.push_back(engine.submit_sweep(id, base));
+  }
+  engine.wait_all();
+
   std::vector<std::string> headers{std::string(core::figure_axis(id))};
   for (const auto dtype : numeric::kAllDTypes) {
     headers.push_back(std::string(numeric::name(dtype)) + " (W)");
   }
   analysis::Table table(std::move(headers));
 
-  for (const auto& point : sweep) {
+  const std::size_t n_points = runs.front().points.size();
+  for (std::size_t p = 0; p < n_points; ++p) {
     std::vector<double> row;
-    for (const auto dtype : numeric::kAllDTypes) {
-      core::ExperimentConfig config;
-      config.dtype = dtype;
-      config.pattern = point.spec;
-      env.apply(config);
-      row.push_back(core::run_experiment(config).power_w);
+    for (const core::SweepRun& run : runs) {
+      row.push_back(run.handles[p].get().power_w);
     }
-    table.add_row(point.label, row, 1);
+    table.add_row(runs.front().points[p].label, row, 1);
   }
 
   table.print(std::cout);
@@ -64,6 +95,8 @@ inline void run_figure(core::FigureId id) {
     std::printf("\nCSV:\n");
     table.print_csv(std::cout);
   }
+  print_engine_stats(engine);
+  return 0;
 }
 
 }  // namespace gpupower::bench

@@ -2,17 +2,19 @@
 // provisioned per worst case (a DGX-H100 node reserves 10 kW for 8 GPUs),
 // but the paper shows the *input data* moves per-GPU draw by tens of watts.
 // This example runs the input-dependent power model across the four
-// simulated GPUs and three workload input profiles, and reports how much
-// provisioning headroom an input-aware scheduler could reclaim per GPU and
-// per 1000-GPU cluster.
+// simulated GPUs and three workload input profiles — all twelve experiments
+// batched on the ExperimentEngine — and reports how much provisioning
+// headroom an input-aware scheduler could reclaim per GPU and per 1000-GPU
+// cluster.
 //
 //   ./build/examples/datacenter_provisioning
 #include <cstdio>
 #include <iostream>
 
 #include "analysis/table.hpp"
+#include "core/config_builder.hpp"
+#include "core/engine.hpp"
 #include "core/env.hpp"
-#include "core/experiment.hpp"
 #include "core/figures.hpp"
 
 int main() {
@@ -43,23 +45,39 @@ int main() {
                         return s;
                       }()});
 
-  for (const auto gpu :
-       {gpusim::GpuModel::kA100PCIe, gpusim::GpuModel::kH100SXM,
-        gpusim::GpuModel::kV100SXM2, gpusim::GpuModel::kRTX6000}) {
-    const auto& dev = gpusim::device(gpu);
+  constexpr gpusim::GpuModel kGpus[] = {
+      gpusim::GpuModel::kA100PCIe, gpusim::GpuModel::kH100SXM,
+      gpusim::GpuModel::kV100SXM2, gpusim::GpuModel::kRTX6000};
+
+  // All (gpu x profile) experiments in flight at once.
+  core::EngineOptions engine_options;
+  engine_options.workers = env.workers;
+  core::ExperimentEngine engine(engine_options);
+  std::vector<std::vector<core::ExperimentHandle>> handles_by_gpu;
+  for (const auto gpu : kGpus) {
+    std::vector<core::ExperimentHandle> handles;
+    for (const auto& profile : profiles) {
+      handles.push_back(engine.submit(core::ExperimentConfigBuilder()
+                                          .gpu(gpu)
+                                          .dtype(numeric::DType::kFP16T)
+                                          .env(env)
+                                          .pattern(profile.spec)
+                                          .build()));
+    }
+    handles_by_gpu.push_back(std::move(handles));
+  }
+  engine.wait_all();
+
+  for (std::size_t g = 0; g < std::size(kGpus); ++g) {
+    const auto& dev = gpusim::device(kGpus[g]);
     analysis::Table table({"input profile", "power (W)", "vs TDP"});
     double worst = 0.0;
     double best = 1e30;
-    for (const auto& profile : profiles) {
-      core::ExperimentConfig config;
-      config.gpu = gpu;
-      config.dtype = numeric::DType::kFP16T;
-      config.pattern = profile.spec;
-      env.apply(config);
-      const auto result = core::run_experiment(config);
+    for (std::size_t p = 0; p < profiles.size(); ++p) {
+      const auto& result = handles_by_gpu[g][p].get();
       worst = std::max(worst, result.power_w);
       best = std::min(best, result.power_w);
-      table.add_row({profile.name, analysis::fixed(result.power_w, 1),
+      table.add_row({profiles[p].name, analysis::fixed(result.power_w, 1),
                      analysis::fixed(100.0 * result.power_w / dev.tdp_w, 1) +
                          " %"});
     }

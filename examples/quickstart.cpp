@@ -2,16 +2,21 @@
 // with Gaussian random inputs on an A100 — for all four datatype setups, and
 // print the DCGM-style reported power, runtime, and the per-rail breakdown.
 //
+// The four runs go through the ExperimentEngine: built with the fluent
+// ExperimentConfigBuilder, submitted as a batch, executed on the worker
+// pool, and collected in order.
+//
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/quickstart            # fast sampled run at N=512
 //   GPUPOWER_N=2048 GPUPOWER_SEEDS=10 ./build/examples/quickstart
 #include <cstdio>
 #include <iostream>
 
 #include "analysis/table.hpp"
+#include "core/config_builder.hpp"
+#include "core/engine.hpp"
 #include "core/env.hpp"
-#include "core/experiment.hpp"
 #include "core/figures.hpp"
 
 int main() {
@@ -21,17 +26,26 @@ int main() {
   std::printf("gpupower quickstart: %zux%zu GEMM, %d seed(s), A100 PCIe\n\n",
               env.n, env.n, env.seeds);
 
+  core::EngineOptions options;
+  options.workers = env.workers;
+  core::ExperimentEngine engine(options);
+
+  std::vector<core::ExperimentHandle> handles;
+  for (const auto dtype : numeric::kAllDTypes) {
+    handles.push_back(engine.submit(core::ExperimentConfigBuilder()
+                                        .dtype(dtype)
+                                        .env(env)
+                                        .pattern(core::baseline_gaussian_spec())
+                                        .build()));
+  }
+  engine.wait_all();
+
   analysis::Table table({"datatype", "power (W)", "std (W)", "iter (ms)",
                          "energy/iter (J)", "fetch W", "operand W", "multiply W",
                          "accum W", "issue W"});
-
-  for (const auto dtype : numeric::kAllDTypes) {
-    core::ExperimentConfig config;
-    config.dtype = dtype;
-    config.pattern = core::baseline_gaussian_spec();
-    env.apply(config);
-    const core::ExperimentResult r = core::run_experiment(config);
-    table.add_row(std::string(numeric::name(dtype)),
+  for (std::size_t d = 0; d < std::size(numeric::kAllDTypes); ++d) {
+    const core::ExperimentResult& r = handles[d].get();
+    table.add_row(std::string(numeric::name(numeric::kAllDTypes[d])),
                   {r.power_w, r.power_std_w, r.iteration_s * 1e3,
                    r.energy_per_iter_j, r.rails.fetch_w, r.rails.operand_w,
                    r.rails.multiply_w, r.rails.accum_w, r.rails.issue_w},

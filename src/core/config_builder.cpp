@@ -1,0 +1,196 @@
+#include "core/config_builder.hpp"
+
+#include <cstdio>
+
+#include "core/pattern_dsl.hpp"
+#include "gpusim/device.hpp"
+
+namespace gpupower::core {
+namespace {
+
+// Matches the [64, 65536] range env.cpp enforces for GPUPOWER_N, so a
+// config is constructible through the builder iff it is reachable through
+// the environment knobs.
+constexpr std::size_t kMinN = 64;
+constexpr std::size_t kMaxN = 1 << 16;
+constexpr int kMaxSeeds = 10000;
+constexpr std::size_t kMaxIterations = 1000000000;
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void ExperimentConfigBuilder::fail(std::string message) {
+  if (error_.empty()) error_ = std::move(message);
+}
+
+ExperimentConfigBuilder& ExperimentConfigBuilder::gpu(
+    gpupower::gpusim::GpuModel model) {
+  config_.gpu = model;
+  return *this;
+}
+
+ExperimentConfigBuilder& ExperimentConfigBuilder::dtype(
+    gpupower::numeric::DType dtype) {
+  config_.dtype = dtype;
+  return *this;
+}
+
+ExperimentConfigBuilder& ExperimentConfigBuilder::dtype(std::string_view name) {
+  gpupower::numeric::DType parsed;
+  if (!gpupower::numeric::parse_dtype(name, parsed)) {
+    fail("unknown dtype '" + std::string(name) +
+         "' (expected fp32 | fp16 | fp16t | int8)");
+    return *this;
+  }
+  config_.dtype = parsed;
+  return *this;
+}
+
+ExperimentConfigBuilder& ExperimentConfigBuilder::n(std::size_t n) {
+  if (n < kMinN || n > kMaxN) {
+    fail("n=" + std::to_string(n) + " out of range [" + std::to_string(kMinN) +
+         ", " + std::to_string(kMaxN) + "]");
+    return *this;
+  }
+  config_.n = n;
+  return *this;
+}
+
+ExperimentConfigBuilder& ExperimentConfigBuilder::seeds(int seeds) {
+  if (seeds < 1 || seeds > kMaxSeeds) {
+    fail("seeds=" + std::to_string(seeds) + " out of range [1, " +
+         std::to_string(kMaxSeeds) + "]");
+    return *this;
+  }
+  config_.seeds = seeds;
+  return *this;
+}
+
+ExperimentConfigBuilder& ExperimentConfigBuilder::iterations(
+    std::size_t iterations) {
+  if (iterations > kMaxIterations) {
+    fail("iterations=" + std::to_string(iterations) + " out of range [0, " +
+         std::to_string(kMaxIterations) + "]");
+    return *this;
+  }
+  config_.iterations = iterations;
+  return *this;
+}
+
+ExperimentConfigBuilder& ExperimentConfigBuilder::base_seed(
+    std::uint64_t seed) {
+  config_.base_seed = seed;
+  return *this;
+}
+
+ExperimentConfigBuilder& ExperimentConfigBuilder::pattern(
+    const PatternSpec& spec) {
+  config_.pattern = spec;
+  return *this;
+}
+
+ExperimentConfigBuilder& ExperimentConfigBuilder::pattern(
+    std::string_view dsl) {
+  const ParseResult parsed = parse_pattern(dsl);
+  if (!parsed.ok) {
+    fail("pattern DSL error at offset " + std::to_string(parsed.error_pos) +
+         ": " + parsed.error);
+    return *this;
+  }
+  config_.pattern = parsed.spec;
+  return *this;
+}
+
+ExperimentConfigBuilder& ExperimentConfigBuilder::sampling(
+    const gpupower::gpusim::SamplingPlan& plan) {
+  if (plan.k_fraction <= 0.0 || plan.k_fraction > 1.0) {
+    fail("sampling.k_fraction=" + format_double(plan.k_fraction) +
+         " out of range (0, 1]");
+    return *this;
+  }
+  config_.sampling = plan;
+  return *this;
+}
+
+ExperimentConfigBuilder& ExperimentConfigBuilder::sampler(
+    const telemetry::SamplerConfig& config) {
+  if (config.period_s <= 0.0 || config.warmup_trim_s < 0.0) {
+    fail("sampler period must be positive and warmup trim non-negative");
+    return *this;
+  }
+  config_.sampler = config;
+  return *this;
+}
+
+ExperimentConfigBuilder& ExperimentConfigBuilder::variation(
+    const gpupower::gpusim::ProcessVariation& variation) {
+  config_.variation = variation;
+  return *this;
+}
+
+ExperimentConfigBuilder& ExperimentConfigBuilder::env(const BenchEnv& env) {
+  // Route through the validating setters so a BenchEnv assembled outside
+  // read_bench_env (e.g. from CLI flags) cannot smuggle in out-of-range
+  // values.
+  n(env.n);
+  seeds(env.seeds);
+  gpupower::gpusim::SamplingPlan plan = config_.sampling;
+  plan.max_tiles = env.tiles;
+  plan.k_fraction = env.k_fraction;
+  sampling(plan);
+  return *this;
+}
+
+std::optional<ExperimentConfig> ExperimentConfigBuilder::try_build() const {
+  if (!valid()) return std::nullopt;
+  return config_;
+}
+
+std::string canonical_config_key(const ExperimentConfig& config) {
+  std::string key;
+  key.reserve(192);
+  key += "gpu=";
+  key += gpupower::gpusim::name(config.gpu);
+  key += "|dtype=";
+  key += gpupower::numeric::name(config.dtype);
+  key += "|n=" + std::to_string(config.n);
+  key += "|seeds=" + std::to_string(config.seeds);
+  key += "|iters=" + std::to_string(config.effective_iterations());
+  key += "|base=" + std::to_string(config.base_seed);
+  key += "|samp=" + std::to_string(config.sampling.max_tiles) + ":" +
+         format_double(config.sampling.k_fraction) + ":" +
+         std::to_string(config.sampling.seed);
+  key += "|smpl=" + format_double(config.sampler.period_s) + ":" +
+         format_double(config.sampler.warmup_trim_s) + ":" +
+         format_double(config.sampler.ramp_tau_s) + ":" +
+         format_double(config.sampler.noise_sigma_w);
+  key += "|var=";
+  if (config.variation) {
+    key += format_double(config.variation->sigma_fraction) + ":" +
+           std::to_string(config.variation->instance);
+  } else {
+    key += "none";
+  }
+  // to_dsl keeps the key human-readable, but rounds doubles to ~6
+  // significant digits; append the pattern's raw scalars at full precision
+  // so near-identical specs never collide.
+  key += "|pattern=" + to_dsl(config.pattern);
+  key += "|praw=" + std::to_string(static_cast<int>(config.pattern.value)) +
+         ":" + format_double(config.pattern.mean) + ":" +
+         format_double(config.pattern.sigma) + ":" +
+         std::to_string(config.pattern.set_size) + ":" +
+         std::to_string(static_cast<int>(config.pattern.place)) + ":" +
+         format_double(config.pattern.sort_percent) + ":" +
+         format_double(config.pattern.sparsity) + ":" +
+         std::to_string(static_cast<int>(config.pattern.bitop)) + ":" +
+         format_double(config.pattern.bit_fraction) + ":" +
+         (config.pattern.transpose_b ? "t" : "n");
+  return key;
+}
+
+}  // namespace gpupower::core

@@ -1,0 +1,82 @@
+// ExperimentConfigBuilder: fluent, validating construction of
+// ExperimentConfig — the front door of the ExperimentEngine API.  Composes
+// GPU model, datatype, problem size, seeds, and the input pattern given
+// either as a PatternSpec or as a pattern-DSL string (core/pattern_dsl.hpp),
+// so callers never hand-assemble configs or hand-parse DSL.
+//
+//   const auto config = ExperimentConfigBuilder()
+//                           .gpu(gpusim::GpuModel::kA100PCIe)
+//                           .dtype("fp16t")
+//                           .n(2048)
+//                           .seeds(10)
+//                           .pattern("gaussian(sigma=210) | sparsity(25%)")
+//                           .build();
+//
+// Errors (bad DSL, out-of-range sizes, unknown dtype names) are collected
+// rather than thrown: check `valid()` / `error()`, or use `try_build()`.
+// The first error encountered wins, pointing at the root cause.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/env.hpp"
+#include "core/experiment.hpp"
+
+namespace gpupower::core {
+
+class ExperimentConfigBuilder {
+ public:
+  ExperimentConfigBuilder() = default;
+
+  ExperimentConfigBuilder& gpu(gpupower::gpusim::GpuModel model);
+  ExperimentConfigBuilder& dtype(gpupower::numeric::DType dtype);
+  /// Parses "fp32" / "fp16" / "fp16t" / "int8"; unknown names record an
+  /// error.
+  ExperimentConfigBuilder& dtype(std::string_view name);
+  ExperimentConfigBuilder& n(std::size_t n);
+  ExperimentConfigBuilder& seeds(int seeds);
+  /// 0 keeps the paper default (20k FP16-T, 10k others).
+  ExperimentConfigBuilder& iterations(std::size_t iterations);
+  ExperimentConfigBuilder& base_seed(std::uint64_t seed);
+  ExperimentConfigBuilder& pattern(const PatternSpec& spec);
+  /// Parses a pattern-DSL string; parse failures record the parser's
+  /// message and byte offset.
+  ExperimentConfigBuilder& pattern(std::string_view dsl);
+  ExperimentConfigBuilder& sampling(const gpupower::gpusim::SamplingPlan& plan);
+  ExperimentConfigBuilder& sampler(const telemetry::SamplerConfig& config);
+  ExperimentConfigBuilder& variation(
+      const gpupower::gpusim::ProcessVariation& variation);
+  /// Applies the GPUPOWER_* environment knobs (n, seeds, sampling plan)
+  /// through the validating setters, so out-of-range values recorded into a
+  /// BenchEnv by hand (e.g. from CLI flags) surface as builder errors.
+  ExperimentConfigBuilder& env(const BenchEnv& env);
+
+  [[nodiscard]] bool valid() const noexcept { return error_.empty(); }
+  /// First validation error, empty when valid().
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// The assembled config.  Call only when valid(); on an invalid builder
+  /// this still returns the partially-assembled config, so prefer
+  /// try_build() when the inputs are untrusted.
+  [[nodiscard]] ExperimentConfig build() const { return config_; }
+  /// std::nullopt when any setter recorded an error.
+  [[nodiscard]] std::optional<ExperimentConfig> try_build() const;
+
+ private:
+  void fail(std::string message);
+
+  ExperimentConfig config_;
+  std::string error_;
+};
+
+/// Canonical cache key for a config: the pattern serialised through
+/// `to_dsl` (human-readable) plus every scalar field that influences the
+/// result — including the pattern's raw scalars — at "%.17g" precision so
+/// distinct configs never collide.  Two configs with equal keys produce
+/// bit-identical ExperimentResults.
+[[nodiscard]] std::string canonical_config_key(const ExperimentConfig& config);
+
+}  // namespace gpupower::core

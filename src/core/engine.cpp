@@ -1,0 +1,256 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "core/config_builder.hpp"
+
+namespace gpupower::core {
+namespace detail {
+
+struct ExperimentJob {
+  ExperimentConfig config;
+  std::vector<SeedReplicaResult> replicas;  ///< slot per seed, disjoint writes
+  std::atomic<int> remaining{0};
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  bool done = false;
+  ExperimentResult result;
+  std::exception_ptr error;
+
+  void wait() const {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [this] { return done; });
+  }
+};
+
+struct SeedTask {
+  std::shared_ptr<ExperimentJob> job;
+  int seed_index = 0;
+};
+
+struct EngineState {
+  EngineOptions options;
+  int worker_count = 1;
+  std::vector<std::thread> threads;
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<SeedTask> queue;
+  bool stop = false;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::uint64_t outstanding = 0;
+
+  mutable std::mutex cache_mutex;
+  std::unordered_map<std::string, std::shared_ptr<ExperimentJob>> cache;
+  EngineStats stats;
+  std::atomic<std::uint64_t> replicas_run{0};
+};
+
+namespace {
+
+void finish_job(EngineState& state, const std::shared_ptr<ExperimentJob>& job) {
+  {
+    std::lock_guard lock(job->mutex);
+    if (!job->error) {
+      try {
+        job->result = reduce_replicas(job->config, job->replicas);
+      } catch (...) {
+        job->error = std::current_exception();
+      }
+    }
+    job->done = true;
+  }
+  job->cv.notify_all();
+  {
+    std::lock_guard lock(state.done_mutex);
+    --state.outstanding;
+    if (state.outstanding == 0) state.done_cv.notify_all();
+  }
+}
+
+void worker_loop(const std::shared_ptr<EngineState>& state) {
+  for (;;) {
+    SeedTask task;
+    {
+      std::unique_lock lock(state->queue_mutex);
+      state->queue_cv.wait(
+          lock, [&] { return state->stop || !state->queue.empty(); });
+      if (state->queue.empty()) {
+        if (state->stop) return;
+        continue;
+      }
+      task = std::move(state->queue.front());
+      state->queue.pop_front();
+    }
+
+    try {
+      // Disjoint slots: no lock needed for the write, the job's atomic
+      // countdown orders it before the reduction.
+      task.job->replicas[static_cast<std::size_t>(task.seed_index)] =
+          run_seed_replica(task.job->config, task.seed_index);
+    } catch (...) {
+      std::lock_guard lock(task.job->mutex);
+      if (!task.job->error) task.job->error = std::current_exception();
+    }
+    state->replicas_run.fetch_add(1, std::memory_order_relaxed);
+
+    if (task.job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      finish_job(*state, task.job);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace detail
+
+const ExperimentResult& ExperimentHandle::get() const {
+  job_->wait();
+  if (job_->error) std::rethrow_exception(job_->error);
+  return job_->result;
+}
+
+bool ExperimentHandle::ready() const {
+  std::lock_guard lock(job_->mutex);
+  return job_->done;
+}
+
+const ExperimentConfig& ExperimentHandle::config() const {
+  return job_->config;
+}
+
+std::vector<SweepEntry> SweepRun::collect() const {
+  std::vector<SweepEntry> entries;
+  entries.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    entries.push_back({points[i], handles[i].get()});
+  }
+  return entries;
+}
+
+analysis::JsonValue SweepRun::to_json() const {
+  const std::vector<SweepEntry> entries = collect();
+  return sweep_to_json(figure, base, entries);
+}
+
+ExperimentEngine::ExperimentEngine(EngineOptions options)
+    : state_(std::make_shared<detail::EngineState>()) {
+  state_->options = options;
+  int workers = options.workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  state_->worker_count = std::clamp(workers, 1, 256);
+  state_->threads.reserve(static_cast<std::size_t>(state_->worker_count));
+  for (int i = 0; i < state_->worker_count; ++i) {
+    state_->threads.emplace_back(detail::worker_loop, state_);
+  }
+}
+
+ExperimentEngine::~ExperimentEngine() {
+  wait_all();
+  {
+    std::lock_guard lock(state_->queue_mutex);
+    state_->stop = true;
+  }
+  state_->queue_cv.notify_all();
+  for (std::thread& thread : state_->threads) thread.join();
+}
+
+ExperimentHandle ExperimentEngine::submit(const ExperimentConfig& config) {
+  auto& state = *state_;
+
+  // Fully initialise the job before publishing it to the cache, so a
+  // concurrent duplicate submit sees a consistent object.
+  auto job = std::make_shared<detail::ExperimentJob>();
+  job->config = config;
+  const int seeds = std::max(config.seeds, 0);
+  job->replicas.resize(static_cast<std::size_t>(seeds));
+  job->remaining.store(seeds, std::memory_order_relaxed);
+
+  {
+    std::lock_guard lock(state.cache_mutex);
+    ++state.stats.submitted;
+    if (state.options.cache_enabled) {
+      const std::string key = canonical_config_key(config);
+      const auto [it, inserted] = state.cache.try_emplace(key, job);
+      if (!inserted) {
+        ++state.stats.cache_hits;
+        return ExperimentHandle(it->second);
+      }
+    }
+    ++state.stats.jobs_computed;
+  }
+
+  {
+    std::lock_guard lock(state.done_mutex);
+    ++state.outstanding;
+  }
+  if (seeds == 0) {
+    detail::finish_job(state, job);
+  } else {
+    {
+      std::lock_guard lock(state.queue_mutex);
+      for (int s = 0; s < seeds; ++s) state.queue.push_back({job, s});
+    }
+    state.queue_cv.notify_all();
+  }
+  return ExperimentHandle(job);
+}
+
+std::vector<ExperimentHandle> ExperimentEngine::submit_batch(
+    const std::vector<ExperimentConfig>& configs) {
+  std::vector<ExperimentHandle> handles;
+  handles.reserve(configs.size());
+  for (const ExperimentConfig& config : configs) {
+    handles.push_back(submit(config));
+  }
+  return handles;
+}
+
+SweepRun ExperimentEngine::submit_sweep(FigureId id,
+                                        const ExperimentConfig& base) {
+  SweepRun run;
+  run.figure = id;
+  run.base = base;
+  run.points = figure_sweep(id);
+  run.handles.reserve(run.points.size());
+  for (const SweepPoint& point : run.points) {
+    ExperimentConfig config = base;
+    config.pattern = point.spec;
+    run.handles.push_back(submit(config));
+  }
+  return run;
+}
+
+void ExperimentEngine::wait_all() {
+  std::unique_lock lock(state_->done_mutex);
+  state_->done_cv.wait(lock, [this] { return state_->outstanding == 0; });
+}
+
+EngineStats ExperimentEngine::stats() const {
+  std::lock_guard lock(state_->cache_mutex);
+  EngineStats stats = state_->stats;
+  stats.replicas_run = state_->replicas_run.load(std::memory_order_relaxed);
+  return stats;
+}
+
+int ExperimentEngine::workers() const noexcept { return state_->worker_count; }
+
+void ExperimentEngine::clear_cache() {
+  std::lock_guard lock(state_->cache_mutex);
+  state_->cache.clear();
+}
+
+}  // namespace gpupower::core

@@ -1,0 +1,134 @@
+// ExperimentEngine: the batched, cached, parallel front end to the
+// experiment pipeline — the long-lived subsystem that replaces one-shot
+// `run_experiment` calls for every sweep-scale workload (14 figures x 4
+// datatypes x sweep points x 10 seeds in the paper's full protocol).
+//
+//   ExperimentEngine engine;                       // worker pool sized to HW
+//   auto handle = engine.submit(config);           // non-blocking
+//   auto sweep  = engine.submit_sweep(FigureId::kFig6aSparsity, base);
+//   engine.wait_all();
+//   const ExperimentResult& r = handle.get();      // blocks if still running
+//   auto entries = sweep.collect();                // [SweepPoint, Result]...
+//   auto json    = sweep.to_json();                // analysis/json export
+//
+// Guarantees:
+//  - Results are bit-identical to the serial `run_experiment` path: seed
+//    replicas derive independent RNG streams, the engine computes them in
+//    parallel and folds them in seed order through the same
+//    `reduce_replicas` arithmetic.
+//  - Submissions are de-duplicated through an in-engine cache keyed by
+//    `canonical_config_key` (pattern in DSL form + every scalar field), so
+//    sweeps sharing points — e.g. every figure's baseline column — are
+//    computed once.  In-flight duplicates attach to the running job.
+//  - `submit` never blocks; per-seed tasks fan out across a fixed worker
+//    pool shared by all outstanding jobs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/json.hpp"
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+#include "core/report.hpp"
+
+namespace gpupower::core {
+
+namespace detail {
+struct ExperimentJob;
+struct EngineState;
+}  // namespace detail
+
+struct EngineOptions {
+  /// Worker threads; 0 sizes the pool to the hardware concurrency.
+  int workers = 0;
+  /// When false, every submission is computed even if an identical config
+  /// was already run (the cache also stops de-duplicating in-flight work).
+  bool cache_enabled = true;
+};
+
+struct EngineStats {
+  std::uint64_t submitted = 0;     ///< total submit() calls
+  std::uint64_t cache_hits = 0;    ///< submits served by an existing job
+  std::uint64_t jobs_computed = 0; ///< unique configs actually scheduled
+  std::uint64_t replicas_run = 0;  ///< seed-replica tasks executed
+
+  [[nodiscard]] std::uint64_t cache_misses() const noexcept {
+    return submitted - cache_hits;
+  }
+};
+
+/// Lightweight, copyable reference to a submitted experiment.  Handles to
+/// the same (cached) config share the underlying job and result.
+class ExperimentHandle {
+ public:
+  ExperimentHandle() = default;
+
+  /// Blocks until the experiment finishes; rethrows any worker exception.
+  /// The reference stays valid as long as any handle to the job exists.
+  [[nodiscard]] const ExperimentResult& get() const;
+  /// True once the result is available (non-blocking).
+  [[nodiscard]] bool ready() const;
+  /// The config this handle was submitted with.
+  [[nodiscard]] const ExperimentConfig& config() const;
+  [[nodiscard]] bool valid() const noexcept { return job_ != nullptr; }
+
+ private:
+  friend class ExperimentEngine;
+  explicit ExperimentHandle(std::shared_ptr<detail::ExperimentJob> job)
+      : job_(std::move(job)) {}
+
+  std::shared_ptr<detail::ExperimentJob> job_;
+};
+
+/// A figure sweep in flight: one handle per sweep point, in sweep order.
+struct SweepRun {
+  FigureId figure{};
+  ExperimentConfig base;          ///< shared scalars (pattern varies per point)
+  std::vector<SweepPoint> points;
+  std::vector<ExperimentHandle> handles;
+
+  /// Blocks until every point finishes; pairs each with its sweep point.
+  [[nodiscard]] std::vector<SweepEntry> collect() const;
+  /// Structured export: collect() fed through core/report.hpp's
+  /// sweep_to_json.
+  [[nodiscard]] analysis::JsonValue to_json() const;
+};
+
+class ExperimentEngine {
+ public:
+  explicit ExperimentEngine(EngineOptions options = {});
+  ~ExperimentEngine();
+
+  ExperimentEngine(const ExperimentEngine&) = delete;
+  ExperimentEngine& operator=(const ExperimentEngine&) = delete;
+
+  /// Enqueues one experiment (never blocks).  Identical configs — by
+  /// canonical_config_key — share one computation and one result.
+  ExperimentHandle submit(const ExperimentConfig& config);
+
+  /// Enqueues a batch; handles are in input order.
+  std::vector<ExperimentHandle> submit_batch(
+      const std::vector<ExperimentConfig>& configs);
+
+  /// Enqueues every sweep point of a paper figure.  `base` supplies the
+  /// scalars (gpu, dtype, n, seeds, sampling...); each point's PatternSpec
+  /// overrides `base.pattern`.
+  SweepRun submit_sweep(FigureId id, const ExperimentConfig& base);
+
+  /// Blocks until every outstanding job has finished.
+  void wait_all();
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] int workers() const noexcept;
+
+  /// Drops completed results from the cache (outstanding handles keep
+  /// their jobs alive); resets no counters.
+  void clear_cache();
+
+ private:
+  std::shared_ptr<detail::EngineState> state_;
+};
+
+}  // namespace gpupower::core

@@ -1,38 +1,58 @@
 #include "core/env.hpp"
 
+#include <cstdio>
 #include <cstdlib>
-#include <string>
 
 namespace gpupower::core {
 namespace {
 
-long read_long(const char* name, long fallback) {
+[[noreturn]] void die(const char* name, const char* raw, const char* expect) {
+  std::fprintf(stderr, "gpupower: invalid %s='%s' (expected %s)\n", name, raw,
+               expect);
+  std::exit(2);
+}
+
+long read_long(const char* name, long fallback, long min, long max,
+               const char* expect) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
   const long v = std::strtol(raw, &end, 10);
-  return (end != nullptr && *end == '\0' && v >= 0) ? v : fallback;
+  if (end == raw || *end != '\0' || v < min || v > max) {
+    die(name, raw, expect);
+  }
+  return v;
 }
 
-double read_double(const char* name, double fallback) {
+double read_double(const char* name, double fallback, double min, double max,
+                   const char* expect) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
   const double v = std::strtod(raw, &end);
-  return (end != nullptr && *end == '\0' && v > 0.0) ? v : fallback;
+  if (end == raw || *end != '\0' || !(v > min) || !(v <= max)) {
+    die(name, raw, expect);
+  }
+  return v;
 }
 
 }  // namespace
 
 BenchEnv read_bench_env() {
   BenchEnv env;
-  env.n = static_cast<std::size_t>(read_long("GPUPOWER_N", 512));
-  env.seeds = static_cast<int>(read_long("GPUPOWER_SEEDS", 2));
-  env.tiles = static_cast<std::size_t>(read_long("GPUPOWER_TILES", 12));
-  env.k_fraction = read_double("GPUPOWER_KFRAC", 0.5);
+  env.n = static_cast<std::size_t>(read_long(
+      "GPUPOWER_N", 512, 64, 65536, "integer matrix size in [64, 65536]"));
+  env.seeds = static_cast<int>(read_long("GPUPOWER_SEEDS", 2, 1, 10000,
+                                         "integer seed count in [1, 10000]"));
+  env.tiles = static_cast<std::size_t>(
+      read_long("GPUPOWER_TILES", 12, 0, 1000000,
+                "integer tile budget in [0, 1000000]; 0 = exact walk"));
+  env.k_fraction = read_double("GPUPOWER_KFRAC", 0.5, 0.0, 1.0,
+                               "fraction in (0, 1]");
+  env.workers = static_cast<int>(
+      read_long("GPUPOWER_WORKERS", 0, 0, 256,
+                "worker count in [0, 256]; 0 = hardware concurrency"));
   env.csv = std::getenv("GPUPOWER_CSV") != nullptr;
-  if (env.seeds < 1) env.seeds = 1;
-  if (env.n < 64) env.n = 64;
   return env;
 }
 

@@ -1,11 +1,16 @@
 // Environment-variable configuration shared by the bench binaries, so a
 // single knob set scales every figure harness between CI speed and
 // paper-fidelity runs:
-//   GPUPOWER_N      matrix dimension (default 512; paper 2048)
-//   GPUPOWER_SEEDS  seeds per configuration (default 2; paper 10)
-//   GPUPOWER_TILES  sampled warp tiles, 0 = exact walk (default 12)
-//   GPUPOWER_KFRAC  fraction of K-slices walked (default 0.5)
-//   GPUPOWER_CSV    when set, benches also print CSV blocks
+//   GPUPOWER_N        matrix dimension (default 512; paper 2048)
+//   GPUPOWER_SEEDS    seeds per configuration (default 2; paper 10)
+//   GPUPOWER_TILES    sampled warp tiles, 0 = exact walk (default 12)
+//   GPUPOWER_KFRAC    fraction of K-slices walked (default 0.5)
+//   GPUPOWER_WORKERS  engine worker threads, 0 = hardware (default 0)
+//   GPUPOWER_CSV      when set, benches also print CSV blocks
+//
+// Malformed or out-of-range values are rejected with a one-line error on
+// stderr and exit code 2 — a typo'd knob must never silently misconfigure
+// a run.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +24,7 @@ struct BenchEnv {
   int seeds = 2;
   std::size_t tiles = 12;
   double k_fraction = 0.5;
+  int workers = 0;  ///< ExperimentEngine pool size; 0 = hardware concurrency
   bool csv = false;
 
   /// Applies the environment knobs onto an ExperimentConfig.
@@ -30,7 +36,9 @@ struct BenchEnv {
   }
 };
 
-/// Reads the GPUPOWER_* variables (invalid values fall back to defaults).
+/// Reads the GPUPOWER_* variables.  Unset variables keep their defaults;
+/// invalid values print `gpupower: invalid GPUPOWER_X='...' (expected ...)`
+/// and exit(2).
 [[nodiscard]] BenchEnv read_bench_env();
 
 }  // namespace gpupower::core

@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include <vector>
+
 #include "analysis/stats.hpp"
 #include "patterns/rng.hpp"
 
@@ -7,7 +9,8 @@ namespace gpupower::core {
 namespace {
 
 template <typename T>
-ExperimentResult run_typed(const ExperimentConfig& config) {
+SeedReplicaResult run_typed_replica(const ExperimentConfig& config,
+                                    int seed_index) {
   using gpupower::gpusim::GpuSimulator;
   using gpupower::gpusim::SimOptions;
 
@@ -19,37 +22,70 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
   const gemm::GemmProblem problem{config.n, config.n, config.n, 1.0f, 0.0f,
                                   config.pattern.transpose_b};
 
+  const std::uint64_t replica_seed = patterns::derive_seed(
+      config.base_seed, static_cast<std::uint64_t>(seed_index));
+  const ExperimentInputs<T> inputs =
+      build_inputs<T>(config.pattern, config.dtype, config.n, replica_seed);
+  const gpupower::gpusim::PowerReport report =
+      sim.run_gemm(problem, config.dtype, inputs.a, inputs.b);
+
+  telemetry::SamplerConfig sampler = config.sampler;
+  sampler.seed = patterns::derive_seed(replica_seed, 0xD0C6);
+  const telemetry::PowerTrace trace =
+      telemetry::sample_run(report, config.effective_iterations(), sampler);
+
+  SeedReplicaResult replica;
+  replica.power_w = telemetry::reported_power_w(trace, sampler);
+  replica.alignment = inputs.alignment;
+  replica.weight_fraction = inputs.weight_fraction;
+  replica.rails = report.rails;
+  replica.iteration_s = report.realized_iteration_s;
+  replica.energy_per_iter_j = report.energy_j;
+  replica.throttled = report.throttled;
+  replica.clock_frac = report.effective_clock_frac;
+  return replica;
+}
+
+}  // namespace
+
+SeedReplicaResult run_seed_replica(const ExperimentConfig& config,
+                                   int seed_index) {
+  using gpupower::numeric::DType;
+  switch (config.dtype) {
+    case DType::kFP32:
+      return run_typed_replica<float>(config, seed_index);
+    case DType::kFP16:
+    case DType::kFP16T:
+      return run_typed_replica<gpupower::numeric::float16_t>(config,
+                                                             seed_index);
+    case DType::kINT8:
+      return run_typed_replica<gpupower::numeric::int8_value_t>(config,
+                                                                seed_index);
+  }
+  return run_typed_replica<float>(config, seed_index);
+}
+
+ExperimentResult reduce_replicas(const ExperimentConfig& config,
+                                 std::span<const SeedReplicaResult> replicas) {
   analysis::RunningStats power;
   analysis::RunningStats alignment;
   analysis::RunningStats weight;
   analysis::RunningStats fetch_w, operand_w, multiply_w, accum_w, issue_w;
   ExperimentResult result;
 
-  for (int s = 0; s < config.seeds; ++s) {
-    const std::uint64_t replica_seed =
-        patterns::derive_seed(config.base_seed, static_cast<std::uint64_t>(s));
-    const ExperimentInputs<T> inputs =
-        build_inputs<T>(config.pattern, config.dtype, config.n, replica_seed);
-    const gpupower::gpusim::PowerReport report =
-        sim.run_gemm(problem, config.dtype, inputs.a, inputs.b);
-
-    telemetry::SamplerConfig sampler = config.sampler;
-    sampler.seed = patterns::derive_seed(replica_seed, 0xD0C6);
-    const telemetry::PowerTrace trace = telemetry::sample_run(
-        report, config.effective_iterations(), sampler);
-    power.add(telemetry::reported_power_w(trace, sampler));
-
-    alignment.add(inputs.alignment);
-    weight.add(inputs.weight_fraction);
-    fetch_w.add(report.rails.fetch_w);
-    operand_w.add(report.rails.operand_w);
-    multiply_w.add(report.rails.multiply_w);
-    accum_w.add(report.rails.accum_w);
-    issue_w.add(report.rails.issue_w);
-    result.iteration_s = report.realized_iteration_s;
-    result.energy_per_iter_j = report.energy_j;
-    result.throttled = result.throttled || report.throttled;
-    result.clock_frac = report.effective_clock_frac;
+  for (const SeedReplicaResult& replica : replicas) {
+    power.add(replica.power_w);
+    alignment.add(replica.alignment);
+    weight.add(replica.weight_fraction);
+    fetch_w.add(replica.rails.fetch_w);
+    operand_w.add(replica.rails.operand_w);
+    multiply_w.add(replica.rails.multiply_w);
+    accum_w.add(replica.rails.accum_w);
+    issue_w.add(replica.rails.issue_w);
+    result.iteration_s = replica.iteration_s;
+    result.energy_per_iter_j = replica.energy_per_iter_j;
+    result.throttled = result.throttled || replica.throttled;
+    result.clock_frac = replica.clock_frac;
   }
 
   result.power_w = power.mean();
@@ -65,20 +101,14 @@ ExperimentResult run_typed(const ExperimentConfig& config) {
   return result;
 }
 
-}  // namespace
-
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  using gpupower::numeric::DType;
-  switch (config.dtype) {
-    case DType::kFP32:
-      return run_typed<float>(config);
-    case DType::kFP16:
-    case DType::kFP16T:
-      return run_typed<gpupower::numeric::float16_t>(config);
-    case DType::kINT8:
-      return run_typed<gpupower::numeric::int8_value_t>(config);
+  std::vector<SeedReplicaResult> replicas;
+  replicas.reserve(static_cast<std::size_t>(config.seeds > 0 ? config.seeds
+                                                             : 0));
+  for (int s = 0; s < config.seeds; ++s) {
+    replicas.push_back(run_seed_replica(config, s));
   }
-  return run_typed<float>(config);
+  return reduce_replicas(config, replicas);
 }
 
 }  // namespace gpupower::core

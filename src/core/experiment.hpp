@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "core/pattern_spec.hpp"
 #include "gpusim/power.hpp"
@@ -46,7 +47,36 @@ struct ExperimentResult {
   int seeds = 0;
 };
 
-/// Runs one experiment configuration (all seed replicas).
+/// One seed replica's raw measurements, before the across-seed reduction.
+/// Replicas derive independent RNG streams from (base_seed, seed_index), so
+/// they can be computed in any order — or concurrently — and reduced
+/// afterwards with results bit-identical to the serial loop.
+struct SeedReplicaResult {
+  double power_w = 0.0;
+  double alignment = 0.0;
+  double weight_fraction = 0.0;
+  gpupower::gpusim::RailPower rails;
+  double iteration_s = 0.0;
+  double energy_per_iter_j = 0.0;
+  bool throttled = false;
+  double clock_frac = 1.0;
+};
+
+/// Computes one seed replica (seed_index in [0, config.seeds)).  Pure and
+/// thread-safe: no shared mutable state, deterministic for its arguments.
+[[nodiscard]] SeedReplicaResult run_seed_replica(const ExperimentConfig& config,
+                                                 int seed_index);
+
+/// Folds per-seed replicas (in seed order) into the reported result with the
+/// exact accumulation order of the historical serial loop.
+[[nodiscard]] ExperimentResult reduce_replicas(
+    const ExperimentConfig& config, std::span<const SeedReplicaResult> replicas);
+
+/// Runs one experiment configuration (all seed replicas), serially.
+///
+/// Deprecated: prefer `ExperimentEngine::submit` (core/engine.hpp), which
+/// batches, caches, and parallelises while staying bit-identical to this
+/// path.  Kept as the single-call serial reference implementation.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
 
 }  // namespace gpupower::core

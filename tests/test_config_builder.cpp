@@ -1,0 +1,207 @@
+#include "core/config_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/figures.hpp"
+#include "core/pattern_dsl.hpp"
+
+namespace gpupower::core {
+namespace {
+
+TEST(ConfigBuilder, FluentSettersLand) {
+  const auto config = ExperimentConfigBuilder()
+                          .gpu(gpupower::gpusim::GpuModel::kH100SXM)
+                          .dtype(gpupower::numeric::DType::kINT8)
+                          .n(256)
+                          .seeds(5)
+                          .iterations(1234)
+                          .base_seed(99)
+                          .pattern(baseline_gaussian_spec())
+                          .build();
+  EXPECT_EQ(config.gpu, gpupower::gpusim::GpuModel::kH100SXM);
+  EXPECT_EQ(config.dtype, gpupower::numeric::DType::kINT8);
+  EXPECT_EQ(config.n, 256u);
+  EXPECT_EQ(config.seeds, 5);
+  EXPECT_EQ(config.iterations, 1234u);
+  EXPECT_EQ(config.base_seed, 99u);
+}
+
+TEST(ConfigBuilder, DefaultsMatchExperimentConfig) {
+  const ExperimentConfigBuilder builder;
+  EXPECT_TRUE(builder.valid());
+  const auto config = builder.build();
+  const ExperimentConfig reference;
+  EXPECT_EQ(config.n, reference.n);
+  EXPECT_EQ(config.seeds, reference.seeds);
+  EXPECT_EQ(config.dtype, reference.dtype);
+}
+
+TEST(ConfigBuilder, DtypeByName) {
+  const auto builder = ExperimentConfigBuilder().dtype("fp16t");
+  EXPECT_TRUE(builder.valid());
+  EXPECT_EQ(builder.build().dtype, gpupower::numeric::DType::kFP16T);
+}
+
+TEST(ConfigBuilder, UnknownDtypeNameIsError) {
+  const auto builder = ExperimentConfigBuilder().dtype("fp64");
+  EXPECT_FALSE(builder.valid());
+  EXPECT_NE(builder.error().find("fp64"), std::string::npos);
+  EXPECT_EQ(builder.try_build(), std::nullopt);
+}
+
+// The DSL wiring: a pattern given as a string parses into the config, and
+// the canonical serialisation round-trips.
+TEST(ConfigBuilder, DslPatternRoundTrips) {
+  const std::string dsl = "gaussian(sigma=210) | sort_rows(40%) | sparsity(25%)";
+  const auto builder = ExperimentConfigBuilder().pattern(dsl);
+  ASSERT_TRUE(builder.valid()) << builder.error();
+  const PatternSpec& spec = builder.build().pattern;
+  EXPECT_EQ(spec.place, PatternSpec::Place::kSortRows);
+  EXPECT_DOUBLE_EQ(spec.sort_percent, 40.0);
+  EXPECT_DOUBLE_EQ(spec.sparsity, 0.25);
+
+  // parse(to_dsl(spec)) == spec — the canonical round-trip property.
+  const std::string canonical = to_dsl(spec);
+  const ParseResult reparsed = parse_pattern(canonical);
+  ASSERT_TRUE(reparsed.ok) << reparsed.error;
+  EXPECT_EQ(to_dsl(reparsed.spec), canonical);
+}
+
+TEST(ConfigBuilder, BadDslReportsOffsetAndMessage) {
+  const auto builder = ExperimentConfigBuilder().pattern("gaussian(sigma=");
+  EXPECT_FALSE(builder.valid());
+  EXPECT_NE(builder.error().find("pattern DSL error at offset"),
+            std::string::npos);
+  EXPECT_EQ(builder.try_build(), std::nullopt);
+}
+
+TEST(ConfigBuilder, OutOfRangeNIsError) {
+  EXPECT_FALSE(ExperimentConfigBuilder().n(8).valid());
+  EXPECT_FALSE(ExperimentConfigBuilder().n(1 << 20).valid());
+  EXPECT_TRUE(ExperimentConfigBuilder().n(64).valid());
+}
+
+TEST(ConfigBuilder, OutOfRangeSeedsIsError) {
+  EXPECT_FALSE(ExperimentConfigBuilder().seeds(0).valid());
+  EXPECT_FALSE(ExperimentConfigBuilder().seeds(-2).valid());
+  EXPECT_FALSE(ExperimentConfigBuilder().seeds(100000).valid());
+  EXPECT_TRUE(ExperimentConfigBuilder().seeds(10).valid());
+}
+
+TEST(ConfigBuilder, BadSamplingPlanIsError) {
+  gpupower::gpusim::SamplingPlan plan;
+  plan.k_fraction = 0.0;
+  EXPECT_FALSE(ExperimentConfigBuilder().sampling(plan).valid());
+  plan.k_fraction = 2.0;
+  EXPECT_FALSE(ExperimentConfigBuilder().sampling(plan).valid());
+}
+
+TEST(ConfigBuilder, FirstErrorWins) {
+  const auto builder =
+      ExperimentConfigBuilder().seeds(0).dtype("nonsense").n(1);
+  EXPECT_FALSE(builder.valid());
+  EXPECT_NE(builder.error().find("seeds=0"), std::string::npos);
+}
+
+TEST(ConfigBuilder, EnvAppliesKnobs) {
+  BenchEnv env;
+  env.n = 256;
+  env.seeds = 4;
+  env.tiles = 6;
+  env.k_fraction = 0.25;
+  const auto config = ExperimentConfigBuilder().env(env).build();
+  EXPECT_EQ(config.n, 256u);
+  EXPECT_EQ(config.seeds, 4);
+  EXPECT_EQ(config.sampling.max_tiles, 6u);
+  EXPECT_DOUBLE_EQ(config.sampling.k_fraction, 0.25);
+}
+
+TEST(CanonicalConfigKey, StableForEqualConfigs) {
+  const ExperimentConfig a;
+  const ExperimentConfig b;
+  EXPECT_EQ(canonical_config_key(a), canonical_config_key(b));
+}
+
+TEST(CanonicalConfigKey, EveryScalarFieldIsSignificant) {
+  const ExperimentConfig base;
+  const std::string base_key = canonical_config_key(base);
+
+  ExperimentConfig changed = base;
+  changed.gpu = gpupower::gpusim::GpuModel::kV100SXM2;
+  EXPECT_NE(canonical_config_key(changed), base_key);
+
+  changed = base;
+  changed.dtype = gpupower::numeric::DType::kINT8;
+  EXPECT_NE(canonical_config_key(changed), base_key);
+
+  changed = base;
+  changed.n = 1024;
+  EXPECT_NE(canonical_config_key(changed), base_key);
+
+  changed = base;
+  changed.seeds = 3;
+  EXPECT_NE(canonical_config_key(changed), base_key);
+
+  changed = base;
+  changed.iterations = 777;
+  EXPECT_NE(canonical_config_key(changed), base_key);
+
+  changed = base;
+  changed.base_seed = 1;
+  EXPECT_NE(canonical_config_key(changed), base_key);
+
+  changed = base;
+  changed.sampling.k_fraction = 0.75;
+  EXPECT_NE(canonical_config_key(changed), base_key);
+
+  changed = base;
+  changed.sampler.noise_sigma_w = 0.0;
+  EXPECT_NE(canonical_config_key(changed), base_key);
+
+  changed = base;
+  changed.variation = gpupower::gpusim::ProcessVariation{0.05, 7};
+  EXPECT_NE(canonical_config_key(changed), base_key);
+}
+
+TEST(CanonicalConfigKey, PatternSerialisedAsDsl) {
+  ExperimentConfig config;
+  config.pattern = baseline_gaussian_spec();
+  const std::string key = canonical_config_key(config);
+  EXPECT_NE(key.find(to_dsl(config.pattern)), std::string::npos);
+}
+
+TEST(CanonicalConfigKey, DistinctPatternsDistinctKeys) {
+  ExperimentConfig a;
+  a.pattern = baseline_gaussian_spec();
+  ExperimentConfig b = a;
+  b.pattern.sparsity = 0.5;
+  EXPECT_NE(canonical_config_key(a), canonical_config_key(b));
+}
+
+// to_dsl rounds doubles to ~6 significant digits; the key must still
+// separate patterns that differ below that precision (served-from-cache
+// results would otherwise silently be wrong).
+TEST(CanonicalConfigKey, SubPrintPrecisionPatternsDistinctKeys) {
+  ExperimentConfig a;
+  a.pattern = baseline_gaussian_spec();
+  a.pattern.sparsity = 0.1234561;
+  ExperimentConfig b = a;
+  b.pattern.sparsity = 0.1234564;
+  EXPECT_NE(canonical_config_key(a), canonical_config_key(b));
+
+  ExperimentConfig c = a;
+  c.pattern.transpose_b = false;
+  EXPECT_NE(canonical_config_key(a), canonical_config_key(c));
+}
+
+TEST(ConfigBuilder, EnvOutOfRangeValuesAreErrors) {
+  BenchEnv env;
+  env.seeds = 0;  // assembled by hand (e.g. CLI flags), not read_bench_env
+  EXPECT_FALSE(ExperimentConfigBuilder().env(env).valid());
+  env.seeds = 2;
+  env.k_fraction = 2.0;
+  EXPECT_FALSE(ExperimentConfigBuilder().env(env).valid());
+}
+
+}  // namespace
+}  // namespace gpupower::core

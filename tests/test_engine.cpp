@@ -1,0 +1,236 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/config_builder.hpp"
+#include "core/figures.hpp"
+
+namespace gpupower::core {
+namespace {
+
+ExperimentConfig small_config(gpupower::numeric::DType dtype =
+                                  gpupower::numeric::DType::kFP16) {
+  ExperimentConfig config;
+  config.dtype = dtype;
+  config.n = 64;
+  config.seeds = 2;
+  config.sampling = gpupower::gpusim::SamplingPlan::fast(6, 0.5);
+  config.pattern = baseline_gaussian_spec();
+  return config;
+}
+
+EngineOptions four_workers() {
+  EngineOptions options;
+  options.workers = 4;
+  return options;
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_DOUBLE_EQ(a.power_w, b.power_w);
+  EXPECT_DOUBLE_EQ(a.power_std_w, b.power_std_w);
+  EXPECT_DOUBLE_EQ(a.iteration_s, b.iteration_s);
+  EXPECT_DOUBLE_EQ(a.energy_per_iter_j, b.energy_per_iter_j);
+  EXPECT_DOUBLE_EQ(a.alignment, b.alignment);
+  EXPECT_DOUBLE_EQ(a.weight_fraction, b.weight_fraction);
+  EXPECT_DOUBLE_EQ(a.rails.fetch_w, b.rails.fetch_w);
+  EXPECT_DOUBLE_EQ(a.rails.operand_w, b.rails.operand_w);
+  EXPECT_DOUBLE_EQ(a.rails.multiply_w, b.rails.multiply_w);
+  EXPECT_DOUBLE_EQ(a.rails.accum_w, b.rails.accum_w);
+  EXPECT_DOUBLE_EQ(a.rails.issue_w, b.rails.issue_w);
+  EXPECT_EQ(a.throttled, b.throttled);
+  EXPECT_DOUBLE_EQ(a.clock_frac, b.clock_frac);
+  EXPECT_EQ(a.seeds, b.seeds);
+}
+
+// The acceptance criterion: a full-figure sweep through the engine with >=4
+// worker threads is bit-identical to the serial run_experiment path.
+TEST(ExperimentEngine, FullFigureSweepMatchesSerialBitwise) {
+  ExperimentEngine engine(four_workers());
+  ASSERT_GE(engine.workers(), 4);
+
+  const ExperimentConfig base = small_config();
+  const SweepRun run = engine.submit_sweep(FigureId::kFig6aSparsity, base);
+  engine.wait_all();
+
+  const auto points = figure_sweep(FigureId::kFig6aSparsity);
+  ASSERT_EQ(run.points.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ExperimentConfig config = base;
+    config.pattern = points[i].spec;
+    const ExperimentResult serial = run_experiment(config);
+    expect_identical(run.handles[i].get(), serial);
+  }
+}
+
+// Seed replicas fan across threads; the reduction must still fold them in
+// seed order.  More seeds than workers forces interleaving.
+TEST(ExperimentEngine, ManySeedsMatchSerialBitwise) {
+  ExperimentEngine engine(four_workers());
+  ExperimentConfig config = small_config();
+  config.seeds = 7;
+  const ExperimentResult parallel = engine.submit(config).get();
+  expect_identical(parallel, run_experiment(config));
+}
+
+TEST(ExperimentEngine, WorkerCountDoesNotChangeResults) {
+  EngineOptions one;
+  one.workers = 1;
+  ExperimentEngine serial_engine(one);
+  ExperimentEngine parallel_engine(four_workers());
+  const ExperimentConfig config = small_config();
+  expect_identical(serial_engine.submit(config).get(),
+                   parallel_engine.submit(config).get());
+}
+
+// The acceptance criterion: resubmitting the same sweep point reports a
+// cache hit.
+TEST(ExperimentEngine, DuplicateSubmitHitsCache) {
+  ExperimentEngine engine(four_workers());
+  const ExperimentConfig config = small_config();
+
+  const ExperimentHandle first = engine.submit(config);
+  const ExperimentHandle second = engine.submit(config);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.jobs_computed, 1u);
+  EXPECT_GE(stats.cache_hits, 1u);
+  expect_identical(first.get(), second.get());
+}
+
+TEST(ExperimentEngine, DuplicatedSweepIsComputedOnce) {
+  ExperimentEngine engine(four_workers());
+  const ExperimentConfig base = small_config();
+
+  const SweepRun first = engine.submit_sweep(FigureId::kFig3cValueSet, base);
+  const SweepRun second = engine.submit_sweep(FigureId::kFig3cValueSet, base);
+  engine.wait_all();
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 2 * first.points.size());
+  EXPECT_EQ(stats.jobs_computed, first.points.size());
+  EXPECT_EQ(stats.cache_hits, second.points.size());
+  for (std::size_t i = 0; i < first.points.size(); ++i) {
+    expect_identical(first.handles[i].get(), second.handles[i].get());
+  }
+}
+
+TEST(ExperimentEngine, DistinctConfigsMissCache) {
+  ExperimentEngine engine(four_workers());
+  ExperimentConfig config = small_config();
+  (void)engine.submit(config);
+  config.base_seed = 1234;
+  (void)engine.submit(config);
+  config.n = 128;
+  (void)engine.submit(config);
+  config.dtype = gpupower::numeric::DType::kINT8;
+  (void)engine.submit(config);
+  engine.wait_all();
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.jobs_computed, 4u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+}
+
+TEST(ExperimentEngine, CacheCanBeDisabled) {
+  EngineOptions options = four_workers();
+  options.cache_enabled = false;
+  ExperimentEngine engine(options);
+  const ExperimentConfig config = small_config();
+  const ExperimentHandle first = engine.submit(config);
+  const ExperimentHandle second = engine.submit(config);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.jobs_computed, 2u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  // Still bit-identical: independent computations of the same config.
+  expect_identical(first.get(), second.get());
+}
+
+TEST(ExperimentEngine, ClearCacheForcesRecompute) {
+  ExperimentEngine engine(four_workers());
+  const ExperimentConfig config = small_config();
+  const ExperimentHandle first = engine.submit(config);
+  engine.clear_cache();
+  const ExperimentHandle second = engine.submit(config);
+  EXPECT_EQ(engine.stats().jobs_computed, 2u);
+  expect_identical(first.get(), second.get());
+}
+
+TEST(ExperimentEngine, WaitAllCompletesEverything) {
+  ExperimentEngine engine(four_workers());
+  std::vector<ExperimentHandle> handles;
+  for (const auto dtype : gpupower::numeric::kAllDTypes) {
+    handles.push_back(engine.submit(small_config(dtype)));
+  }
+  engine.wait_all();
+  for (const auto& handle : handles) {
+    EXPECT_TRUE(handle.ready());
+    EXPECT_GT(handle.get().power_w, 0.0);
+  }
+  EXPECT_EQ(engine.stats().replicas_run, 4u * 2u);
+}
+
+TEST(ExperimentEngine, SubmitBatchPreservesOrder) {
+  ExperimentEngine engine(four_workers());
+  std::vector<ExperimentConfig> configs;
+  for (const auto dtype : gpupower::numeric::kAllDTypes) {
+    configs.push_back(small_config(dtype));
+  }
+  const auto handles = engine.submit_batch(configs);
+  ASSERT_EQ(handles.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(handles[i].config().dtype, configs[i].dtype);
+    expect_identical(handles[i].get(), run_experiment(configs[i]));
+  }
+}
+
+TEST(ExperimentEngine, SweepRunCollectPairsPointsWithResults) {
+  ExperimentEngine engine(four_workers());
+  const SweepRun run =
+      engine.submit_sweep(FigureId::kFig6aSparsity, small_config());
+  const auto entries = run.collect();
+  const auto points = figure_sweep(FigureId::kFig6aSparsity);
+  ASSERT_EQ(entries.size(), points.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].point.label, points[i].label);
+    EXPECT_GT(entries[i].result.power_w, 0.0);
+  }
+}
+
+TEST(ExperimentEngine, SweepRunExportsJson) {
+  ExperimentEngine engine(four_workers());
+  const SweepRun run =
+      engine.submit_sweep(FigureId::kFig3cValueSet, small_config());
+  const std::string json = run.to_json().dump();
+  EXPECT_NE(json.find("\"figure\""), std::string::npos);
+  EXPECT_NE(json.find("series"), std::string::npos);
+}
+
+TEST(ExperimentEngine, ZeroSeedConfigCompletesImmediately) {
+  ExperimentEngine engine(four_workers());
+  ExperimentConfig config = small_config();
+  config.seeds = 0;
+  const ExperimentHandle handle = engine.submit(config);
+  engine.wait_all();
+  EXPECT_TRUE(handle.ready());
+  EXPECT_EQ(handle.get().seeds, 0);
+}
+
+TEST(ExperimentEngine, EngineOutlivesManySubmissions) {
+  // Stress the queue with more jobs than workers to exercise interleaving.
+  ExperimentEngine engine(four_workers());
+  std::vector<ExperimentHandle> handles;
+  for (int i = 0; i < 12; ++i) {
+    ExperimentConfig config = small_config();
+    config.base_seed = static_cast<std::uint64_t>(i);
+    handles.push_back(engine.submit(config));
+  }
+  engine.wait_all();
+  for (const auto& handle : handles) EXPECT_TRUE(handle.ready());
+  EXPECT_EQ(engine.stats().jobs_computed, 12u);
+}
+
+}  // namespace
+}  // namespace gpupower::core

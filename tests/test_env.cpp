@@ -14,6 +14,7 @@ class EnvGuard {
     unsetenv("GPUPOWER_SEEDS");
     unsetenv("GPUPOWER_TILES");
     unsetenv("GPUPOWER_KFRAC");
+    unsetenv("GPUPOWER_WORKERS");
     unsetenv("GPUPOWER_CSV");
   }
 };
@@ -25,6 +26,7 @@ TEST(BenchEnvTest, Defaults) {
   EXPECT_EQ(env.seeds, 2);
   EXPECT_EQ(env.tiles, 12u);
   EXPECT_DOUBLE_EQ(env.k_fraction, 0.5);
+  EXPECT_EQ(env.workers, 0);
   EXPECT_FALSE(env.csv);
 }
 
@@ -34,27 +36,68 @@ TEST(BenchEnvTest, ReadsOverrides) {
   setenv("GPUPOWER_SEEDS", "10", 1);
   setenv("GPUPOWER_TILES", "0", 1);
   setenv("GPUPOWER_KFRAC", "1.0", 1);
+  setenv("GPUPOWER_WORKERS", "8", 1);
   setenv("GPUPOWER_CSV", "1", 1);
   const BenchEnv env = read_bench_env();
   EXPECT_EQ(env.n, 2048u);
   EXPECT_EQ(env.seeds, 10);
   EXPECT_EQ(env.tiles, 0u);  // 0 = exact walk
   EXPECT_DOUBLE_EQ(env.k_fraction, 1.0);
+  EXPECT_EQ(env.workers, 8);
   EXPECT_TRUE(env.csv);
 }
 
-TEST(BenchEnvTest, RejectsGarbageAndClamps) {
+// A typo'd knob must fail loudly (one-line error, exit 2), never silently
+// misconfigure a run.
+using BenchEnvDeathTest = ::testing::Test;
+
+TEST(BenchEnvDeathTest, MalformedNDies) {
   EnvGuard guard;
   setenv("GPUPOWER_N", "potato", 1);
-  setenv("GPUPOWER_SEEDS", "-3", 1);
-  setenv("GPUPOWER_KFRAC", "0", 1);  // non-positive -> default
-  const BenchEnv env = read_bench_env();
-  EXPECT_EQ(env.n, 512u);
-  EXPECT_GE(env.seeds, 1);
-  EXPECT_DOUBLE_EQ(env.k_fraction, 0.5);
+  EXPECT_EXIT((void)read_bench_env(), ::testing::ExitedWithCode(2),
+              "invalid GPUPOWER_N='potato'");
+}
 
-  setenv("GPUPOWER_N", "8", 1);  // below the floor
-  EXPECT_GE(read_bench_env().n, 64u);
+TEST(BenchEnvDeathTest, OutOfRangeNDies) {
+  EnvGuard guard;
+  setenv("GPUPOWER_N", "8", 1);  // below the N=64 floor
+  EXPECT_EXIT((void)read_bench_env(), ::testing::ExitedWithCode(2),
+              "invalid GPUPOWER_N='8'");
+}
+
+TEST(BenchEnvDeathTest, NegativeSeedsDie) {
+  EnvGuard guard;
+  setenv("GPUPOWER_SEEDS", "-3", 1);
+  EXPECT_EXIT((void)read_bench_env(), ::testing::ExitedWithCode(2),
+              "invalid GPUPOWER_SEEDS='-3'");
+}
+
+TEST(BenchEnvDeathTest, ZeroKfracDies) {
+  EnvGuard guard;
+  setenv("GPUPOWER_KFRAC", "0", 1);
+  EXPECT_EXIT((void)read_bench_env(), ::testing::ExitedWithCode(2),
+              "invalid GPUPOWER_KFRAC='0'");
+}
+
+TEST(BenchEnvDeathTest, KfracAboveOneDies) {
+  EnvGuard guard;
+  setenv("GPUPOWER_KFRAC", "1.5", 1);
+  EXPECT_EXIT((void)read_bench_env(), ::testing::ExitedWithCode(2),
+              "invalid GPUPOWER_KFRAC='1.5'");
+}
+
+TEST(BenchEnvDeathTest, TrailingJunkDies) {
+  EnvGuard guard;
+  setenv("GPUPOWER_SEEDS", "4x", 1);
+  EXPECT_EXIT((void)read_bench_env(), ::testing::ExitedWithCode(2),
+              "invalid GPUPOWER_SEEDS='4x'");
+}
+
+TEST(BenchEnvDeathTest, WorkersOutOfRangeDies) {
+  EnvGuard guard;
+  setenv("GPUPOWER_WORKERS", "10000", 1);
+  EXPECT_EXIT((void)read_bench_env(), ::testing::ExitedWithCode(2),
+              "invalid GPUPOWER_WORKERS='10000'");
 }
 
 TEST(BenchEnvTest, ApplyConfiguresExperiment) {

@@ -14,8 +14,11 @@
 //       train the input-dependent power model on the figure sweeps and
 //       predict the pattern's power without a kernel walk
 //
-// Common options: --n SIZE, --seeds K, --tiles T, --kfrac F (same meaning
-// as the GPUPOWER_* environment knobs).
+// Common options: --n SIZE, --seeds K, --tiles T, --kfrac F, --workers W
+// (same meaning as the GPUPOWER_* environment knobs).  Sweeps and model
+// training run batched on the ExperimentEngine: every point fans out across
+// the worker pool and repeated configurations are served from the engine
+// cache.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -25,6 +28,8 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "core/config_builder.hpp"
+#include "core/engine.hpp"
 #include "core/env.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
@@ -60,7 +65,7 @@ int usage(const char* argv0) {
                "  --dtype T        fp32 | fp16 | fp16t | int8 (default fp16)\n"
                "  --pattern DSL    e.g. \"gaussian(sigma=210) | sort_rows(40%%)\"\n"
                "  --figure ID      fig3a..fig6d (sweep command)\n"
-               "  --n SIZE --seeds K --tiles T --kfrac F --csv --json\n",
+               "  --n SIZE --seeds K --tiles T --kfrac F --workers W --csv --json\n",
                argv0);
   return 2;
 }
@@ -141,6 +146,13 @@ bool parse_args(int argc, char** argv, Options& opts, std::string& error) {
         return false;
       }
       opts.env.k_fraction = std::strtod(v, nullptr);
+    } else if (flag == "--workers") {
+      const char* v = next();
+      if (!v) {
+        error = "--workers needs a count";
+        return false;
+      }
+      opts.env.workers = static_cast<int>(std::strtol(v, nullptr, 10));
     } else {
       error = "unknown option '" + std::string(flag) + "'";
       return false;
@@ -177,12 +189,23 @@ int cmd_discovery() {
 
 core::ExperimentConfig make_config(const Options& opts,
                                    const core::PatternSpec& spec) {
-  core::ExperimentConfig config;
-  config.gpu = kGpuByIndex[opts.gpu_index];
-  config.dtype = opts.dtype;
-  config.pattern = spec;
-  opts.env.apply(config);
-  return config;
+  const auto builder = core::ExperimentConfigBuilder()
+                           .gpu(kGpuByIndex[opts.gpu_index])
+                           .dtype(opts.dtype)
+                           .pattern(spec)
+                           .env(opts.env);
+  // Out-of-range --n/--seeds/--tiles/--kfrac values surface here.
+  if (!builder.valid()) {
+    std::fprintf(stderr, "gpowerctl: %s\n", builder.error().c_str());
+    std::exit(2);
+  }
+  return builder.build();
+}
+
+core::ExperimentEngine make_engine(const Options& opts) {
+  core::EngineOptions options;
+  options.workers = opts.env.workers;
+  return core::ExperimentEngine(options);
 }
 
 int cmd_dmon(const Options& opts) {
@@ -233,6 +256,8 @@ int cmd_dmon(const Options& opts) {
     std::printf("  %6.2f  %8.2f\n", trace.samples()[i].t_s,
                 trace.samples()[i].power_w);
   }
+  // One experiment, immediately waited on: the serial one-shot path —
+  // sweeps and training batches go through the engine.
   const auto result = core::run_experiment(config);
   std::printf(
       "\nsummary (%d seeds, first %.0f ms trimmed):\n"
@@ -251,31 +276,27 @@ int cmd_sweep(const Options& opts) {
     std::fprintf(stderr, "sweep needs --figure (fig3a..fig6d)\n");
     return 2;
   }
-  const auto sweep = core::figure_sweep(*opts.figure);
   if (!opts.json) {
     std::printf("%s on %s, %s\n",
                 std::string(core::figure_name(*opts.figure)).c_str(),
                 std::string(gpusim::name(kGpuByIndex[opts.gpu_index])).c_str(),
                 std::string(numeric::name(opts.dtype)).c_str());
   }
+  core::ExperimentEngine engine = make_engine(opts);
+  const core::SweepRun run = engine.submit_sweep(
+      *opts.figure, make_config(opts, core::baseline_gaussian_spec()));
+  const std::vector<core::SweepEntry> entries = run.collect();
+
   analysis::Table table({std::string(core::figure_axis(*opts.figure)),
                          "power (W)", "std (W)", "alignment", "weight"});
-  std::vector<core::SweepEntry> entries;
-  for (const auto& point : sweep) {
-    auto config = make_config(opts, point.spec);
-    const auto result = core::run_experiment(config);
-    entries.push_back({point, result});
-    table.add_row(point.label,
-                  {result.power_w, result.power_std_w, result.alignment,
-                   result.weight_fraction},
+  for (const auto& entry : entries) {
+    table.add_row(entry.point.label,
+                  {entry.result.power_w, entry.result.power_std_w,
+                   entry.result.alignment, entry.result.weight_fraction},
                   3);
   }
   if (opts.json) {
-    const auto base = make_config(opts, core::baseline_gaussian_spec());
-    std::printf("%s\n",
-                core::sweep_to_json(*opts.figure, base, entries)
-                    .dump(/*pretty=*/true)
-                    .c_str());
+    std::printf("%s\n", run.to_json().dump(/*pretty=*/true).c_str());
   } else if (opts.csv) {
     table.print_csv(std::cout);
   } else {
@@ -324,32 +345,46 @@ int cmd_predict(const Options& opts) {
   core::PatternSpec spec;
   if (!parse_pattern_or_die(opts, spec)) return 1;
 
-  // Train on a few representative sweeps at the configured size.
+  // Train on a few representative sweeps at the configured size; the whole
+  // training set runs batched on the engine (sweep points shared between
+  // figures — e.g. each sweep's baseline column — are computed once).
   std::printf("training input-dependent power model (%s, n=%zu)...\n",
               std::string(numeric::name(opts.dtype)).c_str(), opts.env.n);
-  std::vector<core::PowerSample> samples;
+  core::ExperimentEngine engine = make_engine(opts);
+  auto training_base = make_config(opts, core::baseline_gaussian_spec());
+  training_base.seeds = 1;
+  std::vector<core::SweepRun> runs;
   for (const auto fig :
        {core::FigureId::kFig3bDistributionMean,
         core::FigureId::kFig5bSortedAligned, core::FigureId::kFig6aSparsity,
         core::FigureId::kFig4bLsbRandomized, core::FigureId::kFig6cLsbZeroed}) {
-    for (const auto& point : core::figure_sweep(fig)) {
-      auto config = make_config(opts, point.spec);
-      config.seeds = 1;
-      const auto result = core::run_experiment(config);
+    runs.push_back(engine.submit_sweep(fig, training_base));
+  }
+  const auto measured_handle = engine.submit(make_config(opts, spec));
+  engine.wait_all();
+
+  std::vector<core::PowerSample> samples;
+  for (const core::SweepRun& run : runs) {
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
       core::PowerSample sample;
-      sample.power_w = result.power_w;
-      sample.features = features_for(point.spec, opts.dtype, opts.env.n);
+      sample.power_w = run.handles[i].get().power_w;
+      sample.features = features_for(run.points[i].spec, opts.dtype,
+                                     opts.env.n);
       samples.push_back(sample);
     }
   }
   const auto model = core::InputDependentPowerModel::fit(samples);
-  std::printf("trained on %zu samples, R^2 = %.3f\n", samples.size(),
+  const auto stats = engine.stats();
+  std::printf("trained on %zu samples (%llu simulated, %llu cache hits), "
+              "R^2 = %.3f\n",
+              samples.size(),
+              static_cast<unsigned long long>(stats.jobs_computed),
+              static_cast<unsigned long long>(stats.cache_hits),
               model.r2(samples));
 
   const double predicted =
       model.predict(features_for(spec, opts.dtype, opts.env.n));
-  auto config = make_config(opts, spec);
-  const auto measured = core::run_experiment(config);
+  const auto& measured = measured_handle.get();
   std::printf("pattern:   %s\n", core::to_dsl(spec).c_str());
   std::printf("predicted: %.2f W (no kernel walk)\n", predicted);
   std::printf("simulated: %.2f W (error %+.2f W)\n", measured.power_w,
