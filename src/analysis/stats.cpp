@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <vector>
 
 namespace gpupower::analysis {
@@ -25,8 +26,22 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+double t_critical_95(std::size_t n) noexcept {
+  // Two-sided 95% critical values of the t distribution, indexed by
+  // degrees of freedom 1..29 (covering samples up to n = 30).
+  static constexpr double kT95[29] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045};
+  if (n < 2) return 0.0;
+  const std::size_t dof = n - 1;
+  return dof <= std::size(kT95) ? kT95[dof - 1] : 1.96;
+}
+
 double RunningStats::ci95_halfwidth() const noexcept {
-  return n_ > 1 ? 1.96 * stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  return n_ > 1 ? t_critical_95(n_) * stddev() /
+                      std::sqrt(static_cast<double>(n_))
+                : 0.0;
 }
 
 double mean(std::span<const double> xs) noexcept {

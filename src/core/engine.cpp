@@ -6,6 +6,7 @@
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -115,18 +116,31 @@ void worker_loop(const std::shared_ptr<EngineState>& state) {
 }  // namespace
 }  // namespace detail
 
+namespace {
+
+[[noreturn]] void throw_invalid_handle(const char* method) {
+  throw std::logic_error(std::string("ExperimentHandle::") + method +
+                         "() on a default-constructed (invalid) handle; "
+                         "obtain handles from ExperimentEngine::submit");
+}
+
+}  // namespace
+
 const ExperimentResult& ExperimentHandle::get() const {
+  if (!valid()) throw_invalid_handle("get");
   job_->wait();
   if (job_->error) std::rethrow_exception(job_->error);
   return job_->result;
 }
 
 bool ExperimentHandle::ready() const {
+  if (!valid()) throw_invalid_handle("ready");
   std::lock_guard lock(job_->mutex);
   return job_->done;
 }
 
 const ExperimentConfig& ExperimentHandle::config() const {
+  if (!valid()) throw_invalid_handle("config");
   return job_->config;
 }
 
@@ -170,12 +184,19 @@ ExperimentEngine::~ExperimentEngine() {
 
 ExperimentHandle ExperimentEngine::submit(const ExperimentConfig& config) {
   auto& state = *state_;
+  if (config.seeds <= 0) {
+    // A zero-seed job would "complete" with an all-zero result; reject it
+    // loudly instead (ExperimentConfigBuilder enforces the same bound).
+    throw std::invalid_argument(
+        "ExperimentEngine::submit: config.seeds must be >= 1, got " +
+        std::to_string(config.seeds));
+  }
 
   // Fully initialise the job before publishing it to the cache, so a
   // concurrent duplicate submit sees a consistent object.
   auto job = std::make_shared<detail::ExperimentJob>();
   job->config = config;
-  const int seeds = std::max(config.seeds, 0);
+  const int seeds = config.seeds;
   job->replicas.resize(static_cast<std::size_t>(seeds));
   job->remaining.store(seeds, std::memory_order_relaxed);
 
@@ -197,15 +218,11 @@ ExperimentHandle ExperimentEngine::submit(const ExperimentConfig& config) {
     std::lock_guard lock(state.done_mutex);
     ++state.outstanding;
   }
-  if (seeds == 0) {
-    detail::finish_job(state, job);
-  } else {
-    {
-      std::lock_guard lock(state.queue_mutex);
-      for (int s = 0; s < seeds; ++s) state.queue.push_back({job, s});
-    }
-    state.queue_cv.notify_all();
+  {
+    std::lock_guard lock(state.queue_mutex);
+    for (int s = 0; s < seeds; ++s) state.queue.push_back({job, s});
   }
+  state.queue_cv.notify_all();
   return ExperimentHandle(job);
 }
 

@@ -60,7 +60,9 @@ struct EngineStats {
 };
 
 /// Lightweight, copyable reference to a submitted experiment.  Handles to
-/// the same (cached) config share the underlying job and result.
+/// the same (cached) config share the underlying job and result.  Calling
+/// get()/ready()/config() on a default-constructed handle throws
+/// std::logic_error (check valid() first).
 class ExperimentHandle {
  public:
   ExperimentHandle() = default;
@@ -105,7 +107,9 @@ class ExperimentEngine {
   ExperimentEngine& operator=(const ExperimentEngine&) = delete;
 
   /// Enqueues one experiment (never blocks).  Identical configs — by
-  /// canonical_config_key — share one computation and one result.
+  /// canonical_config_key — share one computation and one result.  Throws
+  /// std::invalid_argument when config.seeds <= 0 (a zero-seed job would
+  /// silently reduce to an all-zero result).
   ExperimentHandle submit(const ExperimentConfig& config);
 
   /// Enqueues a batch; handles are in input order.

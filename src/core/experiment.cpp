@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "analysis/stats.hpp"
@@ -70,6 +72,7 @@ ExperimentResult reduce_replicas(const ExperimentConfig& config,
   analysis::RunningStats power;
   analysis::RunningStats alignment;
   analysis::RunningStats weight;
+  analysis::RunningStats iteration, energy, clock;
   analysis::RunningStats fetch_w, operand_w, multiply_w, accum_w, issue_w;
   ExperimentResult result;
 
@@ -82,16 +85,27 @@ ExperimentResult reduce_replicas(const ExperimentConfig& config,
     multiply_w.add(replica.rails.multiply_w);
     accum_w.add(replica.rails.accum_w);
     issue_w.add(replica.rails.issue_w);
-    result.iteration_s = replica.iteration_s;
-    result.energy_per_iter_j = replica.energy_per_iter_j;
+    // Per-seed scalars: the realized iteration time, per-iteration energy,
+    // and throttle clock all depend on the seed's inputs (and on device
+    // variation when enabled), so they average across seeds like every
+    // other reported quantity — keeping only the last replica's values
+    // would report an arbitrary seed.
+    iteration.add(replica.iteration_s);
+    energy.add(replica.energy_per_iter_j);
+    clock.add(replica.clock_frac);
     result.throttled = result.throttled || replica.throttled;
-    result.clock_frac = replica.clock_frac;
   }
 
   result.power_w = power.mean();
   result.power_std_w = power.stddev();
   result.alignment = alignment.mean();
   result.weight_fraction = weight.mean();
+  result.iteration_s = iteration.mean();
+  result.energy_per_iter_j = energy.mean();
+  // An empty span (reachable only by calling reduce_replicas directly)
+  // keeps every field at its default; clock_frac needs the explicit guard
+  // because its neutral value is 1.0 while an empty mean() is 0.0.
+  result.clock_frac = replicas.empty() ? 1.0 : clock.mean();
   result.rails.fetch_w = fetch_w.mean();
   result.rails.operand_w = operand_w.mean();
   result.rails.multiply_w = multiply_w.mean();
@@ -102,9 +116,13 @@ ExperimentResult reduce_replicas(const ExperimentConfig& config,
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  if (config.seeds <= 0) {
+    throw std::invalid_argument(
+        "run_experiment: config.seeds must be >= 1, got " +
+        std::to_string(config.seeds));
+  }
   std::vector<SeedReplicaResult> replicas;
-  replicas.reserve(static_cast<std::size_t>(config.seeds > 0 ? config.seeds
-                                                             : 0));
+  replicas.reserve(static_cast<std::size_t>(config.seeds));
   for (int s = 0; s < config.seeds; ++s) {
     replicas.push_back(run_seed_replica(config, s));
   }

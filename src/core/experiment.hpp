@@ -37,13 +37,13 @@ struct ExperimentConfig {
 struct ExperimentResult {
   double power_w = 0.0;        ///< mean of per-seed DCGM-style averages
   double power_std_w = 0.0;    ///< across seeds
-  double iteration_s = 0.0;    ///< realized (post-throttle) iteration time
-  double energy_per_iter_j = 0.0;
+  double iteration_s = 0.0;    ///< realized (post-throttle) iteration time, mean across seeds
+  double energy_per_iter_j = 0.0;  ///< mean across seeds
   double alignment = 0.0;      ///< Fig. 8 feature, averaged across seeds
   double weight_fraction = 0.0;
   gpupower::gpusim::RailPower rails;  ///< averaged across seeds
-  bool throttled = false;
-  double clock_frac = 1.0;
+  bool throttled = false;      ///< true if any seed replica throttled
+  double clock_frac = 1.0;     ///< mean across seeds
   int seeds = 0;
 };
 

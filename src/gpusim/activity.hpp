@@ -1,6 +1,19 @@
-// Activity estimation: walks the tiled GEMM traversal with an observer that
-// counts bit toggles, Hamming weight, multiplier partial-product activity,
-// and accumulator switching — the raw inputs to the power model.
+// Activity estimation: counts bit toggles, Hamming weight, multiplier
+// partial-product activity, and accumulator switching over the tiled GEMM
+// traversal — the raw inputs to the power model.
+//
+// Two backends compute the same ActivityTotals, bit-identically:
+//
+//  - kBatched (default): the bit-plane kernel.  Each tile's A-row / B-column
+//    operand words are gathered into contiguous per-stream buffers once per
+//    K-slice; toggle counts (XOR with the one-word-shifted stream), Hamming
+//    weights, multiplier partial-product activity, and accumulator switching
+//    are then computed with bulk std::popcount loops over the packed
+//    streams.  Per-stream port state threads through the packed segments in
+//    exactly the order the observer walk would have seen, so the totals
+//    match the reference walk bit for bit (pinned by the parity tests).
+//  - kObserver: the reference per-element walk — gemm::process_tile with an
+//    ActivityCounters observer, one callback per physical wire event.
 //
 // Exact mode walks every threadblock tile (tests, small problems).  Sampled
 // mode walks a stratified subset of warp-tile-sized quanta and an evenly
@@ -18,37 +31,48 @@
 
 namespace gpupower::gpusim {
 
-/// Observer for gemm::process_tile that accumulates ActivityTotals.
-/// Port state (last word driven on each bus) persists across tiles, exactly
-/// like the physical wires do.
+/// Last word driven on each observed bus.  One instance persists across
+/// tiles, exactly like the physical wires do: toggle counts at every tile
+/// (and K-slice) boundary chain off the previous word, not off zero.
+struct PortState {
+  std::uint32_t last_fetch_a = 0;
+  std::uint32_t last_fetch_b = 0;
+  std::uint32_t last_operand_a = 0;
+  std::uint32_t last_operand_b = 0;
+  std::uint32_t prev_sig_a = 0;
+  std::uint32_t prev_sig_b = 0;
+};
+
+/// Observer for gemm::process_tile that accumulates ActivityTotals — the
+/// reference backend, and the observer the compute path keeps using.
 class ActivityCounters {
  public:
   static constexpr bool kEnabled = true;
 
   void fetch_a(std::uint32_t bits, int width) noexcept {
-    on_stream(bits, width, last_fetch_a_, totals_.fetch_words,
+    on_stream(bits, width, port_.last_fetch_a, totals_.fetch_words,
               totals_.fetch_toggles, totals_.fetch_weight);
   }
   void fetch_b(std::uint32_t bits, int width) noexcept {
-    on_stream(bits, width, last_fetch_b_, totals_.fetch_words,
+    on_stream(bits, width, port_.last_fetch_b, totals_.fetch_words,
               totals_.fetch_toggles, totals_.fetch_weight);
   }
   void operand_a(std::uint32_t bits, int width) noexcept {
-    on_stream(bits, width, last_operand_a_, totals_.operand_words,
+    on_stream(bits, width, port_.last_operand_a, totals_.operand_words,
               totals_.operand_toggles, totals_.operand_weight);
   }
   void operand_b(std::uint32_t bits, int width) noexcept {
-    on_stream(bits, width, last_operand_b_, totals_.operand_words,
+    on_stream(bits, width, port_.last_operand_b, totals_.operand_words,
               totals_.operand_toggles, totals_.operand_weight);
   }
   void mac_pair(std::uint32_t a_bits, std::uint32_t b_bits, int width) noexcept {
     const std::uint32_t sig_a = significand(a_bits, width);
     const std::uint32_t sig_b = significand(b_bits, width);
     totals_.mult_pp +=
-        multiplier_switching(sig_a, prev_sig_a_, sig_b, prev_sig_b_);
+        multiplier_switching(sig_a, port_.prev_sig_a, sig_b, port_.prev_sig_b);
     totals_.exponent_bits += exponent_activity(a_bits, b_bits, width);
-    prev_sig_a_ = sig_a;
-    prev_sig_b_ = sig_b;
+    port_.prev_sig_a = sig_a;
+    port_.prev_sig_b = sig_b;
     ++totals_.macs;
   }
   void acc_update(std::uint64_t before, std::uint64_t after) noexcept {
@@ -58,6 +82,7 @@ class ActivityCounters {
   }
 
   [[nodiscard]] const ActivityTotals& totals() const noexcept { return totals_; }
+  [[nodiscard]] const PortState& port_state() const noexcept { return port_; }
   void reset() noexcept { *this = ActivityCounters{}; }
 
  private:
@@ -72,12 +97,7 @@ class ActivityCounters {
   }
 
   ActivityTotals totals_;
-  std::uint32_t last_fetch_a_ = 0;
-  std::uint32_t last_fetch_b_ = 0;
-  std::uint32_t last_operand_a_ = 0;
-  std::uint32_t last_operand_b_ = 0;
-  std::uint32_t prev_sig_a_ = 0;
-  std::uint32_t prev_sig_b_ = 0;
+  PortState port_;
 };
 
 /// Controls how much of the GEMM the estimator walks.
@@ -96,6 +116,14 @@ struct SamplingPlan {
   }
 };
 
+/// Which implementation walks the traversal.  Both produce bit-identical
+/// ActivityTotals; kObserver exists as the reference for parity tests and
+/// the micro benchmark.
+enum class ActivityBackend {
+  kBatched,   ///< packed bit-plane kernel (fast path, default)
+  kObserver,  ///< per-element observer walk (reference)
+};
+
 struct ActivityEstimate {
   ActivityTotals totals;  ///< scaled to the full problem
   bool sampled = false;
@@ -109,19 +137,21 @@ template <typename T>
 [[nodiscard]] ActivityEstimate estimate_activity(
     const gemm::GemmProblem& problem, const gemm::Matrix<T>& a,
     const gemm::Matrix<T>& b_storage, const gemm::TileConfig& config,
-    const SamplingPlan& plan = SamplingPlan::exact());
+    const SamplingPlan& plan = SamplingPlan::exact(),
+    ActivityBackend backend = ActivityBackend::kBatched);
 
 extern template ActivityEstimate estimate_activity<float>(
     const gemm::GemmProblem&, const gemm::Matrix<float>&,
-    const gemm::Matrix<float>&, const gemm::TileConfig&, const SamplingPlan&);
+    const gemm::Matrix<float>&, const gemm::TileConfig&, const SamplingPlan&,
+    ActivityBackend);
 extern template ActivityEstimate estimate_activity<gpupower::numeric::float16_t>(
     const gemm::GemmProblem&, const gemm::Matrix<gpupower::numeric::float16_t>&,
     const gemm::Matrix<gpupower::numeric::float16_t>&, const gemm::TileConfig&,
-    const SamplingPlan&);
+    const SamplingPlan&, ActivityBackend);
 extern template ActivityEstimate estimate_activity<gpupower::numeric::int8_value_t>(
     const gemm::GemmProblem&,
     const gemm::Matrix<gpupower::numeric::int8_value_t>&,
     const gemm::Matrix<gpupower::numeric::int8_value_t>&,
-    const gemm::TileConfig&, const SamplingPlan&);
+    const gemm::TileConfig&, const SamplingPlan&, ActivityBackend);
 
 }  // namespace gpupower::gpusim

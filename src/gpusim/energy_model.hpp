@@ -71,6 +71,10 @@ struct ActivityTotals {
   std::uint64_t acc_toggles = 0;
   std::uint64_t macs = 0;
 
+  /// Memberwise equality: parity harnesses compare whole structs so new
+  /// counter fields are covered automatically.
+  [[nodiscard]] bool operator==(const ActivityTotals&) const noexcept = default;
+
   ActivityTotals& operator+=(const ActivityTotals& o) noexcept;
   /// Multiplies every counter by `factor` (used to scale sampled estimates
   /// up to the full problem).  Factors are small rationals; rounding error

@@ -28,6 +28,10 @@ struct ProcessVariation {
 struct SimOptions {
   SamplingPlan sampling = SamplingPlan::exact();
   std::optional<ProcessVariation> variation;
+  /// Which activity implementation walks the GEMM.  The batched bit-plane
+  /// kernel is the default; the observer walk is the bit-identical
+  /// reference (parity tests, micro benchmark).
+  ActivityBackend activity_backend = ActivityBackend::kBatched;
 };
 
 class GpuSimulator {
@@ -47,7 +51,8 @@ class GpuSimulator {
            gpupower::numeric::bit_width(dtype));
     const gemm::TileConfig config = gemm::TileConfig::for_dtype(dtype);
     const ActivityEstimate est =
-        estimate_activity(problem, a, b_storage, config, options_.sampling);
+        estimate_activity(problem, a, b_storage, config, options_.sampling,
+                          options_.activity_backend);
     return PowerCalculator(dev_).evaluate(problem, dtype, est.totals);
   }
 
@@ -58,7 +63,7 @@ class GpuSimulator {
                                           const gemm::Matrix<T>& a,
                                           const gemm::Matrix<T>& b) const {
     return estimate_activity(problem, a, b, gemm::TileConfig::for_dtype(dtype),
-                             options_.sampling);
+                             options_.sampling, options_.activity_backend);
   }
 
   [[nodiscard]] const DeviceDescriptor& descriptor() const noexcept {

@@ -151,6 +151,171 @@ TEST(Sampling, ExactPlanWalksEveryTile) {
   EXPECT_EQ(est.totals.macs, n * n * n);
 }
 
+// --- batched bit-plane kernel parity -------------------------------------
+//
+// The acceptance criterion for the fast path: ActivityTotals from the
+// batched kernel are bit-identical to the per-element observer walk, for
+// every dtype (SIMT and tensor-core datapaths), exact and sampled plans,
+// both B layouts, and ragged tile/K edges.
+
+void expect_identical_totals(const ActivityEstimate& batched,
+                             const ActivityEstimate& observer) {
+  // Whole-struct equality covers counter fields added later; the per-field
+  // checks below localise a failure.
+  EXPECT_TRUE(batched.totals == observer.totals);
+  EXPECT_EQ(batched.totals.fetch_words, observer.totals.fetch_words);
+  EXPECT_EQ(batched.totals.fetch_toggles, observer.totals.fetch_toggles);
+  EXPECT_EQ(batched.totals.fetch_weight, observer.totals.fetch_weight);
+  EXPECT_EQ(batched.totals.operand_words, observer.totals.operand_words);
+  EXPECT_EQ(batched.totals.operand_toggles, observer.totals.operand_toggles);
+  EXPECT_EQ(batched.totals.operand_weight, observer.totals.operand_weight);
+  EXPECT_EQ(batched.totals.mult_pp, observer.totals.mult_pp);
+  EXPECT_EQ(batched.totals.exponent_bits, observer.totals.exponent_bits);
+  EXPECT_EQ(batched.totals.acc_updates, observer.totals.acc_updates);
+  EXPECT_EQ(batched.totals.acc_toggles, observer.totals.acc_toggles);
+  EXPECT_EQ(batched.totals.macs, observer.totals.macs);
+  EXPECT_EQ(batched.sampled, observer.sampled);
+  EXPECT_EQ(batched.tiles_walked, observer.tiles_walked);
+  EXPECT_EQ(batched.tiles_total, observer.tiles_total);
+  EXPECT_DOUBLE_EQ(batched.k_coverage, observer.k_coverage);
+}
+
+template <typename T>
+void run_parity_case(DType dtype, bool transpose_b) {
+  // n = 150 leaves ragged edges at every level: threadblock tiles (128 +
+  // 22), K-slices, and MMA fragment K-segments.
+  const std::size_t n = 150;
+  auto values = patterns::gaussian_fill(n * n, 0.0, 210.0, 7);
+  // Sprinkle exact zeros so the multiplier/exponent zero gating is hit.
+  for (std::size_t i = 0; i < values.size(); i += 13) values[i] = 0.0f;
+  const auto a = gemm::materialize<T>(values, n, n);
+  const auto b = gemm::materialize<T>(
+      patterns::gaussian_fill(n * n, 0.0, 210.0, 8), n, n);
+  GemmProblem problem = GemmProblem::square(n, transpose_b);
+  const auto config = TileConfig::for_dtype(dtype);
+
+  const SamplingPlan plans[] = {SamplingPlan::exact(), SamplingPlan::fast(16),
+                                SamplingPlan{8, 0.5, 0x5EEDu},
+                                SamplingPlan{12, 0.25, 0x5EEDu}};
+  for (const SamplingPlan& plan : plans) {
+    const auto batched = estimate_activity(problem, a, b, config, plan,
+                                           ActivityBackend::kBatched);
+    const auto observer = estimate_activity(problem, a, b, config, plan,
+                                            ActivityBackend::kObserver);
+    expect_identical_totals(batched, observer);
+  }
+}
+
+TEST(BitPlaneParity, Fp32SimtMatchesObserverBitwise) {
+  run_parity_case<float>(DType::kFP32, true);
+  run_parity_case<float>(DType::kFP32, false);
+}
+
+TEST(BitPlaneParity, Fp16SimtMatchesObserverBitwise) {
+  run_parity_case<float16_t>(DType::kFP16, true);
+  run_parity_case<float16_t>(DType::kFP16, false);
+}
+
+TEST(BitPlaneParity, Fp16TensorCoreMatchesObserverBitwise) {
+  run_parity_case<float16_t>(DType::kFP16T, true);
+  run_parity_case<float16_t>(DType::kFP16T, false);
+}
+
+TEST(BitPlaneParity, Int8TensorCoreMatchesObserverBitwise) {
+  run_parity_case<gpupower::numeric::int8_value_t>(DType::kINT8, true);
+  run_parity_case<gpupower::numeric::int8_value_t>(DType::kINT8, false);
+}
+
+// --- port-state persistence ----------------------------------------------
+
+TEST(ActivityCounters, PortStatePersistsAcrossTiles) {
+  // The last word driven on each bus must carry over between tiles, like
+  // the physical wires: the first word of tile 2 toggles against the last
+  // word of tile 1, not against zero.
+  const std::size_t n = 64;
+  const auto a = random_matrix<float16_t>(n, 3);
+  const auto b = random_matrix<float16_t>(n, 4);
+  const auto problem = GemmProblem::square(n);
+  const auto config = TileConfig::for_dtype(DType::kFP16);
+  // Two half-height tiles covering the output.
+  const gemm::TileCoord t1{0, 0, n / 2, n};
+  const gemm::TileCoord t2{n / 2, 0, n / 2, n};
+
+  ActivityCounters chained;
+  std::vector<float> acc(t1.rows * t1.cols, 0.0f);
+  gemm::process_tile(problem, a, b, t1, config, acc, chained);
+  const PortState mid = chained.port_state();
+  // Port state after tile 1 is the last word each stream drove; never all
+  // zeros for random data.
+  EXPECT_NE(mid.last_fetch_a, 0u);
+  EXPECT_NE(mid.last_operand_a, 0u);
+  acc.assign(t2.rows * t2.cols, 0.0f);
+  gemm::process_tile(problem, a, b, t2, config, acc, chained);
+
+  // A fresh counter for tile 2 alone starts its chains at zero, so the
+  // chained walk differs from the sum of independent walks exactly at the
+  // tile boundary.
+  ActivityCounters fresh1, fresh2;
+  acc.assign(t1.rows * t1.cols, 0.0f);
+  gemm::process_tile(problem, a, b, t1, config, acc, fresh1);
+  acc.assign(t2.rows * t2.cols, 0.0f);
+  gemm::process_tile(problem, a, b, t2, config, acc, fresh2);
+
+  EXPECT_EQ(chained.port_state().last_fetch_a,
+            fresh2.port_state().last_fetch_a);
+  const std::uint64_t independent_sum =
+      fresh1.totals().fetch_toggles + fresh2.totals().fetch_toggles;
+  EXPECT_NE(chained.totals().fetch_toggles, independent_sum);
+  // Words and weight are state-free, so those do add up.
+  EXPECT_EQ(chained.totals().fetch_words,
+            fresh1.totals().fetch_words + fresh2.totals().fetch_words);
+  EXPECT_EQ(chained.totals().fetch_weight,
+            fresh1.totals().fetch_weight + fresh2.totals().fetch_weight);
+}
+
+// --- sampled-vs-exact scaling bounds -------------------------------------
+
+TEST(Sampling, RespectsTileBudgetAndKCoverage) {
+  const std::size_t n = 256;
+  const auto a = random_matrix<float16_t>(n, 1);
+  const auto b = random_matrix<float16_t>(n, 2);
+  const auto config = TileConfig::for_dtype(DType::kFP16);
+  SamplingPlan plan;
+  plan.max_tiles = 6;
+  plan.k_fraction = 0.5;
+  const auto est = estimate_activity(GemmProblem::square(n), a, b, config,
+                                     plan);
+  EXPECT_TRUE(est.sampled);
+  EXPECT_LE(est.tiles_walked, plan.max_tiles);
+  EXPECT_GT(est.tiles_walked, 0u);
+  // K coverage honours the requested fraction up to slice granularity.
+  const double slices = std::ceil(static_cast<double>(n) /
+                                  static_cast<double>(config.threadblock.k));
+  const double slice_frac = 1.0 / slices;
+  EXPECT_GE(est.k_coverage, plan.k_fraction - slice_frac);
+  EXPECT_LE(est.k_coverage, plan.k_fraction + slice_frac);
+}
+
+TEST(Sampling, ScaledCountsApproximateExactStructure) {
+  // Structural counters (macs, words) scale back to the full problem within
+  // the rounding of tiles_total / tiles_walked and k_coverage.
+  const std::size_t n = 256;
+  const auto a = random_matrix<float16_t>(n, 1);
+  const auto b = random_matrix<float16_t>(n, 2);
+  const auto config = TileConfig::for_dtype(DType::kFP16);
+  SamplingPlan plan;
+  plan.max_tiles = 8;
+  plan.k_fraction = 0.5;
+  const auto est = estimate_activity(GemmProblem::square(n), a, b, config,
+                                     plan);
+  const auto exact_macs = static_cast<double>(n) * static_cast<double>(n) *
+                          static_cast<double>(n);
+  EXPECT_NEAR(static_cast<double>(est.totals.macs) / exact_macs, 1.0, 0.05);
+  const auto est_words = static_cast<double>(est.totals.operand_words);
+  EXPECT_GT(est_words, 0.0);
+  EXPECT_NEAR(est_words / (2.0 * exact_macs), 1.0, 0.05);
+}
+
 TEST(Sampling, SmallProblemNeverSamples) {
   // When the grid has fewer quanta than max_tiles, the walk is exhaustive
   // at warp granularity.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <vector>
 
@@ -29,6 +30,37 @@ TEST(RunningStatsTest, DegenerateCases) {
   EXPECT_DOUBLE_EQ(s.mean(), 3.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
   EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStatsTest, Ci95UsesStudentTCriticalValues) {
+  // Regression: ci95_halfwidth used the normal 1.96 for every n; at the
+  // paper's 10 seeds the Student-t value is 2.262, so CIs were ~13% too
+  // narrow.  Critical values: n=2 -> dof 1 -> 12.706; n=10 -> dof 9 ->
+  // 2.262; n=31 -> dof 30 -> normal fallback 1.96.
+  EXPECT_DOUBLE_EQ(t_critical_95(2), 12.706);
+  EXPECT_DOUBLE_EQ(t_critical_95(10), 2.262);
+  EXPECT_DOUBLE_EQ(t_critical_95(30), 2.045);
+  EXPECT_DOUBLE_EQ(t_critical_95(31), 1.96);
+  EXPECT_DOUBLE_EQ(t_critical_95(1), 0.0);
+  EXPECT_DOUBLE_EQ(t_critical_95(0), 0.0);
+
+  for (const std::size_t n : {std::size_t{2}, std::size_t{10}, std::size_t{31}}) {
+    RunningStats s;
+    for (std::size_t i = 0; i < n; ++i) s.add(i % 2 == 0 ? 1.0 : -1.0);
+    const double normal_halfwidth =
+        1.96 * s.stddev() / std::sqrt(static_cast<double>(n));
+    EXPECT_DOUBLE_EQ(s.ci95_halfwidth(),
+                     t_critical_95(n) * s.stddev() /
+                         std::sqrt(static_cast<double>(n)))
+        << "n=" << n;
+    // Strictly wider than the old normal interval in the small-n regime,
+    // identical once the fallback kicks in.
+    if (n <= 30) {
+      EXPECT_GT(s.ci95_halfwidth(), normal_halfwidth) << "n=" << n;
+    } else {
+      EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), normal_halfwidth) << "n=" << n;
+    }
+  }
 }
 
 TEST(Stats, SpanHelpers) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "core/config_builder.hpp"
@@ -208,14 +209,35 @@ TEST(ExperimentEngine, SweepRunExportsJson) {
   EXPECT_NE(json.find("series"), std::string::npos);
 }
 
-TEST(ExperimentEngine, ZeroSeedConfigCompletesImmediately) {
+TEST(ExperimentEngine, RejectsZeroSeedConfig) {
+  // A zero-seed job used to "complete" instantly with an all-zero result;
+  // it must be rejected loudly instead.
   ExperimentEngine engine(four_workers());
   ExperimentConfig config = small_config();
   config.seeds = 0;
-  const ExperimentHandle handle = engine.submit(config);
+  EXPECT_THROW((void)engine.submit(config), std::invalid_argument);
+  config.seeds = -1;
+  EXPECT_THROW((void)engine.submit(config), std::invalid_argument);
+  engine.wait_all();  // nothing outstanding; must not hang
+}
+
+TEST(ExperimentHandle, InvalidHandleThrowsInsteadOfUB) {
+  // A default-constructed handle has no job; get()/ready()/config() used to
+  // dereference null.
+  ExperimentHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_THROW((void)handle.get(), std::logic_error);
+  EXPECT_THROW((void)handle.ready(), std::logic_error);
+  EXPECT_THROW((void)handle.config(), std::logic_error);
+
+  // A real handle stays valid after copies.
+  ExperimentEngine engine(four_workers());
+  const ExperimentHandle live = engine.submit(small_config());
+  const ExperimentHandle copy = live;
   engine.wait_all();
-  EXPECT_TRUE(handle.ready());
-  EXPECT_EQ(handle.get().seeds, 0);
+  EXPECT_TRUE(copy.valid());
+  EXPECT_TRUE(copy.ready());
+  EXPECT_GT(copy.get().power_w, 0.0);
 }
 
 TEST(ExperimentEngine, EngineOutlivesManySubmissions) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/stats.hpp"
 #include "core/figures.hpp"
 
 namespace gpupower::core {
@@ -87,6 +91,65 @@ TEST(Experiment, ProcessVariationShiftsPower) {
   // Same instance is reproducible.
   const auto again = run_experiment(config);
   EXPECT_DOUBLE_EQ(varied.power_w, again.power_w);
+}
+
+TEST(Experiment, ReduceAveragesPerSeedScalars) {
+  // Regression: reduce_replicas used to keep only the *last* replica's
+  // iteration_s, energy_per_iter_j, and clock_frac, reporting an arbitrary
+  // seed.  All per-seed scalars must fold into means.
+  ExperimentConfig config;
+  config.seeds = 3;
+  std::vector<SeedReplicaResult> replicas(3);
+  for (int s = 0; s < 3; ++s) {
+    replicas[s].power_w = 100.0 + s;
+    replicas[s].iteration_s = 0.010 + 0.001 * s;
+    replicas[s].energy_per_iter_j = 2.0 + s;
+    replicas[s].clock_frac = 1.0 - 0.1 * s;
+    replicas[s].throttled = s == 1;
+  }
+  const ExperimentResult result = reduce_replicas(config, replicas);
+  EXPECT_NEAR(result.iteration_s, (0.010 + 0.011 + 0.012) / 3.0, 1e-15);
+  EXPECT_NEAR(result.energy_per_iter_j, 3.0, 1e-12);
+  EXPECT_NEAR(result.clock_frac, (1.0 + 0.9 + 0.8) / 3.0, 1e-12);
+  EXPECT_TRUE(result.throttled);
+}
+
+TEST(Experiment, VariationReportsSeedAveragesNotLastSeed) {
+  // End-to-end: with device variation enabled the per-seed energies differ,
+  // and the reduced result must equal the mean over run_seed_replica — not
+  // whichever replica happened to finish last.
+  auto config = small_config(gpupower::numeric::DType::kFP16);
+  config.seeds = 3;
+  config.variation = gpupower::gpusim::ProcessVariation{0.05, 7};
+
+  // Fold through the same Welford accumulator the reduction uses so the
+  // expected means match bit for bit.
+  analysis::RunningStats energy, iter, clock;
+  bool distinct_energy = false;
+  const SeedReplicaResult first = run_seed_replica(config, 0);
+  for (int s = 0; s < config.seeds; ++s) {
+    const SeedReplicaResult replica = run_seed_replica(config, s);
+    energy.add(replica.energy_per_iter_j);
+    iter.add(replica.iteration_s);
+    clock.add(replica.clock_frac);
+    distinct_energy =
+        distinct_energy || replica.energy_per_iter_j != first.energy_per_iter_j;
+  }
+  ASSERT_TRUE(distinct_energy)
+      << "seeds should produce distinct per-iteration energies";
+
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_DOUBLE_EQ(result.energy_per_iter_j, energy.mean());
+  EXPECT_DOUBLE_EQ(result.iteration_s, iter.mean());
+  EXPECT_DOUBLE_EQ(result.clock_frac, clock.mean());
+}
+
+TEST(Experiment, RejectsNonPositiveSeeds) {
+  auto config = small_config(gpupower::numeric::DType::kFP16);
+  config.seeds = 0;
+  EXPECT_THROW((void)run_experiment(config), std::invalid_argument);
+  config.seeds = -2;
+  EXPECT_THROW((void)run_experiment(config), std::invalid_argument);
 }
 
 TEST(Experiment, SampledConfigTracksExact) {

@@ -1,0 +1,39 @@
+#include "tools/bench_export.hpp"
+
+#include <cstdio>
+
+namespace gpupower::tools {
+
+analysis::JsonValue bench_document(const std::string& bench,
+                                   const std::string& protocol,
+                                   const std::vector<BenchCase>& cases) {
+  analysis::JsonValue doc = analysis::JsonValue::object();
+  doc.set("bench", analysis::JsonValue::string(bench));
+  doc.set("schema", analysis::JsonValue::integer(1));
+  doc.set("protocol", analysis::JsonValue::string(protocol));
+  analysis::JsonValue case_array = analysis::JsonValue::array();
+  for (const BenchCase& c : cases) {
+    analysis::JsonValue entry = analysis::JsonValue::object();
+    entry.set("name", analysis::JsonValue::string(c.name));
+    analysis::JsonValue metrics = analysis::JsonValue::object();
+    for (const BenchMetric& m : c.metrics) {
+      metrics.set(m.name, analysis::JsonValue::number(m.value));
+    }
+    entry.set("metrics", std::move(metrics));
+    case_array.push(std::move(entry));
+  }
+  doc.set("cases", std::move(case_array));
+  return doc;
+}
+
+bool write_bench_json(const std::string& path,
+                      const analysis::JsonValue& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = doc.dump(/*pretty=*/true);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace gpupower::tools

@@ -1,0 +1,48 @@
+// Structured JSON export for micro-benchmark results: builds one
+// BENCH_<name>.json document per run in a stable, diff-friendly shape meant
+// to be committed at the repo root.  The file holds the *current* trajectory
+// point; git history of the committed file is the perf trajectory, and CI
+// uploads the freshly measured document as an artifact on every run.
+//
+// Document shape (see README "Activity fast path" for the field glossary):
+//
+//   {
+//     "bench": "activity_kernel",
+//     "schema": 1,
+//     "protocol": "N=1024 sampled(tiles=12, kfrac=0.50) ...",
+//     "cases": [
+//       {"name": "fp16", "metrics": {"observer_ms": ..., "batched_ms": ...,
+//                                    "speedup": ...}},
+//       ...
+//     ]
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/json.hpp"
+
+namespace gpupower::tools {
+
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+};
+
+struct BenchCase {
+  std::string name;
+  std::vector<BenchMetric> metrics;
+};
+
+/// Assembles the document above.  Metrics keep insertion order so committed
+/// output diffs cleanly between runs.
+[[nodiscard]] analysis::JsonValue bench_document(
+    const std::string& bench, const std::string& protocol,
+    const std::vector<BenchCase>& cases);
+
+/// Pretty-prints `doc` to `path` (with a trailing newline).  Returns false
+/// when the file cannot be written.
+bool write_bench_json(const std::string& path, const analysis::JsonValue& doc);
+
+}  // namespace gpupower::tools
