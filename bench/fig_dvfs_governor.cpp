@@ -1,0 +1,115 @@
+// DVFS governor sweep (new-scenario figure): replays a bursty GEMM timeline
+// through the P-state machine under a grid of PowerMizer-style utilization
+// thresholds, against three references — fixed max clock (energy baseline),
+// the deepest fixed P-state (latency worst case), and the clairvoyant
+// oracle (energy lower bound).  The figure the static paper model cannot
+// produce: energy vs completion-time trade-offs of driver power management
+// serving non-steady traffic.
+//
+// Every (governor x timeline) cell is one DVFS job on the ExperimentEngine:
+// seed replicas fan out across the worker pool and duplicate configs (the
+// shared baselines) are served from the engine cache.
+//
+// Environment knobs as every figure bench: GPUPOWER_N, GPUPOWER_SEEDS,
+// GPUPOWER_TILES, GPUPOWER_KFRAC, GPUPOWER_WORKERS, GPUPOWER_CSV.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/config_builder.hpp"
+#include "core/dvfs_experiment.hpp"
+#include "core/engine.hpp"
+#include "core/env.hpp"
+#include "fig_harness.hpp"
+
+namespace {
+
+using namespace gpupower;
+namespace dvfs = gpusim::dvfs;
+
+struct Cell {
+  std::string label;
+  core::DvfsHandle handle;
+};
+
+}  // namespace
+
+int main() {
+  const core::BenchEnv env = core::read_bench_env();
+  bench::print_preamble(env, "DVFS governor sweep — bursty GEMM timeline");
+
+  // The workload: 5 Hz bursts at full offered load over a 20% background —
+  // the shape that separates a good governor (races to boost in the burst,
+  // parks partway down in the gaps without starving the background) from a
+  // fixed clock.
+  const char* kTimeline =
+      "burst(period=0.2, duty=30%, high=100%, low=20%, dur=2)";
+
+  const core::ExperimentConfig experiment =
+      core::ExperimentConfigBuilder().dtype("fp16t").env(env).build();
+  const auto base_builder = [&](std::string_view governor) {
+    return core::DvfsConfigBuilder()
+        .experiment(experiment)
+        .timeline(kTimeline)
+        .slice(0.01)
+        .pstates(5)
+        .governor(governor);
+  };
+
+  core::ExperimentEngine engine = bench::make_engine(env);
+  std::vector<Cell> cells;
+  const auto submit = [&](const std::string& label,
+                          const std::string& governor) {
+    const auto builder = base_builder(governor);
+    if (!builder.valid()) {
+      std::fprintf(stderr, "fig_dvfs_governor: %s\n",
+                   builder.error().c_str());
+      std::exit(2);
+    }
+    cells.push_back({label, engine.submit_dvfs(builder.build())});
+  };
+
+  submit("fixed max clock", "fixed(0)");
+  submit("fixed deepest", "fixed(4)");
+  for (const int up : {60, 90}) {
+    for (const int down : {15, 30, 45, 60}) {
+      char governor[96];
+      std::snprintf(governor, sizeof governor,
+                    "utilization(up=%d%%, down=%d%%, up_hold=0.01, "
+                    "down_hold=0.02)",
+                    up, down);
+      char label[48];
+      std::snprintf(label, sizeof label, "util up=%d%% down=%d%%", up, down);
+      submit(label, governor);
+    }
+  }
+  submit("oracle", "oracle()");
+  engine.wait_all();
+
+  const double fixed_energy = cells.front().handle.get().energy_j;
+  const double fixed_completion = cells.front().handle.get().completion_s;
+
+  analysis::Table table({"governor", "energy (J)", "vs fixed (%)",
+                         "completion (s)", "stretch (ms)", "avg W",
+                         "transitions"});
+  for (const Cell& cell : cells) {
+    const core::DvfsResult& r = cell.handle.get();
+    table.add_row(cell.label,
+                  {r.energy_j,
+                   fixed_energy > 0.0
+                       ? (r.energy_j / fixed_energy - 1.0) * 100.0
+                       : 0.0,
+                   r.completion_s, (r.completion_s - fixed_completion) * 1e3,
+                   r.avg_power_w, r.transitions},
+                  2);
+  }
+  table.print(std::cout);
+  if (env.csv) {
+    std::printf("\nCSV:\n");
+    table.print_csv(std::cout);
+  }
+  bench::print_engine_stats(engine);
+  return 0;
+}

@@ -151,6 +151,88 @@ std::optional<ExperimentConfig> ExperimentConfigBuilder::try_build() const {
   return config_;
 }
 
+void DvfsConfigBuilder::fail(std::string message) {
+  if (error_.empty()) error_ = std::move(message);
+}
+
+DvfsConfigBuilder& DvfsConfigBuilder::experiment(
+    const ExperimentConfig& config) {
+  config_.experiment = config;
+  return *this;
+}
+
+DvfsConfigBuilder& DvfsConfigBuilder::governor(
+    const gpupower::gpusim::dvfs::GovernorConfig& config) {
+  config_.governor = config;
+  return *this;
+}
+
+DvfsConfigBuilder& DvfsConfigBuilder::governor(std::string_view dsl) {
+  const auto parsed = gpupower::gpusim::dvfs::parse_governor(dsl);
+  if (!parsed.ok) {
+    fail("governor DSL error at offset " + std::to_string(parsed.error_pos) +
+         ": " + parsed.error);
+    return *this;
+  }
+  config_.governor = parsed.config;
+  return *this;
+}
+
+DvfsConfigBuilder& DvfsConfigBuilder::timeline(
+    const gpupower::gpusim::dvfs::WorkloadTimeline& timeline) {
+  if (timeline.empty()) {
+    fail("timeline has no phases");
+    return *this;
+  }
+  config_.timeline = timeline;
+  return *this;
+}
+
+DvfsConfigBuilder& DvfsConfigBuilder::timeline(std::string_view dsl) {
+  const auto parsed = gpupower::gpusim::dvfs::parse_timeline(dsl);
+  if (!parsed.ok) {
+    fail("timeline DSL error at offset " + std::to_string(parsed.error_pos) +
+         ": " + parsed.error);
+    return *this;
+  }
+  config_.timeline = parsed.timeline;
+  return *this;
+}
+
+DvfsConfigBuilder& DvfsConfigBuilder::slice(double slice_s) {
+  // The microsecond floor keeps replay slice counts sane (the replayer
+  // additionally hard-caps the slice count as a backstop).
+  if (!(slice_s >= 1e-6) || slice_s > 10.0) {
+    fail("slice=" + format_double(slice_s) +
+         " out of range [1e-6, 10] seconds");
+    return *this;
+  }
+  config_.slice_s = slice_s;
+  return *this;
+}
+
+DvfsConfigBuilder& DvfsConfigBuilder::pstates(int count) {
+  if (count < 1 || count > 16) {
+    fail("pstates=" + std::to_string(count) + " out of range [1, 16]");
+    return *this;
+  }
+  config_.pstates = count;
+  return *this;
+}
+
+const std::string& DvfsConfigBuilder::error() const noexcept {
+  if (!error_.empty()) return error_;
+  static const std::string kMissingTimeline =
+      "no timeline set (a DVFS config needs a workload to replay)";
+  static const std::string kNone;
+  return config_.timeline.empty() ? kMissingTimeline : kNone;
+}
+
+std::optional<DvfsConfig> DvfsConfigBuilder::try_build() const {
+  if (!valid()) return std::nullopt;
+  return config_;
+}
+
 std::string canonical_config_key(const ExperimentConfig& config) {
   std::string key;
   key.reserve(192);
@@ -172,7 +254,8 @@ std::string canonical_config_key(const ExperimentConfig& config) {
   key += "|var=";
   if (config.variation) {
     key += format_double(config.variation->sigma_fraction) + ":" +
-           std::to_string(config.variation->instance);
+           std::to_string(config.variation->instance) + ":" +
+           (config.variation->per_seed ? "perseed" : "shared");
   } else {
     key += "none";
   }

@@ -22,6 +22,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/dvfs_experiment.hpp"
 #include "core/env.hpp"
 #include "core/experiment.hpp"
 
@@ -69,6 +70,53 @@ class ExperimentConfigBuilder {
   void fail(std::string message);
 
   ExperimentConfig config_;
+  std::string error_;
+};
+
+/// Fluent, validating construction of DvfsConfig — the front door of the
+/// DVFS timeline API.  Wraps an ExperimentConfig (hand over a built one, or
+/// inherit the builder's defaults) and adds the governor, timeline, slice,
+/// and P-state knobs, with the governor and timeline DSLs parsed and
+/// validated in place.  Error handling matches ExperimentConfigBuilder:
+/// first error wins, check valid()/error() or use try_build().
+///
+///   const auto config = DvfsConfigBuilder()
+///                           .experiment(experiment_config)
+///                           .governor("utilization(up=80%, down=30%)")
+///                           .timeline("burst(period=0.2, duty=30%, dur=2)")
+///                           .slice(0.01)
+///                           .pstates(5)
+///                           .build();
+class DvfsConfigBuilder {
+ public:
+  DvfsConfigBuilder() = default;
+
+  DvfsConfigBuilder& experiment(const ExperimentConfig& config);
+  DvfsConfigBuilder& governor(const gpupower::gpusim::dvfs::GovernorConfig& config);
+  /// Parses the governor DSL (fixed | utilization | oracle).
+  DvfsConfigBuilder& governor(std::string_view dsl);
+  DvfsConfigBuilder& timeline(const gpupower::gpusim::dvfs::WorkloadTimeline& timeline);
+  /// Parses the timeline DSL (constant | idle | burst | ramp stages).
+  DvfsConfigBuilder& timeline(std::string_view dsl);
+  /// Replay time step in seconds, [1e-6, 10].
+  DvfsConfigBuilder& slice(double slice_s);
+  /// P-state table depth, [1, 16]; 1 is the DVFS-disabled degenerate case.
+  DvfsConfigBuilder& pstates(int count);
+
+  /// A timeline is required: a builder that never received one is invalid
+  /// (there is no sensible default workload to replay).
+  [[nodiscard]] bool valid() const noexcept {
+    return error_.empty() && !config_.timeline.empty();
+  }
+  [[nodiscard]] const std::string& error() const noexcept;
+
+  [[nodiscard]] DvfsConfig build() const { return config_; }
+  [[nodiscard]] std::optional<DvfsConfig> try_build() const;
+
+ private:
+  void fail(std::string message);
+
+  DvfsConfig config_;
   std::string error_;
 };
 

@@ -1,0 +1,168 @@
+#include "core/dvfs_experiment.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/stats.hpp"
+#include "core/config_builder.hpp"
+#include "core/pattern_spec.hpp"
+#include "gpusim/dvfs/dsl_util.hpp"
+#include "patterns/rng.hpp"
+
+namespace gpupower::core {
+namespace {
+
+namespace dvfs = gpupower::gpusim::dvfs;
+
+template <typename T>
+gpupower::gpusim::ActivityEstimate typed_activity(
+    const gpupower::gpusim::GpuSimulator& sim, const DvfsConfig& config,
+    const gemm::GemmProblem& problem, std::uint64_t replica_seed) {
+  const ExperimentInputs<T> inputs =
+      build_inputs<T>(config.experiment.pattern, config.experiment.dtype,
+                      config.experiment.n, replica_seed);
+  return sim.activity(problem, config.experiment.dtype, inputs.a, inputs.b);
+}
+
+gpupower::gpusim::ActivityEstimate replica_activity(
+    const gpupower::gpusim::GpuSimulator& sim, const DvfsConfig& config,
+    const gemm::GemmProblem& problem, std::uint64_t replica_seed) {
+  return with_storage_type(config.experiment.dtype, [&](auto tag) {
+    return typed_activity<typename decltype(tag)::type>(sim, config, problem,
+                                                        replica_seed);
+  });
+}
+
+using dvfs::detail::format_exact;
+
+}  // namespace
+
+dvfs::ReplayResult run_dvfs_seed_replica(const DvfsConfig& config,
+                                         int seed_index) {
+  if (config.slice_s <= 0.0) {
+    throw std::invalid_argument("run_dvfs_seed_replica: slice_s must be > 0");
+  }
+  if (config.timeline.empty()) {
+    throw std::invalid_argument(
+        "run_dvfs_seed_replica: timeline has no phases");
+  }
+  if (config.pstates < 1 || config.pstates > 16) {
+    throw std::invalid_argument(
+        "run_dvfs_seed_replica: pstates must be in [1, 16], got " +
+        std::to_string(config.pstates));
+  }
+
+  const gpupower::gpusim::GpuSimulator sim(
+      config.experiment.gpu, replica_sim_options(config.experiment,
+                                                 seed_index));
+  const gemm::GemmProblem problem{config.experiment.n, config.experiment.n,
+                                  config.experiment.n, 1.0f, 0.0f,
+                                  config.experiment.pattern.transpose_b};
+  const std::uint64_t replica_seed = patterns::derive_seed(
+      config.experiment.base_seed, static_cast<std::uint64_t>(seed_index));
+  const gpupower::gpusim::ActivityEstimate est =
+      replica_activity(sim, config, problem, replica_seed);
+
+  const dvfs::PStateTable table =
+      config.pstates <= 1
+          ? dvfs::PStateTable::boost_only(sim.descriptor())
+          : dvfs::PStateTable::for_device(sim.descriptor(), config.pstates);
+  const dvfs::TimelineReplayer replayer(sim.descriptor(), problem,
+                                        config.experiment.dtype, est.totals,
+                                        table);
+  const auto governor = dvfs::make_governor(config.governor);
+  return replayer.replay(config.timeline, *governor, config.slice_s);
+}
+
+DvfsResult reduce_dvfs_replicas(
+    const DvfsConfig& config,
+    std::span<const dvfs::ReplayResult> replicas) {
+  analysis::RunningStats energy, avg_power, peak_power, completion, duration;
+  analysis::RunningStats backlog_max, mean_backlog, transitions;
+  DvfsResult result;
+
+  for (const dvfs::ReplayResult& replica : replicas) {
+    energy.add(replica.energy_j);
+    avg_power.add(replica.avg_power_w);
+    peak_power.add(replica.peak_power_w);
+    completion.add(replica.completion_s);
+    duration.add(replica.duration_s);
+    backlog_max.add(replica.backlog_max_s);
+    mean_backlog.add(replica.mean_backlog_s);
+    transitions.add(static_cast<double>(replica.transitions));
+    result.truncated = result.truncated || replica.truncated;
+  }
+
+  result.energy_j = energy.mean();
+  result.energy_std_j = energy.stddev();
+  result.avg_power_w = avg_power.mean();
+  result.peak_power_w = peak_power.mean();
+  result.completion_s = completion.mean();
+  result.duration_s = duration.mean();
+  result.backlog_max_s = backlog_max.mean();
+  result.mean_backlog_s = mean_backlog.mean();
+  result.transitions = transitions.mean();
+  result.seeds = config.experiment.seeds;
+  if (!replicas.empty()) result.trace = replicas.front();
+  return result;
+}
+
+DvfsResult run_dvfs(const DvfsConfig& config) {
+  if (config.experiment.seeds <= 0) {
+    throw std::invalid_argument(
+        "run_dvfs: experiment.seeds must be >= 1, got " +
+        std::to_string(config.experiment.seeds));
+  }
+  std::vector<dvfs::ReplayResult> replicas;
+  replicas.reserve(static_cast<std::size_t>(config.experiment.seeds));
+  for (int s = 0; s < config.experiment.seeds; ++s) {
+    replicas.push_back(run_dvfs_seed_replica(config, s));
+  }
+  return reduce_dvfs_replicas(config, replicas);
+}
+
+std::string canonical_dvfs_key(const DvfsConfig& config) {
+  std::string key = canonical_config_key(config.experiment);
+  // Raw governor fields at full precision — to_dsl is the %g display form
+  // and would collide configs differing past 6 significant digits.
+  key += "|gov=" +
+         std::to_string(static_cast<int>(config.governor.policy)) + ":" +
+         std::to_string(config.governor.fixed_pstate) + ":" +
+         format_exact(config.governor.boost_util) + ":" +
+         format_exact(config.governor.boost_hold_s) + ":" +
+         format_exact(config.governor.low_util) + ":" +
+         format_exact(config.governor.low_hold_s);
+  key += "|slice=" + format_exact(config.slice_s);
+  key += "|pstates=" + std::to_string(config.pstates);
+  // Short timelines keep the readable phase list; long ones (a burst DSL
+  // can legally realise ~2M phases) collapse to phase count + an FNV-1a
+  // hash over the raw phase doubles — no multi-megabyte serialisation is
+  // ever materialised.
+  if (config.timeline.phases().size() <= 64) {
+    key += "|tl=" + dvfs::to_dsl(config.timeline);
+  } else {
+    std::uint64_t hash = 1469598103934665603ull;
+    const auto mix = [&hash](double v) {
+      std::uint64_t bits = 0;
+      static_assert(sizeof bits == sizeof v);
+      std::memcpy(&bits, &v, sizeof bits);
+      for (int b = 0; b < 64; b += 8) {
+        hash ^= (bits >> b) & 0xFFu;
+        hash *= 1099511628211ull;
+      }
+    };
+    for (const auto& phase : config.timeline.phases()) {
+      mix(phase.duration_s);
+      mix(phase.utilization);
+    }
+    key += "|tl#" + std::to_string(config.timeline.phases().size()) + ":" +
+           std::to_string(hash);
+  }
+  return key;
+}
+
+}  // namespace gpupower::core

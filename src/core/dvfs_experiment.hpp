@@ -1,0 +1,75 @@
+// DVFS timeline experiments: the measurement protocol for the time-resolved
+// P-state pipeline.  A DvfsConfig pairs a classic ExperimentConfig (GPU,
+// datatype, problem size, input pattern, seeds) — which fixes the *active*
+// power level via the activity walk — with a workload timeline, a governor
+// policy, and the P-state table depth.  Each seed replica builds its own
+// inputs, estimates activity, and replays the timeline; replicas reduce
+// across seeds in seed order, exactly like run_experiment, so results are
+// bit-identical no matter how many engine workers computed them.
+#pragma once
+
+#include <span>
+
+#include "core/experiment.hpp"
+#include "gpusim/dvfs/governor.hpp"
+#include "gpusim/dvfs/replay.hpp"
+#include "gpusim/dvfs/timeline.hpp"
+
+namespace gpupower::core {
+
+struct DvfsConfig {
+  /// The GEMM working point: gpu, dtype, n, pattern, seeds, base_seed,
+  /// sampling, and (per-seed) variation all apply; the DCGM sampler fields
+  /// are unused (the replayer produces its own time-resolved trace).
+  ExperimentConfig experiment;
+  gpupower::gpusim::dvfs::GovernorConfig governor;
+  gpupower::gpusim::dvfs::WorkloadTimeline timeline;
+  double slice_s = 0.010;  ///< replay time step (10 ms, PowerMizer-ish)
+  /// P-state table depth for the device; 1 = boost-only, the "DVFS
+  /// disabled" degenerate case that reproduces the static model.
+  int pstates = 5;
+};
+
+/// Across-seed reduction of the per-seed replays.
+struct DvfsResult {
+  double energy_j = 0.0;       ///< mean across seeds
+  double energy_std_j = 0.0;
+  double avg_power_w = 0.0;
+  double peak_power_w = 0.0;   ///< mean of per-seed peaks
+  double completion_s = 0.0;
+  double duration_s = 0.0;
+  double backlog_max_s = 0.0;
+  double mean_backlog_s = 0.0;
+  double transitions = 0.0;    ///< mean P-state changes per replay
+  /// Any replica hit the replay slice-cap backstop with backlog still
+  /// queued — energy/completion under-count the unserved tail.
+  bool truncated = false;
+  int seeds = 0;
+  /// Seed 0's full replay, as the representative time-resolved trace.
+  /// Size scales with duration/slice_s (a 1 us slice over a long timeline
+  /// is hundreds of MB); results cached inside an ExperimentEngine hold
+  /// this until clear_cache() or engine destruction, so prefer coarser
+  /// slices for sweep-scale work.
+  gpupower::gpusim::dvfs::ReplayResult trace;
+};
+
+/// Replays one seed replica's timeline.  Pure and thread-safe, like
+/// run_seed_replica.  Throws std::invalid_argument on a non-positive slice
+/// or an empty timeline.
+[[nodiscard]] gpupower::gpusim::dvfs::ReplayResult run_dvfs_seed_replica(
+    const DvfsConfig& config, int seed_index);
+
+/// Folds per-seed replays (in seed order) into the reported result.
+[[nodiscard]] DvfsResult reduce_dvfs_replicas(
+    const DvfsConfig& config,
+    std::span<const gpupower::gpusim::dvfs::ReplayResult> replicas);
+
+/// Serial reference: all seed replicas in order.  Prefer
+/// ExperimentEngine::submit_dvfs for anything sweep-shaped.
+[[nodiscard]] DvfsResult run_dvfs(const DvfsConfig& config);
+
+/// Cache key, same contract as canonical_config_key: equal keys produce
+/// bit-identical DvfsResults.
+[[nodiscard]] std::string canonical_dvfs_key(const DvfsConfig& config);
+
+}  // namespace gpupower::core

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -17,15 +18,20 @@
 namespace gpupower::core {
 namespace detail {
 
-struct ExperimentJob {
-  ExperimentConfig config;
-  std::vector<SeedReplicaResult> replicas;  ///< slot per seed, disjoint writes
+/// Shared machinery of a multi-replica job: one result slot per seed
+/// (disjoint writes), an atomic countdown that triggers the in-seed-order
+/// reduction, and the done/error latch handles block on.  Config/Replica/
+/// Result vary between the classic experiment and the DVFS pipeline.
+template <typename Config, typename Replica, typename Result>
+struct ReplicaJob {
+  Config config;
+  std::vector<Replica> replicas;
   std::atomic<int> remaining{0};
 
   mutable std::mutex mutex;
   mutable std::condition_variable cv;
   bool done = false;
-  ExperimentResult result;
+  Result result;
   std::exception_ptr error;
 
   void wait() const {
@@ -34,10 +40,11 @@ struct ExperimentJob {
   }
 };
 
-struct SeedTask {
-  std::shared_ptr<ExperimentJob> job;
-  int seed_index = 0;
-};
+struct ExperimentJob
+    : ReplicaJob<ExperimentConfig, SeedReplicaResult, ExperimentResult> {};
+
+struct DvfsJob : ReplicaJob<DvfsConfig, gpupower::gpusim::dvfs::ReplayResult,
+                            DvfsResult> {};
 
 struct EngineState {
   EngineOptions options;
@@ -46,7 +53,7 @@ struct EngineState {
 
   std::mutex queue_mutex;
   std::condition_variable queue_cv;
-  std::deque<SeedTask> queue;
+  std::deque<std::function<void()>> queue;  ///< one task per seed replica
   bool stop = false;
 
   std::mutex done_mutex;
@@ -55,22 +62,33 @@ struct EngineState {
 
   mutable std::mutex cache_mutex;
   std::unordered_map<std::string, std::shared_ptr<ExperimentJob>> cache;
+  std::unordered_map<std::string, std::shared_ptr<DvfsJob>> dvfs_cache;
   EngineStats stats;
   std::atomic<std::uint64_t> replicas_run{0};
 };
 
 namespace {
 
-void finish_job(EngineState& state, const std::shared_ptr<ExperimentJob>& job) {
+/// Reduces and publishes a finished job, then retires it from the
+/// outstanding count.  `reduce` runs under the job lock exactly once.
+template <typename Job, typename Reduce>
+void finish_job(EngineState& state, const std::shared_ptr<Job>& job,
+                Reduce reduce) {
   {
     std::lock_guard lock(job->mutex);
     if (!job->error) {
       try {
-        job->result = reduce_replicas(job->config, job->replicas);
+        job->result = reduce(job->config, job->replicas);
       } catch (...) {
         job->error = std::current_exception();
       }
     }
+    // All writers are done (remaining hit zero) and the reduction has
+    // consumed the replicas; release them now — cached DVFS jobs would
+    // otherwise pin every seed's full per-slice trace for the engine's
+    // lifetime.
+    job->replicas.clear();
+    job->replicas.shrink_to_fit();
     job->done = true;
   }
   job->cv.notify_all();
@@ -81,9 +99,31 @@ void finish_job(EngineState& state, const std::shared_ptr<ExperimentJob>& job) {
   }
 }
 
+/// One seed replica of `job`: runs `compute`, stores into the seed's
+/// disjoint slot, and finishes the job with `reduce` when the countdown
+/// hits zero.  Shared by the experiment and DVFS paths.
+template <typename Job, typename Compute, typename Reduce>
+void run_replica_task(EngineState& state, const std::shared_ptr<Job>& job,
+                      int seed_index, Compute compute, Reduce reduce) {
+  try {
+    // Disjoint slots: no lock needed for the write, the job's atomic
+    // countdown orders it before the reduction.
+    job->replicas[static_cast<std::size_t>(seed_index)] =
+        compute(job->config, seed_index);
+  } catch (...) {
+    std::lock_guard lock(job->mutex);
+    if (!job->error) job->error = std::current_exception();
+  }
+  state.replicas_run.fetch_add(1, std::memory_order_relaxed);
+
+  if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    finish_job(state, job, reduce);
+  }
+}
+
 void worker_loop(const std::shared_ptr<EngineState>& state) {
   for (;;) {
-    SeedTask task;
+    std::function<void()> task;
     {
       std::unique_lock lock(state->queue_mutex);
       state->queue_cv.wait(
@@ -95,21 +135,7 @@ void worker_loop(const std::shared_ptr<EngineState>& state) {
       task = std::move(state->queue.front());
       state->queue.pop_front();
     }
-
-    try {
-      // Disjoint slots: no lock needed for the write, the job's atomic
-      // countdown orders it before the reduction.
-      task.job->replicas[static_cast<std::size_t>(task.seed_index)] =
-          run_seed_replica(task.job->config, task.seed_index);
-    } catch (...) {
-      std::lock_guard lock(task.job->mutex);
-      if (!task.job->error) task.job->error = std::current_exception();
-    }
-    state->replicas_run.fetch_add(1, std::memory_order_relaxed);
-
-    if (task.job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      finish_job(*state, task.job);
-    }
+    task();
   }
 }
 
@@ -118,30 +144,59 @@ void worker_loop(const std::shared_ptr<EngineState>& state) {
 
 namespace {
 
-[[noreturn]] void throw_invalid_handle(const char* method) {
-  throw std::logic_error(std::string("ExperimentHandle::") + method +
+[[noreturn]] void throw_invalid_handle(const char* cls,
+                                         const char* method) {
+  throw std::logic_error(std::string(cls) + "::" + method +
                          "() on a default-constructed (invalid) handle; "
-                         "obtain handles from ExperimentEngine::submit");
+                         "obtain handles from the ExperimentEngine submit "
+                         "methods");
+}
+
+// Shared bodies for the two handle types (the public classes stay
+// concrete; only the implementations are generic).
+template <typename Job>
+const auto& handle_get(const std::shared_ptr<Job>& job, const char* cls) {
+  if (!job) throw_invalid_handle(cls, "get");
+  job->wait();
+  if (job->error) std::rethrow_exception(job->error);
+  return job->result;
+}
+
+template <typename Job>
+bool handle_ready(const std::shared_ptr<Job>& job, const char* cls) {
+  if (!job) throw_invalid_handle(cls, "ready");
+  std::lock_guard lock(job->mutex);
+  return job->done;
+}
+
+template <typename Job>
+const auto& handle_config(const std::shared_ptr<Job>& job, const char* cls) {
+  if (!job) throw_invalid_handle(cls, "config");
+  return job->config;
 }
 
 }  // namespace
 
 const ExperimentResult& ExperimentHandle::get() const {
-  if (!valid()) throw_invalid_handle("get");
-  job_->wait();
-  if (job_->error) std::rethrow_exception(job_->error);
-  return job_->result;
+  return handle_get(job_, "ExperimentHandle");
 }
 
 bool ExperimentHandle::ready() const {
-  if (!valid()) throw_invalid_handle("ready");
-  std::lock_guard lock(job_->mutex);
-  return job_->done;
+  return handle_ready(job_, "ExperimentHandle");
 }
 
 const ExperimentConfig& ExperimentHandle::config() const {
-  if (!valid()) throw_invalid_handle("config");
-  return job_->config;
+  return handle_config(job_, "ExperimentHandle");
+}
+
+const DvfsResult& DvfsHandle::get() const {
+  return handle_get(job_, "DvfsHandle");
+}
+
+bool DvfsHandle::ready() const { return handle_ready(job_, "DvfsHandle"); }
+
+const DvfsConfig& DvfsHandle::config() const {
+  return handle_config(job_, "DvfsHandle");
 }
 
 std::vector<SweepEntry> SweepRun::collect() const {
@@ -182,21 +237,25 @@ ExperimentEngine::~ExperimentEngine() {
   for (std::thread& thread : state_->threads) thread.join();
 }
 
-ExperimentHandle ExperimentEngine::submit(const ExperimentConfig& config) {
-  auto& state = *state_;
-  if (config.seeds <= 0) {
-    // A zero-seed job would "complete" with an all-zero result; reject it
-    // loudly instead (ExperimentConfigBuilder enforces the same bound).
-    throw std::invalid_argument(
-        "ExperimentEngine::submit: config.seeds must be >= 1, got " +
-        std::to_string(config.seeds));
-  }
+namespace {
 
+/// Shared submit path: publish-to-cache (or attach to the in-flight
+/// duplicate), then fan the seed replicas out as queue tasks.  `compute`
+/// runs one replica, `reduce` folds them in seed order; `key_fn` produces
+/// the canonical cache key and only runs when the cache is enabled (key
+/// serialisation is not free — a DVFS key spells out every timeline
+/// phase).
+template <typename Job, typename Config, typename KeyFn, typename Compute,
+          typename Reduce>
+std::shared_ptr<Job> submit_replica_job(
+    detail::EngineState& state,
+    std::unordered_map<std::string, std::shared_ptr<Job>>& cache,
+    const Config& config, KeyFn key_fn, int seeds, Compute compute,
+    Reduce reduce) {
   // Fully initialise the job before publishing it to the cache, so a
   // concurrent duplicate submit sees a consistent object.
-  auto job = std::make_shared<detail::ExperimentJob>();
+  auto job = std::make_shared<Job>();
   job->config = config;
-  const int seeds = config.seeds;
   job->replicas.resize(static_cast<std::size_t>(seeds));
   job->remaining.store(seeds, std::memory_order_relaxed);
 
@@ -204,11 +263,10 @@ ExperimentHandle ExperimentEngine::submit(const ExperimentConfig& config) {
     std::lock_guard lock(state.cache_mutex);
     ++state.stats.submitted;
     if (state.options.cache_enabled) {
-      const std::string key = canonical_config_key(config);
-      const auto [it, inserted] = state.cache.try_emplace(key, job);
+      const auto [it, inserted] = cache.try_emplace(key_fn(config), job);
       if (!inserted) {
         ++state.stats.cache_hits;
-        return ExperimentHandle(it->second);
+        return it->second;
       }
     }
     ++state.stats.jobs_computed;
@@ -220,10 +278,35 @@ ExperimentHandle ExperimentEngine::submit(const ExperimentConfig& config) {
   }
   {
     std::lock_guard lock(state.queue_mutex);
-    for (int s = 0; s < seeds; ++s) state.queue.push_back({job, s});
+    for (int s = 0; s < seeds; ++s) {
+      state.queue.push_back([&state, job, s, compute, reduce] {
+        detail::run_replica_task(state, job, s, compute, reduce);
+      });
+    }
   }
   state.queue_cv.notify_all();
-  return ExperimentHandle(job);
+  return job;
+}
+
+}  // namespace
+
+ExperimentHandle ExperimentEngine::submit(const ExperimentConfig& config) {
+  if (config.seeds <= 0) {
+    // A zero-seed job would "complete" with an all-zero result; reject it
+    // loudly instead (ExperimentConfigBuilder enforces the same bound).
+    throw std::invalid_argument(
+        "ExperimentEngine::submit: config.seeds must be >= 1, got " +
+        std::to_string(config.seeds));
+  }
+  return ExperimentHandle(submit_replica_job(
+      *state_, state_->cache, config,
+      [](const ExperimentConfig& c) { return canonical_config_key(c); },
+      config.seeds,
+      [](const ExperimentConfig& c, int s) { return run_seed_replica(c, s); },
+      [](const ExperimentConfig& c,
+         const std::vector<SeedReplicaResult>& replicas) {
+        return reduce_replicas(c, replicas);
+      }));
 }
 
 std::vector<ExperimentHandle> ExperimentEngine::submit_batch(
@@ -251,6 +334,48 @@ SweepRun ExperimentEngine::submit_sweep(FigureId id,
   return run;
 }
 
+DvfsHandle ExperimentEngine::submit_dvfs(const DvfsConfig& config) {
+  if (config.experiment.seeds <= 0) {
+    throw std::invalid_argument(
+        "ExperimentEngine::submit_dvfs: experiment.seeds must be >= 1, got " +
+        std::to_string(config.experiment.seeds));
+  }
+  if (config.slice_s <= 0.0) {
+    throw std::invalid_argument(
+        "ExperimentEngine::submit_dvfs: slice_s must be > 0");
+  }
+  if (config.timeline.empty()) {
+    throw std::invalid_argument(
+        "ExperimentEngine::submit_dvfs: timeline has no phases");
+  }
+  if (config.pstates < 1 || config.pstates > 16) {
+    // Matches DvfsConfigBuilder's bound; a hand-built config must not
+    // request a million-entry P-state table.
+    throw std::invalid_argument(
+        "ExperimentEngine::submit_dvfs: pstates must be in [1, 16], got " +
+        std::to_string(config.pstates));
+  }
+  return DvfsHandle(submit_replica_job(
+      *state_, state_->dvfs_cache, config,
+      [](const DvfsConfig& c) { return canonical_dvfs_key(c); },
+      config.experiment.seeds,
+      [](const DvfsConfig& c, int s) { return run_dvfs_seed_replica(c, s); },
+      [](const DvfsConfig& c,
+         const std::vector<gpupower::gpusim::dvfs::ReplayResult>& replicas) {
+        return reduce_dvfs_replicas(c, replicas);
+      }));
+}
+
+std::vector<DvfsHandle> ExperimentEngine::submit_dvfs_batch(
+    const std::vector<DvfsConfig>& configs) {
+  std::vector<DvfsHandle> handles;
+  handles.reserve(configs.size());
+  for (const DvfsConfig& config : configs) {
+    handles.push_back(submit_dvfs(config));
+  }
+  return handles;
+}
+
 void ExperimentEngine::wait_all() {
   std::unique_lock lock(state_->done_mutex);
   state_->done_cv.wait(lock, [this] { return state_->outstanding == 0; });
@@ -268,6 +393,7 @@ int ExperimentEngine::workers() const noexcept { return state_->worker_count; }
 void ExperimentEngine::clear_cache() {
   std::lock_guard lock(state_->cache_mutex);
   state_->cache.clear();
+  state_->dvfs_cache.clear();
 }
 
 }  // namespace gpupower::core

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "analysis/json.hpp"
+#include "core/dvfs_experiment.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
 #include "core/report.hpp"
@@ -37,6 +38,7 @@ namespace gpupower::core {
 
 namespace detail {
 struct ExperimentJob;
+struct DvfsJob;
 struct EngineState;
 }  // namespace detail
 
@@ -84,6 +86,27 @@ class ExperimentHandle {
   std::shared_ptr<detail::ExperimentJob> job_;
 };
 
+/// Reference to a submitted DVFS timeline experiment — same semantics as
+/// ExperimentHandle (shared cached jobs, blocking get(), logic_error on a
+/// default-constructed handle).
+class DvfsHandle {
+ public:
+  DvfsHandle() = default;
+
+  /// Blocks until the replay finishes; rethrows any worker exception.
+  [[nodiscard]] const DvfsResult& get() const;
+  [[nodiscard]] bool ready() const;
+  [[nodiscard]] const DvfsConfig& config() const;
+  [[nodiscard]] bool valid() const noexcept { return job_ != nullptr; }
+
+ private:
+  friend class ExperimentEngine;
+  explicit DvfsHandle(std::shared_ptr<detail::DvfsJob> job)
+      : job_(std::move(job)) {}
+
+  std::shared_ptr<detail::DvfsJob> job_;
+};
+
 /// A figure sweep in flight: one handle per sweep point, in sweep order.
 struct SweepRun {
   FigureId figure{};
@@ -120,6 +143,18 @@ class ExperimentEngine {
   /// scalars (gpu, dtype, n, seeds, sampling...); each point's PatternSpec
   /// overrides `base.pattern`.
   SweepRun submit_sweep(FigureId id, const ExperimentConfig& base);
+
+  /// Enqueues one DVFS timeline experiment (never blocks).  Seed replicas
+  /// fan out across the same worker pool as classic experiments and reduce
+  /// in seed order, so results are independent of the worker count.
+  /// De-duplicated by canonical_dvfs_key like submit().  Throws
+  /// std::invalid_argument on seeds <= 0, a non-positive slice, or an
+  /// empty timeline.
+  DvfsHandle submit_dvfs(const DvfsConfig& config);
+
+  /// Enqueues a batch of DVFS experiments; handles are in input order.
+  std::vector<DvfsHandle> submit_dvfs_batch(
+      const std::vector<DvfsConfig>& configs);
 
   /// Blocks until every outstanding job has finished.
   void wait_all();

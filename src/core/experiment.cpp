@@ -14,12 +14,8 @@ template <typename T>
 SeedReplicaResult run_typed_replica(const ExperimentConfig& config,
                                     int seed_index) {
   using gpupower::gpusim::GpuSimulator;
-  using gpupower::gpusim::SimOptions;
 
-  SimOptions options;
-  options.sampling = config.sampling;
-  options.variation = config.variation;
-  const GpuSimulator sim(config.gpu, options);
+  const GpuSimulator sim(config.gpu, replica_sim_options(config, seed_index));
 
   const gemm::GemmProblem problem{config.n, config.n, config.n, 1.0f, 0.0f,
                                   config.pattern.transpose_b};
@@ -50,21 +46,28 @@ SeedReplicaResult run_typed_replica(const ExperimentConfig& config,
 
 }  // namespace
 
+gpupower::gpusim::SimOptions replica_sim_options(const ExperimentConfig& config,
+                                                 int seed_index) {
+  gpupower::gpusim::SimOptions options;
+  options.sampling = config.sampling;
+  options.variation = config.variation;
+  if (options.variation && options.variation->per_seed) {
+    // Each seed's "VM" lands on its own physical GPU: the instance id is a
+    // salted hash of (base instance, seed index) so seed 0 does not reuse
+    // the shared-instance draw.
+    options.variation->instance = patterns::derive_seed(
+        patterns::derive_seed(options.variation->instance, 0xD1F5u),
+        static_cast<std::uint64_t>(seed_index));
+  }
+  return options;
+}
+
 SeedReplicaResult run_seed_replica(const ExperimentConfig& config,
                                    int seed_index) {
-  using gpupower::numeric::DType;
-  switch (config.dtype) {
-    case DType::kFP32:
-      return run_typed_replica<float>(config, seed_index);
-    case DType::kFP16:
-    case DType::kFP16T:
-      return run_typed_replica<gpupower::numeric::float16_t>(config,
-                                                             seed_index);
-    case DType::kINT8:
-      return run_typed_replica<gpupower::numeric::int8_value_t>(config,
-                                                                seed_index);
-  }
-  return run_typed_replica<float>(config, seed_index);
+  return with_storage_type(config.dtype, [&](auto tag) {
+    return run_typed_replica<typename decltype(tag)::type>(config,
+                                                           seed_index);
+  });
 }
 
 ExperimentResult reduce_replicas(const ExperimentConfig& config,

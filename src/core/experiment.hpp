@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <type_traits>
+#include <utility>
 
 #include "core/pattern_spec.hpp"
 #include "gpusim/power.hpp"
@@ -61,6 +63,31 @@ struct SeedReplicaResult {
   bool throttled = false;
   double clock_frac = 1.0;
 };
+
+/// Calls `f` with a std::type_identity tag for the storage type backing
+/// `dtype` (FP16 and FP16-T share float16 storage) — the single
+/// dtype-to-template dispatch both the classic replica path and the DVFS
+/// pipeline use, so the mapping cannot drift between them.
+template <typename F>
+decltype(auto) with_storage_type(gpupower::numeric::DType dtype, F&& f) {
+  using gpupower::numeric::DType;
+  switch (dtype) {
+    case DType::kFP32:
+      break;
+    case DType::kFP16:
+    case DType::kFP16T:
+      return f(std::type_identity<gpupower::numeric::float16_t>{});
+    case DType::kINT8:
+      return f(std::type_identity<gpupower::numeric::int8_value_t>{});
+  }
+  return f(std::type_identity<float>{});
+}
+
+/// Simulator options for one seed replica: the experiment's sampling plan
+/// and variation, with the per-seed variation instance derived when
+/// `variation->per_seed` is set (shared by the DVFS timeline pipeline).
+[[nodiscard]] gpupower::gpusim::SimOptions replica_sim_options(
+    const ExperimentConfig& config, int seed_index);
 
 /// Computes one seed replica (seed_index in [0, config.seeds)).  Pure and
 /// thread-safe: no shared mutable state, deterministic for its arguments.

@@ -64,4 +64,45 @@ analysis::JsonValue sweep_to_json(FigureId id, const ExperimentConfig& base,
   return j;
 }
 
+analysis::JsonValue dvfs_to_json(const DvfsConfig& config,
+                                 const DvfsResult& result) {
+  using analysis::JsonValue;
+  JsonValue trace = JsonValue::array();
+  for (const auto& slice : result.trace.slices) {
+    JsonValue point = JsonValue::object();
+    point.set("t_s", JsonValue::number(slice.t_s))
+        .set("offered", JsonValue::number(slice.offered))
+        .set("utilization", JsonValue::number(slice.utilization))
+        .set("pstate", JsonValue::integer(slice.pstate))
+        .set("clock_frac", JsonValue::number(slice.clock_frac))
+        .set("power_w", JsonValue::number(slice.power_w))
+        .set("backlog_s", JsonValue::number(slice.backlog_s));
+    trace.push(std::move(point));
+  }
+
+  JsonValue j = JsonValue::object();
+  j.set("gpu", JsonValue::string(gpusim::name(config.experiment.gpu)))
+      .set("dtype",
+           JsonValue::string(gpupower::numeric::name(config.experiment.dtype)))
+      .set("pattern", JsonValue::string(to_dsl(config.experiment.pattern)))
+      .set("governor", JsonValue::string(gpusim::dvfs::to_dsl(config.governor)))
+      .set("slice_s", JsonValue::number(config.slice_s))
+      .set("pstates", JsonValue::integer(config.pstates))
+      .set("timeline_duration_s",
+           JsonValue::number(config.timeline.duration_s()))
+      .set("seeds", JsonValue::integer(result.seeds))
+      .set("energy_j", JsonValue::number(result.energy_j))
+      .set("energy_std_j", JsonValue::number(result.energy_std_j))
+      .set("avg_power_w", JsonValue::number(result.avg_power_w))
+      .set("peak_power_w", JsonValue::number(result.peak_power_w))
+      .set("completion_s", JsonValue::number(result.completion_s))
+      .set("duration_s", JsonValue::number(result.duration_s))
+      .set("backlog_max_s", JsonValue::number(result.backlog_max_s))
+      .set("mean_backlog_s", JsonValue::number(result.mean_backlog_s))
+      .set("transitions", JsonValue::number(result.transitions))
+      .set("truncated", JsonValue::boolean(result.truncated))
+      .set("trace", std::move(trace));
+  return j;
+}
+
 }  // namespace gpupower::core

@@ -7,6 +7,7 @@
 #include <span>
 
 #include "analysis/json.hpp"
+#include "core/dvfs_experiment.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
 
@@ -26,5 +27,10 @@ struct SweepEntry {
 [[nodiscard]] analysis::JsonValue sweep_to_json(FigureId id,
                                                 const ExperimentConfig& base,
                                                 std::span<const SweepEntry> entries);
+
+/// A DVFS timeline experiment: config (governor/timeline in DSL form),
+/// across-seed summary, and the representative per-slice trace.
+[[nodiscard]] analysis::JsonValue dvfs_to_json(const DvfsConfig& config,
+                                               const DvfsResult& result);
 
 }  // namespace gpupower::core

@@ -72,10 +72,11 @@ class ObserverWalker {
 };
 
 /// Batched bit-plane walker: gathers each tile's A-row / B-column operand
-/// words into contiguous per-stream buffers once per K-slice, then counts
-/// toggles (XOR with the one-word-shifted stream), Hamming weights,
-/// multiplier partial-product activity, and accumulator switching with bulk
-/// std::popcount loops over the packed streams.
+/// words into contiguous per-stream buffers once per K-range (all the
+/// range's K-slices share one gather/derive pass), then counts toggles
+/// (XOR with the one-word-shifted stream), Hamming weights, multiplier
+/// partial-product activity, and accumulator switching with bulk
+/// std::popcount loops over sub-ranges of the packed streams.
 ///
 /// Bit-identicality with the observer walk rests on two facts: every
 /// counter is an order-independent sum, and every per-stream chain (the
@@ -96,13 +97,23 @@ class BitPlaneKernel {
                  const gemm::TileConfig& config)
       : problem_(problem), a_(a), b_(b_storage), config_(config) {}
 
+  /// Panels are packed once per K-range (not once per K-slice): one gather
+  /// and one derive pass cover every slice of the range, and the per-slice
+  /// counting loops index sub-ranges of the shared buffers.  Ranges are
+  /// capped at kMaxChunkSlices threadblock slices so panel memory stays
+  /// bounded for huge K; port state threads across chunks like it threads
+  /// across tiles, so chunking never changes the counted stream.
   void process_tile(const gemm::TileCoord& tile, std::vector<Acc>& acc,
                     std::size_t k_begin, std::size_t k_end) {
     const std::size_t k_total = std::min(k_end, problem_.k);
     const std::size_t k_step = config_.threadblock.k;
-    for (std::size_t k0 = k_begin; k0 < k_total; k0 += k_step) {
-      const std::size_t k1 = std::min(k0 + k_step, k_total);
-      process_slice(tile, acc, k0, k1);
+    const std::size_t chunk = k_step * kMaxChunkSlices;
+    for (std::size_t c0 = k_begin; c0 < k_total; c0 += chunk) {
+      const std::size_t c1 = std::min(c0 + chunk, k_total);
+      pack_range(tile, c0, c1);
+      for (const SliceInfo& slice : slices_) {
+        process_slice(tile, acc, c1 - c0, slice);
+      }
     }
   }
 
@@ -111,6 +122,19 @@ class BitPlaneKernel {
   }
 
  private:
+  /// Upper bound on threadblock K-slices packed per gather, bounding panel
+  /// memory at lanes x (kMaxChunkSlices x threadblock.k) entries.
+  static constexpr std::size_t kMaxChunkSlices = 64;
+
+  /// One threadblock K-slice of the packed range: element sub-range
+  /// [t0, t1) and the global indices of its operand segments.
+  struct SliceInfo {
+    std::size_t t0 = 0;
+    std::size_t t1 = 0;
+    std::size_t seg_begin = 0;
+    std::size_t seg_end = 0;
+  };
+
   static std::uint32_t exponent_popcount(std::uint32_t bits) noexcept {
     if constexpr (kWidth == 16) {
       return static_cast<std::uint32_t>(std::popcount((bits >> 10) & 0x1Fu));
@@ -189,21 +213,31 @@ class BitPlaneKernel {
     }
   }
 
-  void pack_slice(const gemm::TileCoord& tile, std::size_t k0,
+  void pack_range(const gemm::TileCoord& tile, std::size_t k0,
                   std::size_t k1) {
     const std::size_t rows = tile.rows;
     const std::size_t cols = tile.cols;
     const std::size_t ks = k1 - k0;
+    const std::size_t k_step = config_.threadblock.k;
 
-    // Operand segments: the whole slice for SIMT threads, one per MMA
-    // fragment K-depth for tensor cores.
+    // Slice table + operand segments over the whole range: the whole slice
+    // for SIMT threads, one per MMA fragment K-depth for tensor cores.
+    slices_.clear();
     segs_.clear();
-    if (config_.tensor_core) {
-      for (std::size_t t0 = 0; t0 < ks; t0 += config_.mma.k) {
-        segs_.emplace_back(t0, std::min(t0 + config_.mma.k, ks));
+    for (std::size_t s0 = 0; s0 < ks; s0 += k_step) {
+      SliceInfo slice;
+      slice.t0 = s0;
+      slice.t1 = std::min(s0 + k_step, ks);
+      slice.seg_begin = segs_.size();
+      if (config_.tensor_core) {
+        for (std::size_t t0 = slice.t0; t0 < slice.t1; t0 += config_.mma.k) {
+          segs_.emplace_back(t0, std::min(t0 + config_.mma.k, slice.t1));
+        }
+      } else {
+        segs_.emplace_back(slice.t0, slice.t1);
       }
-    } else {
-      segs_.emplace_back(0, ks);
+      slice.seg_end = segs_.size();
+      slices_.push_back(slice);
     }
 
     a_panel_.resize(rows, ks, segs_.size(), kHasExponent);
@@ -241,39 +275,40 @@ class BitPlaneKernel {
     }
   }
 
-  /// Bulk fetch-bus count: one linear pass over a packed panel, which is
-  /// exactly the stream order the memory hierarchy drives (A rows
-  /// row-major, then the B slice in storage order).
-  void count_fetch(const Panel& panel, std::size_t words,
-                   std::uint32_t& last) {
+  /// Bulk fetch-bus count: a lane-by-lane pass over one slice's sub-range
+  /// of the packed panel, which is exactly the stream order the memory
+  /// hierarchy drives (A rows row-major, then the B slice in storage
+  /// order).
+  void count_fetch(const Panel& panel, std::size_t lanes, std::size_t ks,
+                   std::size_t t0, std::size_t t1, std::uint32_t& last) {
     std::uint64_t tog = 0, wt = 0;
     std::uint32_t prev = last;
-    for (std::size_t p = 0; p < words; ++p) {
-      const std::uint32_t w = panel.bits[p];
-      tog += static_cast<std::uint64_t>(std::popcount(prev ^ w));
-      wt += static_cast<std::uint64_t>(std::popcount(w));
-      prev = w;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::uint32_t* w = panel.bits.data() + lane * ks;
+      for (std::size_t t = t0; t < t1; ++t) {
+        tog += static_cast<std::uint64_t>(std::popcount(prev ^ w[t]));
+        wt += static_cast<std::uint64_t>(std::popcount(w[t]));
+        prev = w[t];
+      }
     }
     totals_.fetch_toggles += tog;
     totals_.fetch_weight += wt;
-    totals_.fetch_words += words;
+    totals_.fetch_words += lanes * (t1 - t0);
     last = prev;
   }
 
   void process_slice(const gemm::TileCoord& tile, std::vector<Acc>& acc,
-                     std::size_t k0, std::size_t k1) {
+                     std::size_t ks, const SliceInfo& slice) {
     const std::size_t rows = tile.rows;
     const std::size_t cols = tile.cols;
-    const std::size_t ks = k1 - k0;
-    pack_slice(tile, k0, k1);
 
-    count_fetch(a_panel_, rows * ks, port_.last_fetch_a);
-    count_fetch(b_panel_, cols * ks, port_.last_fetch_b);
+    count_fetch(a_panel_, rows, ks, slice.t0, slice.t1, port_.last_fetch_a);
+    count_fetch(b_panel_, cols, ks, slice.t0, slice.t1, port_.last_fetch_b);
 
     if (!config_.tensor_core) {
-      simt_slice(rows, cols, ks, acc);
+      simt_slice(rows, cols, ks, slice, acc);
     } else {
-      tensor_core_slice(rows, cols, ks, acc);
+      tensor_core_slice(rows, cols, ks, slice, acc);
     }
   }
 
@@ -360,38 +395,43 @@ class BitPlaneKernel {
   }
 
   void simt_slice(std::size_t rows, std::size_t cols, std::size_t ks,
-                  std::vector<Acc>& acc) {
+                  const SliceInfo& slice, std::vector<Acc>& acc) {
     // Per-thread streams: each (i, j) output streams row i of A and column
     // j of B k-contiguously.  The interior of every operand chain is the
     // lane's packed segment — identical for every pairing — so only the
     // boundary toggle against the bus's previous word is per-pair work.
+    const std::size_t t0 = slice.t0;
+    const std::size_t t1 = slice.t1;
+    const std::size_t st = t1 - t0;
+    const std::size_t nseg = segs_.size();
+    const std::size_t seg = slice.seg_begin;  // SIMT: one segment per slice
     std::uint64_t op_tog = 0, op_wt = 0;
     std::uint32_t last_a = port_.last_operand_a;
     std::uint32_t last_b = port_.last_operand_b;
     MacSums sums;
     for (std::size_t i = 0; i < rows; ++i) {
-      const std::uint32_t a_first = a_panel_.bits[i * ks];
-      const std::uint32_t a_last = a_panel_.bits[i * ks + ks - 1];
-      const std::uint64_t a_tog = a_panel_.seg_tog[i];
-      const std::uint64_t a_wt = a_panel_.seg_wt[i];
+      const std::uint32_t a_first = a_panel_.bits[i * ks + t0];
+      const std::uint32_t a_last = a_panel_.bits[i * ks + t1 - 1];
+      const std::uint64_t a_tog = a_panel_.seg_tog[i * nseg + seg];
+      const std::uint64_t a_wt = a_panel_.seg_wt[i * nseg + seg];
       for (std::size_t j = 0; j < cols; ++j) {
         op_tog += static_cast<std::uint64_t>(std::popcount(last_a ^ a_first)) +
                   a_tog;
         op_wt += a_wt;
         last_a = a_last;
         op_tog += static_cast<std::uint64_t>(
-                      std::popcount(last_b ^ b_panel_.bits[j * ks])) +
-                  b_panel_.seg_tog[j];
-        op_wt += b_panel_.seg_wt[j];
-        last_b = b_panel_.bits[j * ks + ks - 1];
+                      std::popcount(last_b ^ b_panel_.bits[j * ks + t0])) +
+                  b_panel_.seg_tog[j * nseg + seg];
+        op_wt += b_panel_.seg_wt[j * nseg + seg];
+        last_b = b_panel_.bits[j * ks + t1 - 1];
 
         acc[i * cols + j] =
-            mac_chain(i, j, ks, 0, ks, acc[i * cols + j], false, sums);
+            mac_chain(i, j, ks, t0, t1, acc[i * cols + j], false, sums);
       }
     }
     port_.last_operand_a = last_a;
     port_.last_operand_b = last_b;
-    const std::uint64_t mac_count = rows * cols * ks;
+    const std::uint64_t mac_count = rows * cols * st;
     totals_.operand_words += 2 * mac_count;
     totals_.operand_toggles += op_tog;
     totals_.operand_weight += op_wt;
@@ -403,7 +443,7 @@ class BitPlaneKernel {
   }
 
   void tensor_core_slice(std::size_t rows, std::size_t cols, std::size_t ks,
-                         std::vector<Acc>& acc) {
+                         const SliceInfo& slice, std::vector<Acc>& acc) {
     const std::size_t fm = config_.mma.m;
     const std::size_t fn = config_.mma.n;
     const std::size_t nseg = segs_.size();
@@ -412,7 +452,7 @@ class BitPlaneKernel {
     std::uint32_t last_a = port_.last_operand_a;
     std::uint32_t last_b = port_.last_operand_b;
     MacSums sums;
-    for (std::size_t s = 0; s < nseg; ++s) {
+    for (std::size_t s = slice.seg_begin; s < slice.seg_end; ++s) {
       const auto [t0, t1] = segs_[s];
       const std::size_t st = t1 - t0;
       for (std::size_t i0 = 0; i0 < rows; i0 += fm) {
@@ -474,6 +514,7 @@ class BitPlaneKernel {
   PortState port_;
   Panel a_panel_;
   Panel b_panel_;
+  std::vector<SliceInfo> slices_;
   std::vector<std::pair<std::size_t, std::size_t>> segs_;
 };
 

@@ -6,7 +6,8 @@
 //
 //  - kBatched (default): the bit-plane kernel.  Each tile's A-row / B-column
 //    operand words are gathered into contiguous per-stream buffers once per
-//    K-slice; toggle counts (XOR with the one-word-shifted stream), Hamming
+//    K-range (every K-slice of the tile reuses the same packed panels);
+//    toggle counts (XOR with the one-word-shifted stream), Hamming
 //    weights, multiplier partial-product activity, and accumulator switching
 //    are then computed with bulk std::popcount loops over the packed
 //    streams.  Per-stream port state threads through the packed segments in

@@ -1,0 +1,46 @@
+#include "gpusim/dvfs/pstate.hpp"
+
+#include <algorithm>
+
+namespace gpupower::gpusim::dvfs {
+
+PStateTable PStateTable::boost_only(const DeviceDescriptor& dev) {
+  PStateTable table;
+  table.states_.push_back(PState{0, dev.boost_clock_ghz, 1.0, 1.0});
+  return table;
+}
+
+PStateTable PStateTable::for_device(const DeviceDescriptor& dev, int states,
+                                    double min_clock_frac,
+                                    double voltage_floor) {
+  states = std::max(states, 1);
+  min_clock_frac = std::clamp(min_clock_frac, 0.05, 1.0);
+  voltage_floor = std::clamp(voltage_floor, 0.0, 1.0);
+
+  PStateTable table;
+  table.states_.reserve(static_cast<std::size_t>(states));
+  for (int i = 0; i < states; ++i) {
+    const double frac =
+        states == 1 ? 1.0
+                    : 1.0 - (1.0 - min_clock_frac) * static_cast<double>(i) /
+                                static_cast<double>(states - 1);
+    PState state;
+    state.index = i;
+    state.clock_frac = frac;
+    state.clock_ghz = dev.boost_clock_ghz * frac;
+    state.voltage_scale = voltage_floor + (1.0 - voltage_floor) * frac;
+    table.states_.push_back(state);
+  }
+  // P0 is exactly the boost point so the one-state/boost replay path stays
+  // bit-identical to the static model (no 1.0-epsilon rounding).
+  table.states_.front().clock_frac = 1.0;
+  table.states_.front().voltage_scale = 1.0;
+  table.states_.front().clock_ghz = dev.boost_clock_ghz;
+  return table;
+}
+
+int PStateTable::clamp_index(int index) const noexcept {
+  return std::clamp(index, 0, static_cast<int>(states_.size()) - 1);
+}
+
+}  // namespace gpupower::gpusim::dvfs

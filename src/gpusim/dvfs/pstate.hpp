@@ -1,0 +1,68 @@
+// P-state tables: the discrete clock/voltage operating points a driver-
+// managed power state machine (PowerMizer / nvidia-smi "performance
+// states") steps between.  States are derived from a DeviceDescriptor's
+// boost clock: P0 is the boost state, deeper states scale the clock down
+// toward a floor with the supply voltage tracking frequency along the
+// classic near-linear DVFS curve (voltage cannot drop below the transistor
+// threshold, hence the voltage floor).
+//
+// Convention follows the NVML clock tables the powermizer exemplar walks:
+// index 0 is the highest-performance state, the last index the deepest
+// low-power state.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/power.hpp"
+
+namespace gpupower::gpusim::dvfs {
+
+struct PState {
+  int index = 0;               ///< 0 = boost, size()-1 = deepest low-power
+  double clock_ghz = 0.0;
+  double clock_frac = 1.0;     ///< clock / boost clock
+  double voltage_scale = 1.0;  ///< supply voltage / boost voltage
+
+  [[nodiscard]] OperatingPoint operating_point() const noexcept {
+    return OperatingPoint{clock_frac, voltage_scale};
+  }
+};
+
+class PStateTable {
+ public:
+  /// The degenerate one-state table: boost only.  Replaying with it is the
+  /// "DVFS disabled" case and reproduces the static model bit-identically.
+  [[nodiscard]] static PStateTable boost_only(const DeviceDescriptor& dev);
+
+  /// Builds `states` evenly spaced clock points from the boost clock down
+  /// to `min_clock_frac` of it, with voltage following
+  ///   V(f) = v_floor + (1 - v_floor) * f
+  /// relative to the boost voltage (v_floor models the threshold voltage
+  /// the rail cannot go below).
+  [[nodiscard]] static PStateTable for_device(const DeviceDescriptor& dev,
+                                              int states = 5,
+                                              double min_clock_frac = 0.40,
+                                              double voltage_floor = 0.65);
+
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+  [[nodiscard]] const PState& operator[](std::size_t i) const noexcept {
+    return states_[i];
+  }
+  [[nodiscard]] const PState& boost() const noexcept { return states_.front(); }
+  [[nodiscard]] const PState& deepest() const noexcept {
+    return states_.back();
+  }
+  [[nodiscard]] const std::vector<PState>& states() const noexcept {
+    return states_;
+  }
+
+  /// Clamps an arbitrary index into the table's valid range.
+  [[nodiscard]] int clamp_index(int index) const noexcept;
+
+ private:
+  std::vector<PState> states_;
+};
+
+}  // namespace gpupower::gpusim::dvfs

@@ -1,0 +1,178 @@
+#include "gpusim/dvfs/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gpupower::gpusim::dvfs {
+namespace {
+
+constexpr double kBacklogEps = 1e-9;
+/// Hard cap on slices per replay (~4M; at the 10 ms default that is ~12
+/// hours of simulated time).  A pathological slice/duration combination
+/// truncates at the cap instead of exhausting memory.
+constexpr std::size_t kMaxReplaySlices = std::size_t{1} << 22;
+
+}  // namespace
+
+telemetry::UtilTrace ReplayResult::util_trace() const {
+  telemetry::UtilTrace trace;
+  for (const ReplaySlice& slice : slices) {
+    trace.push(slice.t_s + slice_s, slice.utilization);
+  }
+  return trace;
+}
+
+telemetry::PowerTrace ReplayResult::power_trace() const {
+  telemetry::PowerTrace trace;
+  for (const ReplaySlice& slice : slices) {
+    trace.push(slice.t_s + slice_s, slice.power_w);
+  }
+  return trace;
+}
+
+TimelineReplayer::TimelineReplayer(const DeviceDescriptor& dev,
+                                   const gemm::GemmProblem& problem,
+                                   gpupower::numeric::DType dtype,
+                                   const ActivityTotals& activity,
+                                   const PStateTable& table)
+    : dev_(dev), table_(table) {
+  const PowerCalculator calc(dev_);
+  reports_.reserve(table_.size());
+  for (const PState& state : table_.states()) {
+    reports_.push_back(
+        calc.evaluate_at(problem, dtype, activity, state.operating_point()));
+  }
+}
+
+ReplayResult TimelineReplayer::replay(const WorkloadTimeline& timeline,
+                                      Governor& governor, double slice_s,
+                                      bool drain_backlog) const {
+  ReplayResult result;
+  if (slice_s <= 0.0 || table_.size() == 0) return result;
+  result.slice_s = slice_s;
+  governor.reset();
+
+  // Horizon: the timeline plus, when draining, enough slack to empty any
+  // backlog even at the slowest state's *effective* (post-TDP-throttle)
+  // clock — bounded, so a pathological governor cannot spin the replay
+  // forever; `truncated` reports the backstop firing.
+  double slowest_frac = 1.0;
+  for (const PowerReport& report : reports_) {
+    slowest_frac = std::min(slowest_frac, report.effective_clock_frac);
+  }
+  // Only guard against zero: a deep P-state under a hard TDP clamp can
+  // legitimately sit far below 0.05 effective, and the horizon must cover
+  // a drain at that true rate (kMaxReplaySlices still backstops).
+  slowest_frac = std::max(slowest_frac, 1e-4);
+  const double horizon =
+      drain_backlog
+          ? timeline.duration_s() * (1.0 + 1.0 / slowest_frac) + slice_s
+          : timeline.duration_s();
+  const auto max_slices = std::min(
+      static_cast<std::size_t>(std::ceil(horizon / slice_s + 0.5)),
+      kMaxReplaySlices);
+  result.slices.reserve(std::min(max_slices, std::size_t{1} << 20));
+
+  double backlog_s = 0.0;
+  double last_util = 0.0;
+  int pstate = 0;
+  double backlog_time_integral = 0.0;
+
+  // Per-state effective serve rates for the governors that reason about
+  // throughput (the oracle): what each state actually serves after the
+  // TDP clamp, not its nominal clock.
+  std::vector<double> effective_clock;
+  effective_clock.reserve(reports_.size());
+  for (const PowerReport& report : reports_) {
+    effective_clock.push_back(report.effective_clock_frac);
+  }
+
+  for (std::size_t i = 0; i < max_slices; ++i) {
+    const double t0 = static_cast<double>(i) * slice_s;
+    const bool in_timeline = t0 < timeline.duration_s();
+    if (!in_timeline && (!drain_backlog || backlog_s <= kBacklogEps)) break;
+
+    // Piecewise-constant timelines are sampled at the midpoint of the
+    // slice's in-timeline window, so phase boundaries landing exactly on
+    // slice edges stay unambiguous and a final partial slice (duration not
+    // a multiple of slice_s — the norm for trace-driven replay) still sees
+    // its load instead of sampling past the end.
+    const double covered_s =
+        in_timeline ? std::min(slice_s, timeline.duration_s() - t0) : 0.0;
+    const double offered =
+        covered_s > 0.0 ? timeline.offered_at(t0 + 0.5 * covered_s) : 0.0;
+
+    GovernorInput input;
+    input.t_s = t0;
+    input.slice_s = slice_s;
+    input.utilization = last_util;
+    input.offered_next = offered;
+    input.backlog_s = backlog_s;
+    input.pstate = pstate;
+    input.effective_clock = effective_clock;
+    const int next = table_.clamp_index(governor.decide(input, table_));
+    // The first decision seeds the machine (the device "boots" into the
+    // governor's choice); only subsequent changes are transitions, so a
+    // pinned fixed(p) governor reports zero.
+    if (i > 0 && next != pstate) ++result.transitions;
+    pstate = next;
+
+    const PowerReport& report =
+        reports_[static_cast<std::size_t>(pstate)];
+    const double eff_clock = std::max(report.effective_clock_frac, 1e-6);
+
+    // Work arrives only over the slice's in-timeline window (equal to
+    // slice_s everywhere except a trailing partial slice).
+    const double arriving = offered * covered_s;  // boost-seconds of work
+    const double wanted = backlog_s + arriving;
+    // Busy wall time first: a saturated slice is exactly slice_s, so the
+    // realized utilization is exactly 1.0 (and the slice's power exactly
+    // the steady-state total — the degenerate-case bit-identicality).
+    const double busy = std::min(slice_s, wanted / eff_clock);
+    const double served = std::min(wanted, busy * eff_clock);
+    backlog_s = std::max(0.0, wanted - served);
+    const double util = busy / slice_s;
+
+    // Idle fraction of the slice sits at the *parked state's* idle floor
+    // (its core rail already at the lowered voltage), busy fraction at the
+    // state's active steady-state power.
+    const double power_w =
+        report.total_w * util + report.idle_w * (1.0 - util);
+
+    ReplaySlice slice;
+    slice.t_s = t0;
+    slice.offered = offered;
+    slice.utilization = util;
+    slice.pstate = pstate;
+    slice.clock_frac = report.effective_clock_frac;
+    slice.power_w = power_w;
+    slice.backlog_s = backlog_s;
+    result.slices.push_back(slice);
+
+    result.energy_j += power_w * slice_s;
+    result.peak_power_w = std::max(result.peak_power_w, power_w);
+    result.work_offered_s += arriving;
+    result.work_completed_s += served;
+    if (served > 0.0) result.completion_s = t0 + busy;
+    result.backlog_max_s = std::max(result.backlog_max_s, backlog_s);
+    backlog_time_integral += backlog_s * slice_s;
+    last_util = util;
+  }
+
+  // The slice cap fired with work still queued: the summary under-counts
+  // the tail, so say so instead of reporting a clean completion.
+  result.truncated =
+      drain_backlog && backlog_s > kBacklogEps &&
+      result.slices.size() >= max_slices;
+
+  result.duration_s =
+      static_cast<double>(result.slices.size()) * slice_s;
+  if (result.duration_s > 0.0) {
+    result.avg_power_w = result.energy_j / result.duration_s;
+    result.mean_backlog_s = backlog_time_integral / result.duration_s;
+  }
+  return result;
+}
+
+}  // namespace gpupower::gpusim::dvfs

@@ -1,0 +1,103 @@
+// The time-resolved DVFS replayer: steps a workload timeline through a
+// governor-driven P-state machine in fixed time slices, charging each slice
+// the energy model's power at the slice's operating point and tracking the
+// work backlog a too-deep P-state builds up (the latency side of the
+// energy/latency trade-off).
+//
+// Per slice:
+//   1. the governor picks the next P-state from the last slice's realized
+//      utilization (the oracle additionally sees the upcoming offered load),
+//   2. offered work arrives (timeline), queued work drains at the state's
+//      effective clock (TDP throttling included via evaluate_at),
+//   3. power is the busy-weighted blend of the state's active steady-state
+//      power and the device's idle floor; energy integrates power over the
+//      slice.
+//
+// With a one-state (boost-only) table, a fixed(0) governor, and a saturating
+// timeline, every slice reproduces the static model's total_w bit-identically
+// — the "DVFS disabled" degenerate case the equivalence tests pin.
+//
+// The replay is a deterministic, single-threaded state machine: identical
+// inputs give identical traces regardless of how many engine workers run
+// other seeds concurrently.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gemm/problem.hpp"
+#include "gpusim/dvfs/governor.hpp"
+#include "gpusim/dvfs/pstate.hpp"
+#include "gpusim/dvfs/timeline.hpp"
+#include "gpusim/power.hpp"
+#include "telemetry/trace.hpp"
+
+namespace gpupower::gpusim::dvfs {
+
+struct ReplaySlice {
+  double t_s = 0.0;          ///< slice start
+  double offered = 0.0;      ///< offered load during the slice
+  double utilization = 0.0;  ///< realized busy fraction
+  int pstate = 0;
+  double clock_frac = 1.0;   ///< effective clock (P-state x TDP throttle)
+  double power_w = 0.0;
+  double backlog_s = 0.0;    ///< queued work at slice end, boost-seconds
+};
+
+struct ReplayResult {
+  std::vector<ReplaySlice> slices;
+  double slice_s = 0.0;
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  double peak_power_w = 0.0;
+  double duration_s = 0.0;      ///< replay horizon (timeline + drain tail)
+  double completion_s = 0.0;    ///< when the last queued work finished
+  double backlog_max_s = 0.0;
+  double mean_backlog_s = 0.0;  ///< time-average queued work (latency proxy)
+  double work_offered_s = 0.0;  ///< total offered work, boost-seconds
+  double work_completed_s = 0.0;
+  int transitions = 0;          ///< P-state changes taken
+  /// The slice-count backstop fired with backlog still queued: the energy
+  /// and completion numbers under-count the unserved tail.
+  bool truncated = false;
+
+  /// Realized utilization per slice (window-end timestamps) — feed it back
+  /// through WorkloadTimeline::from_trace for trace-driven replay.
+  [[nodiscard]] telemetry::UtilTrace util_trace() const;
+  /// Per-slice power as a telemetry trace (mean/energy helpers, CSV).
+  [[nodiscard]] telemetry::PowerTrace power_trace() const;
+};
+
+class TimelineReplayer {
+ public:
+  /// Precomputes the steady-state power report for every P-state in the
+  /// table (one evaluate_at per state) for the given GEMM working point.
+  TimelineReplayer(const DeviceDescriptor& dev,
+                   const gemm::GemmProblem& problem,
+                   gpupower::numeric::DType dtype,
+                   const ActivityTotals& activity, const PStateTable& table);
+
+  /// Steps the governor through the timeline.  When `drain_backlog` is set
+  /// the replay keeps running past the timeline's end (offered load 0)
+  /// until queued work finishes, so slow governors pay their full latency
+  /// bill.  The governor is reset() first; `slice_s` must be positive.
+  /// Replays truncate at ~4M slices — a backstop against pathological
+  /// slice/duration combinations, far above any sane configuration.
+  [[nodiscard]] ReplayResult replay(const WorkloadTimeline& timeline,
+                                    Governor& governor, double slice_s,
+                                    bool drain_backlog = true) const;
+
+  [[nodiscard]] const PStateTable& table() const noexcept { return table_; }
+  /// Steady-state report per P-state (index-aligned with the table).
+  [[nodiscard]] const std::vector<PowerReport>& pstate_reports()
+      const noexcept {
+    return reports_;
+  }
+
+ private:
+  DeviceDescriptor dev_;
+  PStateTable table_;
+  std::vector<PowerReport> reports_;
+};
+
+}  // namespace gpupower::gpusim::dvfs

@@ -11,6 +11,11 @@ namespace {
 constexpr double kPicojoule = 1e-12;
 constexpr double kAmbientC = 30.0;
 constexpr double kLeakageRefC = 40.0;
+/// Fraction of the idle floor that is core-rail leakage and clock-tree
+/// charge, scaling with V^2 when a P-state lowers the supply; the rest
+/// (fans, VRs, memory refresh) is voltage-independent.  At boost voltage
+/// the scale is exactly 1.0, keeping the static path bit-identical.
+constexpr double kIdleLeakageFraction = 0.5;
 
 }  // namespace
 
@@ -70,6 +75,13 @@ double PowerCalculator::iteration_time_s(const gemm::GemmProblem& problem,
 PowerReport PowerCalculator::evaluate(const gemm::GemmProblem& problem,
                                       gpupower::numeric::DType dtype,
                                       const ActivityTotals& act) const {
+  return evaluate_at(problem, dtype, act, OperatingPoint{});
+}
+
+PowerReport PowerCalculator::evaluate_at(const gemm::GemmProblem& problem,
+                                         gpupower::numeric::DType dtype,
+                                         const ActivityTotals& act,
+                                         const OperatingPoint& op) const {
   const EnergyModel& e = dev_.energy;
   PowerReport report;
   report.iteration_s = iteration_time_s(problem, dtype);
@@ -103,44 +115,60 @@ PowerReport PowerCalculator::evaluate(const gemm::GemmProblem& problem,
       scale * (tensor ? e.mma_issue_pj : e.simt_issue_pj) * instructions;
   const double dynamic_j = fetch_j + operand_j + multiply_j + accum_j + issue_j;
 
-  // Thermal / leakage fixed point at boost clock.
+  // P-state scaling: switched energy per iteration goes as V^2, so dynamic
+  // power at the operating point is p_dyn0 * f * V^2.  At the boost point
+  // (1.0, 1.0) every factor below multiplies by exactly 1.0, keeping this
+  // path bit-identical to the historical static evaluation.
+  const double v2 = op.voltage_scale * op.voltage_scale;
+  const double dvfs = op.clock_frac * v2;
+  // The idle floor's core-rail share relaxes with the supply voltage; the
+  // scale is exactly 1.0 at the boost point.
+  const double idle_w =
+      dev_.idle_w *
+      (kIdleLeakageFraction * v2 + (1.0 - kIdleLeakageFraction));
+
+  // Thermal / leakage fixed point at the operating point's clock.
   const double p_dyn0 = dynamic_j / report.iteration_s;
-  double total = p_dyn0 + dev_.idle_w;
+  const double p_dyn = p_dyn0 * dvfs;
+  double total = p_dyn + idle_w;
   double leakage = 0.0;
   for (int i = 0; i < 4; ++i) {
     const double temp_c = kAmbientC + dev_.thermal_resistance_c_per_w * total;
-    leakage = dev_.idle_w * dev_.leakage_per_c *
+    leakage = idle_w * dev_.leakage_per_c *
               std::max(0.0, temp_c - kLeakageRefC);
-    total = p_dyn0 + dev_.idle_w + leakage;
+    total = p_dyn + idle_w + leakage;
   }
 
   // TDP clamp: scale the clock down until total power fits.  Dynamic power
   // scales linearly with frequency at fixed voltage; iterate because
-  // leakage relaxes as the die cools.
+  // leakage relaxes as the die cools.  `clock_frac` is the residual
+  // throttle on top of the P-state's own clock.
   double clock_frac = 1.0;
   if (total > dev_.tdp_w) {
     report.throttled = true;
     for (int i = 0; i < 6; ++i) {
-      const double budget = dev_.tdp_w - dev_.idle_w - leakage;
-      clock_frac = std::clamp(budget / p_dyn0, 0.05, 1.0);
-      const double t = p_dyn0 * clock_frac + dev_.idle_w + leakage;
+      const double budget = dev_.tdp_w - idle_w - leakage;
+      clock_frac = std::clamp(budget / p_dyn, 0.05, 1.0);
+      const double t = p_dyn * clock_frac + idle_w + leakage;
       const double temp_c = kAmbientC + dev_.thermal_resistance_c_per_w * t;
-      leakage = dev_.idle_w * dev_.leakage_per_c *
+      leakage = idle_w * dev_.leakage_per_c *
                 std::max(0.0, temp_c - kLeakageRefC);
     }
-    total = p_dyn0 * clock_frac + dev_.idle_w + leakage;
+    total = p_dyn * clock_frac + idle_w + leakage;
   }
 
-  report.effective_clock_frac = clock_frac;
-  report.realized_iteration_s = report.iteration_s / clock_frac;
-  const double rail_scale = clock_frac / report.iteration_s;
+  report.effective_clock_frac = op.clock_frac * clock_frac;
+  report.realized_iteration_s =
+      report.iteration_s / report.effective_clock_frac;
+  const double rail_scale = v2 * (op.clock_frac * clock_frac) /
+                            report.iteration_s;
   report.rails.fetch_w = fetch_j * rail_scale;
   report.rails.operand_w = operand_j * rail_scale;
   report.rails.multiply_w = multiply_j * rail_scale;
   report.rails.accum_w = accum_j * rail_scale;
   report.rails.issue_w = issue_j * rail_scale;
   report.dynamic_w = report.rails.total();
-  report.idle_w = dev_.idle_w;
+  report.idle_w = idle_w;
   report.leakage_w = leakage;
   report.total_w = total;
   report.energy_j = total * report.realized_iteration_s;

@@ -25,10 +25,20 @@ struct RailPower {
   }
 };
 
+/// A DVFS operating point: core clock and supply voltage relative to the
+/// device's boost state.  The default (1.0, 1.0) is the boost P-state —
+/// evaluating there is bit-identical to the classic static path, which is
+/// how the DVFS subsystem expresses "disabled" as the one-state degenerate
+/// case.
+struct OperatingPoint {
+  double clock_frac = 1.0;     ///< core clock / boost clock
+  double voltage_scale = 1.0;  ///< supply voltage / boost voltage
+};
+
 struct PowerReport {
   double iteration_s = 0.0;           ///< at boost clock
-  double realized_iteration_s = 0.0;  ///< after any throttling
-  double effective_clock_frac = 1.0;  ///< 1.0 when not throttled
+  double realized_iteration_s = 0.0;  ///< after P-state + any throttling
+  double effective_clock_frac = 1.0;  ///< 1.0 when at boost and not throttled
   bool throttled = false;
 
   RailPower rails;         ///< data-dependent + issue dynamic power
@@ -58,10 +68,23 @@ class PowerCalculator {
   [[nodiscard]] double iteration_time_s(const gemm::GemmProblem& problem,
                                         gpupower::numeric::DType dtype) const;
 
-  /// Full power evaluation for one steady-state GEMM iteration.
+  /// Full power evaluation for one steady-state GEMM iteration at boost
+  /// clock — the classic static path, equal to `evaluate_at` with the
+  /// default OperatingPoint.
   [[nodiscard]] PowerReport evaluate(const gemm::GemmProblem& problem,
                                      gpupower::numeric::DType dtype,
                                      const ActivityTotals& activity) const;
+
+  /// Steady-state evaluation at a forced DVFS operating point: per-
+  /// iteration switched energy scales with V^2, dynamic power with f*V^2,
+  /// and runtime stretches by 1/f.  The thermal/leakage fixed point and the
+  /// TDP clamp run on top, so a P-state that still exceeds TDP throttles
+  /// further (effective_clock_frac reports the combined factor).  The
+  /// per-slice stepping primitive behind the DVFS replayer.
+  [[nodiscard]] PowerReport evaluate_at(const gemm::GemmProblem& problem,
+                                        gpupower::numeric::DType dtype,
+                                        const ActivityTotals& activity,
+                                        const OperatingPoint& op) const;
 
   [[nodiscard]] const DeviceDescriptor& descriptor() const noexcept {
     return dev_;

@@ -23,6 +23,11 @@ namespace gpupower::gpusim {
 struct ProcessVariation {
   double sigma_fraction = 0.02;  ///< ~2% sigma on energy scale and idle power
   std::uint64_t instance = 0;    ///< which physical GPU the "VM" landed on
+  /// When set, every seed replica of an experiment derives its own instance
+  /// from (instance, seed index) — each seed's "VM" lands on a different
+  /// physical GPU, the paper's VM-relanding study.  Off by default: all
+  /// seeds share `instance`, bit-identical to the historical behaviour.
+  bool per_seed = false;
 };
 
 struct SimOptions {

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <istream>
 #include <limits>
 #include <ostream>
+#include <string>
 
 namespace gpupower::telemetry {
 
@@ -55,6 +58,47 @@ double PowerTrace::energy_j() const {
 void PowerTrace::write_csv(std::ostream& os) const {
   os << "t_s,power_w\n";
   for (const auto& s : samples_) os << s.t_s << ',' << s.power_w << '\n';
+}
+
+double UtilTrace::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : samples_) sum += s.utilization;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double UtilTrace::max() const {
+  double v = 0.0;
+  for (const auto& s : samples_) v = std::max(v, s.utilization);
+  return v;
+}
+
+void UtilTrace::write_csv(std::ostream& os) const {
+  os << "t_s,utilization\n";
+  for (const auto& s : samples_) os << s.t_s << ',' << s.utilization << '\n';
+}
+
+bool UtilTrace::read_csv(std::istream& is, UtilTrace& trace) {
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first && line.rfind("t_s", 0) == 0) {
+      first = false;
+      continue;
+    }
+    first = false;
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos) return false;
+    char* end = nullptr;
+    const double t = std::strtod(line.c_str(), &end);
+    if (end == line.c_str()) return false;
+    const char* util_begin = line.c_str() + comma + 1;
+    const double util = std::strtod(util_begin, &end);
+    if (end == util_begin) return false;
+    trace.push(t, util);
+  }
+  return true;
 }
 
 }  // namespace gpupower::telemetry

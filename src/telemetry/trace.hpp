@@ -47,4 +47,44 @@ class PowerTrace {
   std::vector<PowerSample> samples_;
 };
 
+/// One utilization reading, as `nvmlDeviceGetUtilizationRates` (or
+/// `dcgmi dmon -e 203`) would report it: the busy fraction of the GPU over
+/// the sampling window ending at `t_s`.
+struct UtilSample {
+  double t_s = 0.0;
+  double utilization = 0.0;  ///< busy fraction in [0, 1]
+};
+
+/// A recorded utilization timeline — what a PowerMizer-style governor polls,
+/// and what the DVFS replayer can consume as a workload (trace-driven
+/// replay) or emit as a measurement.
+class UtilTrace {
+ public:
+  UtilTrace() = default;
+  explicit UtilTrace(std::vector<UtilSample> samples)
+      : samples_(std::move(samples)) {}
+
+  void push(double t_s, double utilization) {
+    samples_.push_back({t_s, utilization});
+  }
+
+  [[nodiscard]] const std::vector<UtilSample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double max() const;
+
+  /// Writes "t_s,utilization" rows with a header.
+  void write_csv(std::ostream& os) const;
+  /// Parses the write_csv format back (header optional).  Returns false on
+  /// malformed rows; `trace` then holds the rows parsed so far.
+  static bool read_csv(std::istream& is, UtilTrace& trace);
+
+ private:
+  std::vector<UtilSample> samples_;
+};
+
 }  // namespace gpupower::telemetry

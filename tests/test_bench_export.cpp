@@ -1,0 +1,227 @@
+// Perf-gate suite: the analysis/json parser the gate reads trajectories
+// with, and the bench_export compare semantics (speedup gates everywhere,
+// wall times gate only on a like-for-like protocol).
+#include "tools/bench_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/json.hpp"
+
+namespace gpupower {
+namespace {
+
+using analysis::JsonValue;
+using analysis::json_parse;
+
+TEST(JsonParse, ScalarsAndContainers) {
+  const auto parsed = json_parse(
+      R"({"name": "x", "count": 3, "ratio": 1.5, "on": true,
+          "off": false, "nothing": null, "list": [1, 2.5, "s"]})");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const JsonValue& v = parsed.value;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("name")->as_string(), "x");
+  EXPECT_DOUBLE_EQ(v.find("count")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(v.find("ratio")->as_number(), 1.5);
+  EXPECT_TRUE(v.find("on")->as_boolean());
+  EXPECT_FALSE(v.find("off")->as_boolean(true));
+  EXPECT_TRUE(v.find("nothing")->is_null());
+  ASSERT_TRUE(v.find("list")->is_array());
+  ASSERT_EQ(v.find("list")->size(), 3u);
+  EXPECT_DOUBLE_EQ(v.find("list")->at(1).as_number(), 2.5);
+  EXPECT_EQ(v.find("list")->at(2).as_string(), "s");
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_EQ(v.keys(), (std::vector<std::string>{"name", "count", "ratio",
+                                                "on", "off", "nothing",
+                                                "list"}));
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto parsed = json_parse(R"(["a\"b", "tab\there", "éA"])");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.at(0).as_string(), "a\"b");
+  EXPECT_EQ(parsed.value.at(1).as_string(), "tab\there");
+  EXPECT_EQ(parsed.value.at(2).as_string(), "\xC3\xA9\x41");
+
+  // \uXXXX escapes decode BMP code points to UTF-8.
+  const auto unicode = json_parse("[\"A\\u00e9\\u20ac\"]");
+  ASSERT_TRUE(unicode.ok) << unicode.error;
+  EXPECT_EQ(unicode.value.at(0).as_string(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonParse, NegativeAndExponentNumbers) {
+  const auto parsed = json_parse(R"([-3, -2.5e2, 1e-3])");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_DOUBLE_EQ(parsed.value.at(0).as_number(), -3.0);
+  EXPECT_DOUBLE_EQ(parsed.value.at(1).as_number(), -250.0);
+  EXPECT_DOUBLE_EQ(parsed.value.at(2).as_number(), 0.001);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_parse("").ok);
+  EXPECT_FALSE(json_parse("{").ok);
+  EXPECT_FALSE(json_parse("[1, 2,]").ok);
+  EXPECT_FALSE(json_parse(R"({"a": 1} extra)").ok);
+  EXPECT_FALSE(json_parse(R"({"a" 1})").ok);
+  EXPECT_FALSE(json_parse(R"("unterminated)").ok);
+  EXPECT_FALSE(json_parse(R"("bad \q escape")").ok);
+  const auto failed = json_parse("[1, ");
+  EXPECT_FALSE(failed.ok);
+  EXPECT_FALSE(failed.error.empty());
+}
+
+TEST(JsonParse, RoundTripsEmitterOutput) {
+  JsonValue doc = JsonValue::object();
+  doc.set("bench", JsonValue::string("activity_kernel"))
+      .set("schema", JsonValue::integer(1))
+      .set("value", JsonValue::number(3.25));
+  JsonValue cases = JsonValue::array();
+  cases.push(JsonValue::string("fp16"));
+  doc.set("cases", std::move(cases));
+
+  const auto reparsed = json_parse(doc.dump(/*pretty=*/true));
+  ASSERT_TRUE(reparsed.ok) << reparsed.error;
+  EXPECT_EQ(reparsed.value.dump(), doc.dump());
+}
+
+// --- compare gate ---------------------------------------------------------
+
+JsonValue bench_doc(const std::string& protocol, double batched_ms,
+                    double speedup) {
+  std::vector<tools::BenchCase> cases;
+  tools::BenchCase entry;
+  entry.name = "fp16";
+  entry.metrics = {{"observer_ms", batched_ms * speedup},
+                   {"batched_ms", batched_ms},
+                   {"speedup", speedup}};
+  cases.push_back(entry);
+  return tools::bench_document("activity_kernel", protocol, cases);
+}
+
+TEST(BenchCompare, IdenticalDocumentsPass) {
+  const JsonValue doc = bench_doc("N=256", 10.0, 8.0);
+  const auto result = tools::compare_bench_documents(doc, doc);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.protocols_match);
+  EXPECT_FALSE(result.regressed);
+  ASSERT_EQ(result.deltas.size(), 3u);
+}
+
+TEST(BenchCompare, WallTimesGateOnlyWhenOptedIn) {
+  const JsonValue baseline = bench_doc("N=256", 10.0, 8.0);
+  const JsonValue fresh = bench_doc("N=256", 14.0, 8.0);  // 40% slower
+  // Default: wall times are informational even on a matching protocol
+  // (the documents cannot prove they came from the same machine).
+  EXPECT_FALSE(tools::compare_bench_documents(baseline, fresh).regressed);
+
+  tools::CompareOptions walltime;
+  walltime.gate_walltime = true;
+  EXPECT_TRUE(
+      tools::compare_bench_documents(baseline, fresh, walltime).regressed);
+  // Within tolerance passes even when gated.
+  const JsonValue close = bench_doc("N=256", 11.0, 8.0);  // 10% slower
+  EXPECT_FALSE(
+      tools::compare_bench_documents(baseline, close, walltime).regressed);
+}
+
+TEST(BenchCompare, NothingGatesAcrossProtocols) {
+  // Speedups at different shapes are different quantities: a smaller CI
+  // shape must never fail the gate against the committed full-protocol
+  // trajectory, however its numbers move.
+  const JsonValue baseline = bench_doc("N=1024", 100.0, 9.0);
+  const JsonValue fresh_bad = bench_doc("N=256", 300.0, 4.0);
+  const auto result = tools::compare_bench_documents(baseline, fresh_bad);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_FALSE(result.protocols_match);
+  EXPECT_FALSE(result.regressed);
+  EXPECT_FALSE(result.deltas.empty());  // still reported, informational
+}
+
+TEST(BenchCompare, SpeedupDropGatesOnMatchingProtocol) {
+  const JsonValue baseline = bench_doc("N=256", 10.0, 10.0);
+  const JsonValue fresh = bench_doc("N=256", 10.0, 7.0);  // 30% lower
+  EXPECT_TRUE(tools::compare_bench_documents(baseline, fresh).regressed);
+
+  tools::CompareOptions loose;
+  loose.tolerance = 0.5;
+  EXPECT_FALSE(
+      tools::compare_bench_documents(baseline, fresh, loose).regressed);
+}
+
+TEST(BenchCompare, GeomeanScopesTheSpeedupGateWhenPresent) {
+  // With an aggregate case, per-dtype speedups are informational (one
+  // dtype's ratio legitimately moves with the runner generation); only the
+  // geomean gates.
+  const auto with_geomean = [](double fp16_speedup, double geomean) {
+    std::vector<tools::BenchCase> cases;
+    tools::BenchCase fp16;
+    fp16.name = "fp16";
+    fp16.metrics = {{"speedup", fp16_speedup}};
+    cases.push_back(fp16);
+    tools::BenchCase agg;
+    agg.name = "geomean";
+    agg.metrics = {{"speedup", geomean}};
+    cases.push_back(agg);
+    return tools::bench_document("activity_kernel", "N=1024", cases);
+  };
+
+  const JsonValue baseline = with_geomean(10.0, 9.0);
+  // One dtype drops 40% but the aggregate holds: pass.
+  EXPECT_FALSE(tools::compare_bench_documents(baseline, with_geomean(6.0, 8.5))
+                   .regressed);
+  // The aggregate itself drops beyond tolerance: fail.
+  EXPECT_TRUE(tools::compare_bench_documents(baseline, with_geomean(10.0, 6.0))
+                  .regressed);
+}
+
+TEST(BenchCompare, MissingCaseIsIncomparable) {
+  const JsonValue baseline = bench_doc("N=256", 10.0, 8.0);
+  JsonValue fresh = tools::bench_document("activity_kernel", "N=256", {});
+  const auto result = tools::compare_bench_documents(baseline, fresh);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("fp16"), std::string::npos);
+
+  const JsonValue other = tools::bench_document("other_bench", "N=256", {});
+  EXPECT_FALSE(tools::compare_bench_documents(baseline, other).ok);
+}
+
+TEST(BenchCompare, MissingFreshMetricIsIncomparable) {
+  // Emitter drift (a renamed/dropped metric) must not silently turn the
+  // gate into a no-op: a baseline metric absent from the fresh run makes
+  // the documents incomparable, exactly like a missing case.
+  const JsonValue baseline = bench_doc("N=256", 10.0, 8.0);
+  std::vector<tools::BenchCase> cases;
+  tools::BenchCase entry;
+  entry.name = "fp16";
+  entry.metrics = {{"observer_ms", 80.0}, {"batched_ms", 10.0}};  // no speedup
+  cases.push_back(entry);
+  const JsonValue fresh =
+      tools::bench_document("activity_kernel", "N=256", cases);
+  const auto result = tools::compare_bench_documents(baseline, fresh);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("speedup"), std::string::npos);
+}
+
+TEST(BenchCompare, ReadBenchJsonValidatesShape) {
+  const std::string path = testing::TempDir() + "gate_doc.json";
+  ASSERT_TRUE(tools::write_bench_json(path, bench_doc("N=256", 10.0, 8.0)));
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(tools::read_bench_json(path, doc, error)) << error;
+  EXPECT_EQ(doc.find("bench")->as_string(), "activity_kernel");
+
+  // Valid JSON that is not a bench document is rejected.
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"not\": \"a bench doc\"}", f);
+  std::fclose(f);
+  EXPECT_FALSE(tools::read_bench_json(path, doc, error));
+  EXPECT_FALSE(tools::read_bench_json(path + ".missing", doc, error));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gpupower

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -142,6 +144,45 @@ TEST(Experiment, VariationReportsSeedAveragesNotLastSeed) {
   EXPECT_DOUBLE_EQ(result.energy_per_iter_j, energy.mean());
   EXPECT_DOUBLE_EQ(result.iteration_s, iter.mean());
   EXPECT_DOUBLE_EQ(result.clock_frac, clock.mean());
+}
+
+TEST(Experiment, PerSeedVariationLandsSeedsOnDistinctGpus) {
+  auto config = small_config(gpupower::numeric::DType::kFP16);
+  config.seeds = 4;
+  config.sampling = gpupower::gpusim::SamplingPlan::fast(6, 0.5);
+  gpupower::gpusim::ProcessVariation variation;
+  variation.instance = 7;
+
+  // Flag off (default): every replica shares the configured instance —
+  // bit-identical to the historical behaviour.
+  config.variation = variation;
+  for (int s = 0; s < config.seeds; ++s) {
+    const auto options = replica_sim_options(config, s);
+    ASSERT_TRUE(options.variation.has_value());
+    EXPECT_EQ(options.variation->instance, variation.instance);
+  }
+  const ExperimentResult shared = run_experiment(config);
+
+  // Flag on: each seed derives its own instance — distinct from the base
+  // and from every other seed (the paper's VM-relanding study).
+  variation.per_seed = true;
+  config.variation = variation;
+  std::vector<std::uint64_t> instances;
+  for (int s = 0; s < config.seeds; ++s) {
+    const auto options = replica_sim_options(config, s);
+    ASSERT_TRUE(options.variation.has_value());
+    EXPECT_NE(options.variation->instance, variation.instance);
+    instances.push_back(options.variation->instance);
+  }
+  std::sort(instances.begin(), instances.end());
+  EXPECT_EQ(std::unique(instances.begin(), instances.end()), instances.end())
+      << "per-seed instances must be pairwise distinct";
+
+  // Distinct simulated GPUs shift each replica's energy scale, so the
+  // across-seed spread widens relative to the shared-instance run.
+  const ExperimentResult per_seed = run_experiment(config);
+  EXPECT_NE(per_seed.power_w, shared.power_w);
+  EXPECT_GT(per_seed.power_std_w, shared.power_std_w);
 }
 
 TEST(Experiment, RejectsNonPositiveSeeds) {

@@ -1,6 +1,7 @@
 #include "tools/bench_export.hpp"
 
 #include <cstdio>
+#include <utility>
 
 namespace gpupower::tools {
 
@@ -34,6 +35,145 @@ bool write_bench_json(const std::string& path,
   const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
                   std::fputc('\n', f) != EOF;
   return std::fclose(f) == 0 && ok;
+}
+
+bool read_bench_json(const std::string& path, analysis::JsonValue& doc,
+                     std::string& error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(f);
+
+  analysis::JsonParseResult parsed = analysis::json_parse(text);
+  if (!parsed.ok) {
+    error = path + ": JSON error at offset " +
+            std::to_string(parsed.error_pos) + ": " + parsed.error;
+    return false;
+  }
+  if (parsed.value.find("bench") == nullptr ||
+      parsed.value.find("cases") == nullptr ||
+      !parsed.value.find("cases")->is_array()) {
+    error = path + ": not a bench document (missing bench/cases)";
+    return false;
+  }
+  doc = std::move(parsed.value);
+  return true;
+}
+
+namespace {
+
+/// Wall-time metrics gate the comparison; bigger is worse.
+bool is_gated_metric(const std::string& name) {
+  return name.size() > 3 && name.compare(name.size() - 3, 3, "_ms") == 0;
+}
+
+const analysis::JsonValue* find_case(const analysis::JsonValue& cases,
+                                     const std::string& name) {
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const analysis::JsonValue* entry_name = cases.at(i).find("name");
+    if (entry_name != nullptr && entry_name->as_string() == name) {
+      return &cases.at(i);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+CompareResult compare_bench_documents(const analysis::JsonValue& baseline,
+                                      const analysis::JsonValue& fresh,
+                                      const CompareOptions& options) {
+  CompareResult result;
+  const analysis::JsonValue* base_bench = baseline.find("bench");
+  const analysis::JsonValue* fresh_bench = fresh.find("bench");
+  if (base_bench == nullptr || fresh_bench == nullptr ||
+      base_bench->as_string() != fresh_bench->as_string()) {
+    result.error = "bench names differ (comparing different benchmarks?)";
+    return result;
+  }
+  const analysis::JsonValue* base_cases = baseline.find("cases");
+  const analysis::JsonValue* fresh_cases = fresh.find("cases");
+  if (base_cases == nullptr || fresh_cases == nullptr) {
+    result.error = "missing cases array";
+    return result;
+  }
+  const analysis::JsonValue* base_protocol = baseline.find("protocol");
+  const analysis::JsonValue* fresh_protocol = fresh.find("protocol");
+  result.protocols_match =
+      base_protocol != nullptr && fresh_protocol != nullptr &&
+      base_protocol->as_string() == fresh_protocol->as_string();
+  // Speedup gating scope: the aggregate case when present, else every case.
+  const bool have_gate_case =
+      !options.speedup_gate_case.empty() &&
+      find_case(*base_cases, options.speedup_gate_case) != nullptr;
+
+  for (std::size_t i = 0; i < base_cases->size(); ++i) {
+    const analysis::JsonValue& base_case = base_cases->at(i);
+    const analysis::JsonValue* name = base_case.find("name");
+    if (name == nullptr) {
+      result.error = "baseline case without a name";
+      return result;
+    }
+    const analysis::JsonValue* fresh_case =
+        find_case(*fresh_cases, name->as_string());
+    if (fresh_case == nullptr) {
+      result.error = "case '" + name->as_string() + "' missing from fresh run";
+      return result;
+    }
+    const analysis::JsonValue* base_metrics = base_case.find("metrics");
+    const analysis::JsonValue* fresh_metrics = fresh_case->find("metrics");
+    if (base_metrics == nullptr || fresh_metrics == nullptr) continue;
+
+    // Compare every baseline metric, in baseline order.  A metric the
+    // baseline has but the fresh run lacks makes the documents
+    // incomparable (like a missing case) — silently skipping it would let
+    // emitter drift turn the gate into a permanent no-op.
+    for (const std::string& metric : base_metrics->keys()) {
+      const analysis::JsonValue* base_value = base_metrics->find(metric);
+      const analysis::JsonValue* fresh_value = fresh_metrics->find(metric);
+      if (base_value == nullptr) continue;
+      if (fresh_value == nullptr) {
+        result.regressed = false;
+        result.deltas.clear();
+        result.error = "metric '" + metric + "' of case '" +
+                       name->as_string() + "' missing from fresh run";
+        result.ok = false;
+        return result;
+      }
+      MetricDelta delta;
+      delta.case_name = name->as_string();
+      delta.metric = metric;
+      delta.baseline = base_value->as_number();
+      delta.fresh = fresh_value->as_number();
+      delta.ratio = delta.baseline != 0.0 ? delta.fresh / delta.baseline : 1.0;
+      if (metric == "speedup") {
+        // Machine-relative, but still shape-dependent: gates only on a
+        // like-for-like protocol (and, when an aggregate case exists,
+        // only there); lower is worse.
+        const bool in_scope =
+            !have_gate_case || name->as_string() == options.speedup_gate_case;
+        delta.regressed = result.protocols_match && in_scope &&
+                          delta.ratio < 1.0 - options.tolerance;
+      } else if (is_gated_metric(metric)) {
+        // Machine-absolute wall time: opt-in, same protocol; higher is
+        // worse.
+        delta.regressed = options.gate_walltime && result.protocols_match &&
+                          delta.ratio > 1.0 + options.tolerance;
+      }
+      result.regressed = result.regressed || delta.regressed;
+      result.deltas.push_back(std::move(delta));
+    }
+  }
+  result.ok = true;
+  return result;
 }
 
 }  // namespace gpupower::tools

@@ -45,4 +45,64 @@ struct BenchCase {
 /// when the file cannot be written.
 bool write_bench_json(const std::string& path, const analysis::JsonValue& doc);
 
+/// Reads and parses a bench document.  Returns false (with a message in
+/// `error`) when the file is unreadable, malformed JSON, or not a bench
+/// document (missing bench/cases).
+bool read_bench_json(const std::string& path, analysis::JsonValue& doc,
+                     std::string& error);
+
+// --- trajectory comparison (the CI perf gate) -----------------------------
+
+/// One metric compared between a fresh run and the committed baseline.
+struct MetricDelta {
+  std::string case_name;
+  std::string metric;
+  double baseline = 0.0;
+  double fresh = 0.0;
+  double ratio = 1.0;      ///< fresh / baseline (1.0 when baseline is 0)
+  bool regressed = false;  ///< worsened beyond the tolerance
+};
+
+struct CompareOptions {
+  /// Allowed relative movement before a gated metric fails: 0.25 passes a
+  /// speedup up to 25% lower (or a gated wall time up to 25% slower) than
+  /// the committed baseline.  Timer noise on shared CI runners is the
+  /// reason this is generous.
+  double tolerance = 0.25;
+  /// Also gate "*_ms" wall times.  Off by default: absolute times only
+  /// mean something between runs on the same machine, which the documents
+  /// cannot prove — enable for local like-for-like comparisons.
+  bool gate_walltime = false;
+  /// When the baseline contains a case with this name, only its speedup
+  /// gates and per-case speedups stay informational — an aggregate damps
+  /// the per-dtype noise a shared CI runner adds (one dtype's ratio can
+  /// legitimately move 15%+ between runner generations).  Set empty to
+  /// gate every case's speedup.
+  std::string speedup_gate_case = "geomean";
+};
+
+struct CompareResult {
+  bool ok = false;          ///< documents comparable (same bench, cases)
+  bool regressed = false;   ///< any gated metric beyond tolerance
+  /// Nothing gates unless the two documents ran the same protocol (shape,
+  /// plan); speedups at different shapes are different quantities.
+  bool protocols_match = false;
+  std::string error;        ///< set when !ok
+  std::vector<MetricDelta> deltas;
+};
+
+/// Diffs a freshly measured bench document against the committed baseline.
+/// Gating requires matching protocol strings; then:
+///  - "speedup" (machine-relative: both backends timed on the same host,
+///    so it transfers across machines) gates — smaller than baseline
+///    beyond tolerance fails;
+///  - "*_ms" wall times (machine-absolute) additionally gate when
+///    options.gate_walltime is set — bigger beyond tolerance fails.
+/// Everything else (macs, ...) is reported but never gates.  Cases present
+/// in the baseline but missing from the fresh run make the documents
+/// incomparable.
+[[nodiscard]] CompareResult compare_bench_documents(
+    const analysis::JsonValue& baseline, const analysis::JsonValue& fresh,
+    const CompareOptions& options = {});
+
 }  // namespace gpupower::tools

@@ -1,0 +1,126 @@
+// bench_export — trajectory file utility for the committed BENCH_*.json
+// documents.  The one mode that matters for CI is the perf gate:
+//
+//   bench_export --compare <fresh.json> <baseline.json> [--tolerance F]
+//
+// diffs a freshly measured bench document against the committed baseline
+// and exits non-zero on regression beyond the tolerance (default 25%,
+// generous for shared-runner timer noise).  Gating needs matching protocol
+// strings (speedups at different shapes are different quantities); then
+// "speedup" gates (machine-relative; lower is worse) and, with
+// --gate-walltime, the "*_ms" wall times too (same-machine comparisons
+// only — a CI runner and the committed trajectory are different hosts).
+// Exit codes: 0 pass, 1 regression, 2 usage or unreadable input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tools/bench_export.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --compare <fresh.json> <baseline.json> "
+               "[--tolerance F] [--gate-walltime] [--require-protocol]\n"
+               "  exits 1 when, on a matching protocol, a speedup in "
+               "<fresh.json> is more than\n  F (default 0.25) below "
+               "<baseline.json> — or, with --gate-walltime, a *_ms\n"
+               "  metric is more than F slower.  --require-protocol makes "
+               "a protocol mismatch\n  an error (exit 2) instead of "
+               "downgrading the run to informational — use it\n  in CI so "
+               "protocol drift cannot silently disable the gate\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpupower;
+
+  std::string fresh_path;
+  std::string baseline_path;
+  tools::CompareOptions options;
+  bool compare = false;
+  bool require_protocol = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compare") == 0) {
+      if (i + 2 >= argc) return usage(argv[0]);
+      fresh_path = argv[++i];
+      baseline_path = argv[++i];
+      compare = true;
+    } else if (std::strcmp(argv[i], "--tolerance") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const char* value = argv[++i];
+      char* end = nullptr;
+      options.tolerance = std::strtod(value, &end);
+      // Trailing garbage ("25%", "O.25") must be a usage error, not a
+      // silent zero-tolerance gate.
+      if (end == value || *end != '\0' || !(options.tolerance >= 0.0)) {
+        std::fprintf(stderr,
+                     "bench_export: --tolerance needs a non-negative "
+                     "number, got '%s'\n",
+                     value);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--gate-walltime") == 0) {
+      options.gate_walltime = true;
+    } else if (std::strcmp(argv[i], "--require-protocol") == 0) {
+      require_protocol = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!compare) return usage(argv[0]);
+
+  analysis::JsonValue fresh;
+  analysis::JsonValue baseline;
+  std::string error;
+  if (!tools::read_bench_json(fresh_path, fresh, error) ||
+      !tools::read_bench_json(baseline_path, baseline, error)) {
+    std::fprintf(stderr, "bench_export: %s\n", error.c_str());
+    return 2;
+  }
+
+  const tools::CompareResult result =
+      tools::compare_bench_documents(baseline, fresh, options);
+  if (!result.ok) {
+    std::fprintf(stderr, "bench_export: %s\n", result.error.c_str());
+    return 2;
+  }
+  if (require_protocol && !result.protocols_match) {
+    std::fprintf(stderr,
+                 "bench_export: protocol mismatch — fresh run and baseline "
+                 "measured different shapes/plans, nothing would gate; "
+                 "regenerate the committed baseline or fix the fresh run's "
+                 "knobs\n");
+    return 2;
+  }
+
+  std::printf("perf gate: %s vs %s (tolerance %.0f%%, %s)\n",
+              fresh_path.c_str(), baseline_path.c_str(),
+              options.tolerance * 100.0,
+              !result.protocols_match
+                  ? "informational only: protocols differ"
+                  : (options.gate_walltime ? "gating speedup + wall times"
+                                           : "gating speedup"));
+  std::printf("%-10s %-14s %12s %12s %8s\n", "case", "metric", "baseline",
+              "fresh", "ratio");
+  for (const tools::MetricDelta& delta : result.deltas) {
+    std::printf("%-10s %-14s %12.3f %12.3f %7.2fx%s\n",
+                delta.case_name.c_str(), delta.metric.c_str(), delta.baseline,
+                delta.fresh, delta.ratio,
+                delta.regressed ? "  REGRESSED" : "");
+  }
+  if (result.regressed) {
+    std::fprintf(stderr,
+                 "bench_export: REGRESSION — a gated metric moved beyond "
+                 "the committed trajectory by more than %.0f%%\n",
+                 options.tolerance * 100.0);
+    return 1;
+  }
+  std::printf("perf gate: PASS\n");
+  return 0;
+}
