@@ -199,6 +199,23 @@ DvfsConfigBuilder& DvfsConfigBuilder::timeline(std::string_view dsl) {
   return *this;
 }
 
+DvfsConfigBuilder& DvfsConfigBuilder::add_phase_pattern(
+    const PatternSpec& spec) {
+  config_.phase_patterns.push_back(spec);
+  return *this;
+}
+
+DvfsConfigBuilder& DvfsConfigBuilder::add_phase_pattern(std::string_view dsl) {
+  const ParseResult parsed = parse_pattern(dsl);
+  if (!parsed.ok) {
+    fail("phase pattern DSL error at offset " +
+         std::to_string(parsed.error_pos) + ": " + parsed.error);
+    return *this;
+  }
+  config_.phase_patterns.push_back(parsed.spec);
+  return *this;
+}
+
 DvfsConfigBuilder& DvfsConfigBuilder::slice(double slice_s) {
   // The microsecond floor keeps replay slice counts sane (the replayer
   // additionally hard-caps the slice count as a backstop).
@@ -224,11 +241,194 @@ const std::string& DvfsConfigBuilder::error() const noexcept {
   if (!error_.empty()) return error_;
   static const std::string kMissingTimeline =
       "no timeline set (a DVFS config needs a workload to replay)";
+  static const std::string kDanglingPattern =
+      "timeline references a phase pattern index beyond the added "
+      "phase patterns (add_phase_pattern)";
   static const std::string kNone;
-  return config_.timeline.empty() ? kMissingTimeline : kNone;
+  if (config_.timeline.empty()) return kMissingTimeline;
+  if (config_.timeline.max_pattern_index() >=
+      static_cast<int>(config_.phase_patterns.size())) {
+    return kDanglingPattern;
+  }
+  return kNone;
 }
 
 std::optional<DvfsConfig> DvfsConfigBuilder::try_build() const {
+  if (!valid()) return std::nullopt;
+  return config_;
+}
+
+void FleetConfigBuilder::fail(std::string message) {
+  if (error_.empty()) error_ = std::move(message);
+}
+
+FleetConfigBuilder& FleetConfigBuilder::experiment(
+    const ExperimentConfig& config) {
+  config_.experiment = config;
+  return *this;
+}
+
+FleetConfigBuilder& FleetConfigBuilder::add_timeline(
+    const gpupower::gpusim::dvfs::WorkloadTimeline& timeline) {
+  if (timeline.empty()) {
+    fail("timeline has no phases");
+    return *this;
+  }
+  config_.timelines.push_back(timeline);
+  return *this;
+}
+
+FleetConfigBuilder& FleetConfigBuilder::add_timeline(std::string_view dsl) {
+  const auto parsed = gpupower::gpusim::dvfs::parse_timeline(dsl);
+  if (!parsed.ok) {
+    fail("timeline DSL error at offset " + std::to_string(parsed.error_pos) +
+         ": " + parsed.error);
+    return *this;
+  }
+  config_.timelines.push_back(parsed.timeline);
+  return *this;
+}
+
+FleetConfigBuilder& FleetConfigBuilder::add_device(
+    const FleetDeviceConfig& device) {
+  config_.devices.push_back(device);
+  return *this;
+}
+
+FleetConfigBuilder& FleetConfigBuilder::add_device(
+    gpupower::gpusim::GpuModel gpu, std::string_view governor_dsl,
+    int timeline, int priority) {
+  const auto parsed = gpupower::gpusim::dvfs::parse_governor(governor_dsl);
+  if (!parsed.ok) {
+    fail("governor DSL error at offset " + std::to_string(parsed.error_pos) +
+         ": " + parsed.error);
+    return *this;
+  }
+  FleetDeviceConfig device;
+  device.gpu = gpu;
+  device.governor = parsed.config;
+  device.timeline = timeline;
+  device.priority = priority;
+  config_.devices.push_back(device);
+  return *this;
+}
+
+FleetConfigBuilder& FleetConfigBuilder::add_staggered_devices(
+    const gpupower::gpusim::dvfs::WorkloadTimeline& timeline, int count,
+    double stagger_s, gpupower::gpusim::GpuModel gpu,
+    std::string_view governor_dsl) {
+  if (count < 1 || count > 256) {
+    fail("staggered device count " + std::to_string(count) +
+         " out of range [1, 256]");
+    return *this;
+  }
+  if (stagger_s < 0.0) {
+    fail("stagger must be non-negative");
+    return *this;
+  }
+  const int base = static_cast<int>(config_.timelines.size());
+  for (int i = 0; i < count; ++i) {
+    gpupower::gpusim::dvfs::WorkloadTimeline shifted;
+    if (i > 0 && stagger_s > 0.0) {
+      shifted = gpupower::gpusim::dvfs::WorkloadTimeline::idle(
+          static_cast<double>(i) * stagger_s);
+    }
+    shifted.append(timeline);
+    add_timeline(shifted);
+    add_device(gpu, governor_dsl, /*timeline=*/base + i,
+               /*priority=*/count - i);
+  }
+  return *this;
+}
+
+FleetConfigBuilder& FleetConfigBuilder::allocator(
+    const gpupower::gpusim::fleet::AllocatorConfig& config) {
+  config_.allocator = config;
+  return *this;
+}
+
+FleetConfigBuilder& FleetConfigBuilder::allocator(std::string_view policy) {
+  gpupower::gpusim::fleet::AllocatorConfig::Policy parsed;
+  if (!gpupower::gpusim::fleet::parse_allocator_policy(policy, parsed)) {
+    fail("unknown allocator '" + std::string(policy) +
+         "' (expected uniform | proportional | priority | greedy)");
+    return *this;
+  }
+  config_.allocator.policy = parsed;
+  return *this;
+}
+
+FleetConfigBuilder& FleetConfigBuilder::cap(double cap_w) {
+  if (!(cap_w > 0.0)) {
+    fail("cap=" + format_double(cap_w) +
+         " must be positive (infinity = uncapped)");
+    return *this;
+  }
+  config_.allocator.cap_w = cap_w;
+  return *this;
+}
+
+FleetConfigBuilder& FleetConfigBuilder::thermal(
+    const gpupower::gpusim::fleet::ThermalConfig& config) {
+  if (config.enabled && !(config.tau_s > 0.0)) {
+    fail("thermal tau must be > 0");
+    return *this;
+  }
+  if (config.enabled && !(config.trip_c > config.release_c)) {
+    fail("thermal trip temperature must exceed the release temperature");
+    return *this;
+  }
+  config_.thermal = config;
+  return *this;
+}
+
+FleetConfigBuilder& FleetConfigBuilder::add_phase_pattern(
+    const PatternSpec& spec) {
+  config_.phase_patterns.push_back(spec);
+  return *this;
+}
+
+FleetConfigBuilder& FleetConfigBuilder::add_phase_pattern(
+    std::string_view dsl) {
+  const ParseResult parsed = parse_pattern(dsl);
+  if (!parsed.ok) {
+    fail("phase pattern DSL error at offset " +
+         std::to_string(parsed.error_pos) + ": " + parsed.error);
+    return *this;
+  }
+  config_.phase_patterns.push_back(parsed.spec);
+  return *this;
+}
+
+FleetConfigBuilder& FleetConfigBuilder::slice(double slice_s) {
+  if (!(slice_s >= 1e-6) || slice_s > 10.0) {
+    fail("slice=" + format_double(slice_s) +
+         " out of range [1e-6, 10] seconds");
+    return *this;
+  }
+  config_.slice_s = slice_s;
+  return *this;
+}
+
+FleetConfigBuilder& FleetConfigBuilder::pstates(int count) {
+  if (count < 1 || count > 16) {
+    fail("pstates=" + std::to_string(count) + " out of range [1, 16]");
+    return *this;
+  }
+  config_.pstates = count;
+  return *this;
+}
+
+bool FleetConfigBuilder::valid() const noexcept {
+  return error_.empty() && validate_fleet_config(config_).empty();
+}
+
+std::string FleetConfigBuilder::error() const {
+  if (!error_.empty()) return error_;
+  return validate_fleet_config(config_);
+}
+
+std::optional<FleetConfig> FleetConfigBuilder::try_build() const {
   if (!valid()) return std::nullopt;
   return config_;
 }
@@ -263,17 +463,20 @@ std::string canonical_config_key(const ExperimentConfig& config) {
   // significant digits; append the pattern's raw scalars at full precision
   // so near-identical specs never collide.
   key += "|pattern=" + to_dsl(config.pattern);
-  key += "|praw=" + std::to_string(static_cast<int>(config.pattern.value)) +
-         ":" + format_double(config.pattern.mean) + ":" +
-         format_double(config.pattern.sigma) + ":" +
-         std::to_string(config.pattern.set_size) + ":" +
-         std::to_string(static_cast<int>(config.pattern.place)) + ":" +
-         format_double(config.pattern.sort_percent) + ":" +
-         format_double(config.pattern.sparsity) + ":" +
-         std::to_string(static_cast<int>(config.pattern.bitop)) + ":" +
-         format_double(config.pattern.bit_fraction) + ":" +
-         (config.pattern.transpose_b ? "t" : "n");
+  key += "|praw=" + pattern_raw_key(config.pattern);
   return key;
+}
+
+std::string pattern_raw_key(const PatternSpec& pattern) {
+  return std::to_string(static_cast<int>(pattern.value)) + ":" +
+         format_double(pattern.mean) + ":" + format_double(pattern.sigma) +
+         ":" + std::to_string(pattern.set_size) + ":" +
+         std::to_string(static_cast<int>(pattern.place)) + ":" +
+         format_double(pattern.sort_percent) + ":" +
+         format_double(pattern.sparsity) + ":" +
+         std::to_string(static_cast<int>(pattern.bitop)) + ":" +
+         format_double(pattern.bit_fraction) + ":" +
+         (pattern.transpose_b ? "t" : "n");
 }
 
 }  // namespace gpupower::core

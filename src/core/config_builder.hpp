@@ -25,6 +25,7 @@
 #include "core/dvfs_experiment.hpp"
 #include "core/env.hpp"
 #include "core/experiment.hpp"
+#include "core/fleet_experiment.hpp"
 
 namespace gpupower::core {
 
@@ -98,15 +99,24 @@ class DvfsConfigBuilder {
   DvfsConfigBuilder& timeline(const gpupower::gpusim::dvfs::WorkloadTimeline& timeline);
   /// Parses the timeline DSL (constant | idle | burst | ramp stages).
   DvfsConfigBuilder& timeline(std::string_view dsl);
+  /// Appends a phase pattern the timeline references by index (the DSL's
+  /// `pattern=K` stage key; K is the append order).
+  DvfsConfigBuilder& add_phase_pattern(const PatternSpec& spec);
+  /// Parses a pattern-DSL string and appends it.
+  DvfsConfigBuilder& add_phase_pattern(std::string_view dsl);
   /// Replay time step in seconds, [1e-6, 10].
   DvfsConfigBuilder& slice(double slice_s);
   /// P-state table depth, [1, 16]; 1 is the DVFS-disabled degenerate case.
   DvfsConfigBuilder& pstates(int count);
 
   /// A timeline is required: a builder that never received one is invalid
-  /// (there is no sensible default workload to replay).
+  /// (there is no sensible default workload to replay).  A timeline phase
+  /// referencing a pattern index beyond the added phase patterns is a
+  /// dangling cross-reference, also invalid.
   [[nodiscard]] bool valid() const noexcept {
-    return error_.empty() && !config_.timeline.empty();
+    return error_.empty() && !config_.timeline.empty() &&
+           config_.timeline.max_pattern_index() <
+               static_cast<int>(config_.phase_patterns.size());
   }
   [[nodiscard]] const std::string& error() const noexcept;
 
@@ -120,11 +130,92 @@ class DvfsConfigBuilder {
   std::string error_;
 };
 
+/// Fluent, validating construction of FleetConfig — the front door of the
+/// fleet power-capping API.  Wraps an ExperimentConfig (the shared working
+/// point), collects timelines and devices by append order, and adds the
+/// allocator/cap, thermal model, and replay knobs, with every DSL parsed
+/// and validated in place.  Error handling matches the other builders:
+/// first error wins, check valid()/error() or use try_build().
+///
+///   const auto config = FleetConfigBuilder()
+///                           .experiment(experiment_config)
+///                           .add_timeline("burst(period=0.4, duty=30%, dur=2)")
+///                           .add_device(gpusim::GpuModel::kA100PCIe,
+///                                       "utilization(up=80%, down=30%)")
+///                           .add_device(gpusim::GpuModel::kA100PCIe,
+///                                       "utilization(up=80%, down=30%)")
+///                           .allocator("proportional")
+///                           .cap(450.0)
+///                           .thermal(thermal_config)
+///                           .build();
+class FleetConfigBuilder {
+ public:
+  FleetConfigBuilder() = default;
+
+  FleetConfigBuilder& experiment(const ExperimentConfig& config);
+  /// Appends a timeline; devices reference timelines by append order.
+  FleetConfigBuilder& add_timeline(
+      const gpupower::gpusim::dvfs::WorkloadTimeline& timeline);
+  FleetConfigBuilder& add_timeline(std::string_view dsl);
+  FleetConfigBuilder& add_device(const FleetDeviceConfig& device);
+  /// Appends a device with its governor given as DSL; `timeline` indexes
+  /// the add_timeline order.
+  FleetConfigBuilder& add_device(gpupower::gpusim::GpuModel gpu,
+                                 std::string_view governor_dsl,
+                                 int timeline = 0, int priority = 0);
+  /// Appends `count` identical devices, each replaying its own copy of
+  /// `timeline` delayed by i * stagger_s (an idle prefix) with priority
+  /// count - i — the phase-shifted fleet shape where allocation policy
+  /// actually matters (synchronised bursts degenerate every allocator to
+  /// uniform).  Shared by `gpowerctl fleet` and `fig_fleet_capping` so
+  /// the CLI and the committed benchmark mean the same thing by "a
+  /// staggered fleet".
+  FleetConfigBuilder& add_staggered_devices(
+      const gpupower::gpusim::dvfs::WorkloadTimeline& timeline, int count,
+      double stagger_s, gpupower::gpusim::GpuModel gpu,
+      std::string_view governor_dsl);
+  FleetConfigBuilder& allocator(
+      const gpupower::gpusim::fleet::AllocatorConfig& config);
+  /// Parses "uniform" | "proportional" | "priority" | "greedy" (keeps the
+  /// current cap).
+  FleetConfigBuilder& allocator(std::string_view policy);
+  /// Shared fleet power cap in watts; infinity = uncapped.
+  FleetConfigBuilder& cap(double cap_w);
+  FleetConfigBuilder& thermal(
+      const gpupower::gpusim::fleet::ThermalConfig& config);
+  /// Appends a phase pattern every timeline can reference by index.
+  FleetConfigBuilder& add_phase_pattern(const PatternSpec& spec);
+  FleetConfigBuilder& add_phase_pattern(std::string_view dsl);
+  /// Replay time step in seconds, [1e-6, 10].
+  FleetConfigBuilder& slice(double slice_s);
+  /// P-state table depth, [1, 16].
+  FleetConfigBuilder& pstates(int count);
+
+  /// Valid iff no setter recorded an error and validate_fleet_config
+  /// accepts the assembled cross-references.
+  [[nodiscard]] bool valid() const noexcept;
+  [[nodiscard]] std::string error() const;
+
+  [[nodiscard]] FleetConfig build() const { return config_; }
+  [[nodiscard]] std::optional<FleetConfig> try_build() const;
+
+ private:
+  void fail(std::string message);
+
+  FleetConfig config_;
+  std::string error_;
+};
+
 /// Canonical cache key for a config: the pattern serialised through
 /// `to_dsl` (human-readable) plus every scalar field that influences the
 /// result — including the pattern's raw scalars — at "%.17g" precision so
 /// distinct configs never collide.  Two configs with equal keys produce
 /// bit-identical ExperimentResults.
 [[nodiscard]] std::string canonical_config_key(const ExperimentConfig& config);
+
+/// One pattern's raw scalars at "%.17g" precision — the `praw` fragment of
+/// canonical_config_key, reused by the DVFS/fleet keys for the per-phase
+/// pattern lists.
+[[nodiscard]] std::string pattern_raw_key(const PatternSpec& pattern);
 
 }  // namespace gpupower::core

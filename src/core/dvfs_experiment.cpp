@@ -20,26 +20,61 @@ namespace dvfs = gpupower::gpusim::dvfs;
 
 template <typename T>
 gpupower::gpusim::ActivityEstimate typed_activity(
-    const gpupower::gpusim::GpuSimulator& sim, const DvfsConfig& config,
+    const gpupower::gpusim::GpuSimulator& sim, const PatternSpec& pattern,
+    gpupower::numeric::DType dtype, std::size_t n,
     const gemm::GemmProblem& problem, std::uint64_t replica_seed) {
   const ExperimentInputs<T> inputs =
-      build_inputs<T>(config.experiment.pattern, config.experiment.dtype,
-                      config.experiment.n, replica_seed);
-  return sim.activity(problem, config.experiment.dtype, inputs.a, inputs.b);
+      build_inputs<T>(pattern, dtype, n, replica_seed);
+  return sim.activity(problem, dtype, inputs.a, inputs.b);
 }
 
-gpupower::gpusim::ActivityEstimate replica_activity(
-    const gpupower::gpusim::GpuSimulator& sim, const DvfsConfig& config,
+gpupower::gpusim::ActivityEstimate pattern_activity(
+    const gpupower::gpusim::GpuSimulator& sim, const PatternSpec& pattern,
+    gpupower::numeric::DType dtype, std::size_t n,
     const gemm::GemmProblem& problem, std::uint64_t replica_seed) {
-  return with_storage_type(config.experiment.dtype, [&](auto tag) {
-    return typed_activity<typename decltype(tag)::type>(sim, config, problem,
-                                                        replica_seed);
+  return with_storage_type(dtype, [&](auto tag) {
+    return typed_activity<typename decltype(tag)::type>(
+        sim, pattern, dtype, n, problem, replica_seed);
   });
 }
 
 using dvfs::detail::format_exact;
 
 }  // namespace
+
+std::vector<gpupower::gpusim::ActivityTotals> replica_activity_variants(
+    const gpupower::gpusim::GpuSimulator& sim,
+    const ExperimentConfig& experiment,
+    std::span<const PatternSpec> phase_patterns,
+    const dvfs::WorkloadTimeline& timeline, const gemm::GemmProblem& problem,
+    int seed_index) {
+  const int max_ref = timeline.max_pattern_index();
+  if (max_ref >= static_cast<int>(phase_patterns.size())) {
+    throw std::invalid_argument(
+        "timeline references phase pattern " + std::to_string(max_ref) +
+        " but only " + std::to_string(phase_patterns.size()) +
+        " phase pattern(s) are configured");
+  }
+
+  const std::uint64_t replica_seed = patterns::derive_seed(
+      experiment.base_seed, static_cast<std::uint64_t>(seed_index));
+
+  std::vector<gpupower::gpusim::ActivityTotals> variants;
+  variants.reserve(phase_patterns.size() + 1);
+  variants.push_back(pattern_activity(sim, experiment.pattern,
+                                      experiment.dtype, experiment.n, problem,
+                                      replica_seed)
+                         .totals);
+  // Every listed pattern gets its variant (index k -> variant k + 1), with
+  // the same replica seed: a phase pattern equal to the base pattern
+  // produces bit-identical totals, which the parity tests pin.
+  for (const PatternSpec& pattern : phase_patterns) {
+    variants.push_back(pattern_activity(sim, pattern, experiment.dtype,
+                                        experiment.n, problem, replica_seed)
+                           .totals);
+  }
+  return variants;
+}
 
 dvfs::ReplayResult run_dvfs_seed_replica(const DvfsConfig& config,
                                          int seed_index) {
@@ -62,18 +97,18 @@ dvfs::ReplayResult run_dvfs_seed_replica(const DvfsConfig& config,
   const gemm::GemmProblem problem{config.experiment.n, config.experiment.n,
                                   config.experiment.n, 1.0f, 0.0f,
                                   config.experiment.pattern.transpose_b};
-  const std::uint64_t replica_seed = patterns::derive_seed(
-      config.experiment.base_seed, static_cast<std::uint64_t>(seed_index));
-  const gpupower::gpusim::ActivityEstimate est =
-      replica_activity(sim, config, problem, replica_seed);
+  const std::vector<gpupower::gpusim::ActivityTotals> variants =
+      replica_activity_variants(sim, config.experiment,
+                                config.phase_patterns, config.timeline,
+                                problem, seed_index);
 
   const dvfs::PStateTable table =
       config.pstates <= 1
           ? dvfs::PStateTable::boost_only(sim.descriptor())
           : dvfs::PStateTable::for_device(sim.descriptor(), config.pstates);
-  const dvfs::TimelineReplayer replayer(sim.descriptor(), problem,
-                                        config.experiment.dtype, est.totals,
-                                        table);
+  const dvfs::TimelineReplayer replayer(
+      sim.descriptor(), problem, config.experiment.dtype,
+      std::span<const gpupower::gpusim::ActivityTotals>(variants), table);
   const auto governor = dvfs::make_governor(config.governor);
   return replayer.replay(config.timeline, *governor, config.slice_s);
 }
@@ -125,42 +160,54 @@ DvfsResult run_dvfs(const DvfsConfig& config) {
   return reduce_dvfs_replicas(config, replicas);
 }
 
-std::string canonical_dvfs_key(const DvfsConfig& config) {
-  std::string key = canonical_config_key(config.experiment);
+std::string canonical_governor_key(const dvfs::GovernorConfig& governor) {
   // Raw governor fields at full precision — to_dsl is the %g display form
   // and would collide configs differing past 6 significant digits.
-  key += "|gov=" +
-         std::to_string(static_cast<int>(config.governor.policy)) + ":" +
-         std::to_string(config.governor.fixed_pstate) + ":" +
-         format_exact(config.governor.boost_util) + ":" +
-         format_exact(config.governor.boost_hold_s) + ":" +
-         format_exact(config.governor.low_util) + ":" +
-         format_exact(config.governor.low_hold_s);
-  key += "|slice=" + format_exact(config.slice_s);
-  key += "|pstates=" + std::to_string(config.pstates);
+  return std::to_string(static_cast<int>(governor.policy)) + ":" +
+         std::to_string(governor.fixed_pstate) + ":" +
+         format_exact(governor.boost_util) + ":" +
+         format_exact(governor.boost_hold_s) + ":" +
+         format_exact(governor.low_util) + ":" +
+         format_exact(governor.low_hold_s);
+}
+
+std::string canonical_timeline_key(const dvfs::WorkloadTimeline& timeline) {
   // Short timelines keep the readable phase list; long ones (a burst DSL
   // can legally realise ~2M phases) collapse to phase count + an FNV-1a
-  // hash over the raw phase doubles — no multi-megabyte serialisation is
+  // hash over the raw phase fields — no multi-megabyte serialisation is
   // ever materialised.
-  if (config.timeline.phases().size() <= 64) {
-    key += "|tl=" + dvfs::to_dsl(config.timeline);
-  } else {
-    std::uint64_t hash = 1469598103934665603ull;
-    const auto mix = [&hash](double v) {
-      std::uint64_t bits = 0;
-      static_assert(sizeof bits == sizeof v);
-      std::memcpy(&bits, &v, sizeof bits);
-      for (int b = 0; b < 64; b += 8) {
-        hash ^= (bits >> b) & 0xFFu;
-        hash *= 1099511628211ull;
-      }
-    };
-    for (const auto& phase : config.timeline.phases()) {
-      mix(phase.duration_s);
-      mix(phase.utilization);
+  if (timeline.phases().size() <= 64) {
+    return dvfs::to_dsl(timeline);
+  }
+  std::uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    for (int b = 0; b < 64; b += 8) {
+      hash ^= (bits >> b) & 0xFFu;
+      hash *= 1099511628211ull;
     }
-    key += "|tl#" + std::to_string(config.timeline.phases().size()) + ":" +
-           std::to_string(hash);
+  };
+  for (const auto& phase : timeline.phases()) {
+    mix(phase.duration_s);
+    mix(phase.utilization);
+    mix(static_cast<double>(phase.pattern));
+  }
+  return "#" + std::to_string(timeline.phases().size()) + ":" +
+         std::to_string(hash);
+}
+
+std::string canonical_dvfs_key(const DvfsConfig& config) {
+  std::string key = canonical_config_key(config.experiment);
+  key += "|gov=" + canonical_governor_key(config.governor);
+  key += "|slice=" + format_exact(config.slice_s);
+  key += "|pstates=" + std::to_string(config.pstates);
+  key += "|tl=" + canonical_timeline_key(config.timeline);
+  // Phase patterns contribute their raw scalars; the fragment is absent
+  // when the list is empty, keeping historical keys stable.
+  for (const PatternSpec& pattern : config.phase_patterns) {
+    key += "|pp=" + pattern_raw_key(pattern);
   }
   return key;
 }

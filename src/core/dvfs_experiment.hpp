@@ -9,6 +9,8 @@
 #pragma once
 
 #include <span>
+#include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "gpusim/dvfs/governor.hpp"
@@ -24,6 +26,12 @@ struct DvfsConfig {
   ExperimentConfig experiment;
   gpupower::gpusim::dvfs::GovernorConfig governor;
   gpupower::gpusim::dvfs::WorkloadTimeline timeline;
+  /// Input patterns a timeline phase can reference by index
+  /// (TimelinePhase::pattern / the DSL's `pattern=K` key), so activity —
+  /// not just offered load — varies over time.  Each referenced pattern
+  /// costs one extra activity walk per seed replica.  Empty (and no phase
+  /// referencing one) is bit-identical to the pre-phase-pattern replays.
+  std::vector<PatternSpec> phase_patterns;
   double slice_s = 0.010;  ///< replay time step (10 ms, PowerMizer-ish)
   /// P-state table depth for the device; 1 = boost-only, the "DVFS
   /// disabled" degenerate case that reproduces the static model.
@@ -71,5 +79,36 @@ struct DvfsResult {
 /// Cache key, same contract as canonical_config_key: equal keys produce
 /// bit-identical DvfsResults.
 [[nodiscard]] std::string canonical_dvfs_key(const DvfsConfig& config);
+
+/// Cache-key fragments shared between the DVFS and fleet keys: raw fields
+/// at full precision (the DSL display forms round to ~6 significant
+/// digits and would collide distinct configs).
+[[nodiscard]] std::string canonical_governor_key(
+    const gpupower::gpusim::dvfs::GovernorConfig& governor);
+/// Short timelines keep the readable phase list; long ones (a burst DSL
+/// can legally realise ~2M phases) collapse to phase count + an FNV-1a
+/// hash over the raw phase fields — no multi-megabyte serialisation is
+/// ever materialised.
+[[nodiscard]] std::string canonical_timeline_key(
+    const gpupower::gpusim::dvfs::WorkloadTimeline& timeline);
+
+/// Activity totals for every working point a timeline can reference:
+/// element 0 is the experiment's base pattern, element k+1 is
+/// phase_patterns[k] — the variant table the multi-variant
+/// TimelineReplayer consumes.  Shared by the DVFS and fleet replica
+/// runners (the fleet computes it once per seed and reuses it across
+/// devices, since activity depends on inputs and sampling, not on the
+/// device).  `sim` must be the replica's simulator
+/// (replica_sim_options(experiment, seed_index)) — passed in so the
+/// caller's descriptor and the activity walk cannot drift apart.  Throws
+/// std::invalid_argument when a phase references a pattern index outside
+/// `phase_patterns`.
+[[nodiscard]] std::vector<gpupower::gpusim::ActivityTotals>
+replica_activity_variants(
+    const gpupower::gpusim::GpuSimulator& sim,
+    const ExperimentConfig& experiment,
+    std::span<const PatternSpec> phase_patterns,
+    const gpupower::gpusim::dvfs::WorkloadTimeline& timeline,
+    const gemm::GemmProblem& problem, int seed_index);
 
 }  // namespace gpupower::core

@@ -46,6 +46,9 @@ struct ExperimentJob
 struct DvfsJob : ReplicaJob<DvfsConfig, gpupower::gpusim::dvfs::ReplayResult,
                             DvfsResult> {};
 
+struct FleetJob : ReplicaJob<FleetConfig, gpupower::gpusim::fleet::FleetRun,
+                             FleetResult> {};
+
 struct EngineState {
   EngineOptions options;
   int worker_count = 1;
@@ -63,6 +66,7 @@ struct EngineState {
   mutable std::mutex cache_mutex;
   std::unordered_map<std::string, std::shared_ptr<ExperimentJob>> cache;
   std::unordered_map<std::string, std::shared_ptr<DvfsJob>> dvfs_cache;
+  std::unordered_map<std::string, std::shared_ptr<FleetJob>> fleet_cache;
   EngineStats stats;
   std::atomic<std::uint64_t> replicas_run{0};
 };
@@ -197,6 +201,16 @@ bool DvfsHandle::ready() const { return handle_ready(job_, "DvfsHandle"); }
 
 const DvfsConfig& DvfsHandle::config() const {
   return handle_config(job_, "DvfsHandle");
+}
+
+const FleetResult& FleetHandle::get() const {
+  return handle_get(job_, "FleetHandle");
+}
+
+bool FleetHandle::ready() const { return handle_ready(job_, "FleetHandle"); }
+
+const FleetConfig& FleetHandle::config() const {
+  return handle_config(job_, "FleetHandle");
 }
 
 std::vector<SweepEntry> SweepRun::collect() const {
@@ -355,6 +369,17 @@ DvfsHandle ExperimentEngine::submit_dvfs(const DvfsConfig& config) {
         "ExperimentEngine::submit_dvfs: pstates must be in [1, 16], got " +
         std::to_string(config.pstates));
   }
+  const int max_pattern = config.timeline.max_pattern_index();
+  if (max_pattern >= static_cast<int>(config.phase_patterns.size())) {
+    // Reject the dangling cross-reference eagerly — a worker throwing
+    // later would surface the same message, but only at get() time (and
+    // cache the poisoned job).
+    throw std::invalid_argument(
+        "ExperimentEngine::submit_dvfs: timeline references phase "
+        "pattern " + std::to_string(max_pattern) + " but only " +
+        std::to_string(config.phase_patterns.size()) +
+        " phase pattern(s) are configured");
+  }
   return DvfsHandle(submit_replica_job(
       *state_, state_->dvfs_cache, config,
       [](const DvfsConfig& c) { return canonical_dvfs_key(c); },
@@ -372,6 +397,39 @@ std::vector<DvfsHandle> ExperimentEngine::submit_dvfs_batch(
   handles.reserve(configs.size());
   for (const DvfsConfig& config : configs) {
     handles.push_back(submit_dvfs(config));
+  }
+  return handles;
+}
+
+FleetHandle ExperimentEngine::submit_fleet(const FleetConfig& config) {
+  if (config.experiment.seeds <= 0) {
+    throw std::invalid_argument(
+        "ExperimentEngine::submit_fleet: experiment.seeds must be >= 1, "
+        "got " + std::to_string(config.experiment.seeds));
+  }
+  // Reject malformed cross-references before scheduling: a worker throwing
+  // later would surface the same message, but only at get() time.
+  const std::string problem = validate_fleet_config(config);
+  if (!problem.empty()) {
+    throw std::invalid_argument("ExperimentEngine::submit_fleet: " + problem);
+  }
+  return FleetHandle(submit_replica_job(
+      *state_, state_->fleet_cache, config,
+      [](const FleetConfig& c) { return canonical_fleet_key(c); },
+      config.experiment.seeds,
+      [](const FleetConfig& c, int s) { return run_fleet_seed_replica(c, s); },
+      [](const FleetConfig& c,
+         const std::vector<gpupower::gpusim::fleet::FleetRun>& replicas) {
+        return reduce_fleet_replicas(c, replicas);
+      }));
+}
+
+std::vector<FleetHandle> ExperimentEngine::submit_fleet_batch(
+    const std::vector<FleetConfig>& configs) {
+  std::vector<FleetHandle> handles;
+  handles.reserve(configs.size());
+  for (const FleetConfig& config : configs) {
+    handles.push_back(submit_fleet(config));
   }
   return handles;
 }
@@ -394,6 +452,7 @@ void ExperimentEngine::clear_cache() {
   std::lock_guard lock(state_->cache_mutex);
   state_->cache.clear();
   state_->dvfs_cache.clear();
+  state_->fleet_cache.clear();
 }
 
 }  // namespace gpupower::core

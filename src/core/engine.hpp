@@ -32,6 +32,7 @@
 #include "core/dvfs_experiment.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
+#include "core/fleet_experiment.hpp"
 #include "core/report.hpp"
 
 namespace gpupower::core {
@@ -39,6 +40,7 @@ namespace gpupower::core {
 namespace detail {
 struct ExperimentJob;
 struct DvfsJob;
+struct FleetJob;
 struct EngineState;
 }  // namespace detail
 
@@ -107,6 +109,27 @@ class DvfsHandle {
   std::shared_ptr<detail::DvfsJob> job_;
 };
 
+/// Reference to a submitted fleet experiment — same semantics as the other
+/// handles (shared cached jobs, blocking get(), logic_error on a
+/// default-constructed handle).
+class FleetHandle {
+ public:
+  FleetHandle() = default;
+
+  /// Blocks until the fleet replay finishes; rethrows any worker exception.
+  [[nodiscard]] const FleetResult& get() const;
+  [[nodiscard]] bool ready() const;
+  [[nodiscard]] const FleetConfig& config() const;
+  [[nodiscard]] bool valid() const noexcept { return job_ != nullptr; }
+
+ private:
+  friend class ExperimentEngine;
+  explicit FleetHandle(std::shared_ptr<detail::FleetJob> job)
+      : job_(std::move(job)) {}
+
+  std::shared_ptr<detail::FleetJob> job_;
+};
+
 /// A figure sweep in flight: one handle per sweep point, in sweep order.
 struct SweepRun {
   FigureId figure{};
@@ -155,6 +178,18 @@ class ExperimentEngine {
   /// Enqueues a batch of DVFS experiments; handles are in input order.
   std::vector<DvfsHandle> submit_dvfs_batch(
       const std::vector<DvfsConfig>& configs);
+
+  /// Enqueues one fleet power-capping experiment (never blocks).  Seed
+  /// replicas fan out across the shared worker pool — each replica steps
+  /// its whole fleet in lockstep — and reduce in seed order, so results
+  /// are independent of the worker count.  De-duplicated by
+  /// canonical_fleet_key like submit().  Throws std::invalid_argument on
+  /// seeds <= 0 or a config validate_fleet_config rejects.
+  FleetHandle submit_fleet(const FleetConfig& config);
+
+  /// Enqueues a batch of fleet experiments; handles are in input order.
+  std::vector<FleetHandle> submit_fleet_batch(
+      const std::vector<FleetConfig>& configs);
 
   /// Blocks until every outstanding job has finished.
   void wait_all();

@@ -10,6 +10,7 @@
 #include "core/dvfs_experiment.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
+#include "core/fleet_experiment.hpp"
 
 namespace gpupower::core {
 
@@ -32,5 +33,13 @@ struct SweepEntry {
 /// across-seed summary, and the representative per-slice trace.
 [[nodiscard]] analysis::JsonValue dvfs_to_json(const DvfsConfig& config,
                                                const DvfsResult& result);
+
+/// A fleet power-capping experiment: config (devices, allocator, thermal),
+/// fleet-aggregate summary + per-slice aggregate power series, and one
+/// entry per device with its across-seed summary and representative
+/// per-slice trace (power/pstate/backlog, plus temperature and budget when
+/// the thermal model / cap are on).
+[[nodiscard]] analysis::JsonValue fleet_to_json(const FleetConfig& config,
+                                                const FleetResult& result);
 
 }  // namespace gpupower::core

@@ -95,7 +95,11 @@ class BitPlaneKernel {
   BitPlaneKernel(const gemm::GemmProblem& problem, const gemm::Matrix<T>& a,
                  const gemm::Matrix<T>& b_storage,
                  const gemm::TileConfig& config)
-      : problem_(problem), a_(a), b_(b_storage), config_(config) {}
+      : problem_(problem),
+        a_(a),
+        b_(b_storage),
+        config_(config),
+        ws_(workspace()) {}
 
   /// Panels are packed once per K-range (not once per K-slice): one gather
   /// and one derive pass cover every slice of the range, and the per-slice
@@ -143,6 +147,60 @@ class BitPlaneKernel {
     } else {
       return 0;
     }
+  }
+
+  /// Packed toggle/weight counting over one lane-contiguous word stream:
+  /// XOR-with-previous toggles and Hamming weight of w[t0, t1) chained off
+  /// `prev`, multiple words per 64-bit popcount.  INT8 words (8 significant
+  /// bits) pack four per lane in 16-bit slots; FP16/FP32 words pack two in
+  /// 32-bit slots.  XOR and popcount are bitwise, so disjoint slots never
+  /// interact and the packed sums equal the word-at-a-time sums exactly —
+  /// the parity tests pin this against the observer walk.
+  static void count_stream(const std::uint32_t* w, std::size_t t0,
+                           std::size_t t1, std::uint32_t& prev,
+                           std::uint64_t& toggles,
+                           std::uint64_t& weight) noexcept {
+    std::uint64_t tog = 0;
+    std::uint64_t wt = 0;
+    std::uint32_t p = prev;
+    std::size_t t = t0;
+    if constexpr (kWidth == 8) {
+      for (; t + 4 <= t1; t += 4) {
+        const std::uint64_t pack =
+            static_cast<std::uint64_t>(w[t]) |
+            (static_cast<std::uint64_t>(w[t + 1]) << 16) |
+            (static_cast<std::uint64_t>(w[t + 2]) << 32) |
+            (static_cast<std::uint64_t>(w[t + 3]) << 48);
+        const std::uint64_t shifted =
+            static_cast<std::uint64_t>(p) |
+            (static_cast<std::uint64_t>(w[t]) << 16) |
+            (static_cast<std::uint64_t>(w[t + 1]) << 32) |
+            (static_cast<std::uint64_t>(w[t + 2]) << 48);
+        tog += static_cast<std::uint64_t>(std::popcount(pack ^ shifted));
+        wt += static_cast<std::uint64_t>(std::popcount(pack));
+        p = w[t + 3];
+      }
+    } else {
+      for (; t + 2 <= t1; t += 2) {
+        const std::uint64_t pack =
+            static_cast<std::uint64_t>(w[t]) |
+            (static_cast<std::uint64_t>(w[t + 1]) << 32);
+        const std::uint64_t shifted =
+            static_cast<std::uint64_t>(p) |
+            (static_cast<std::uint64_t>(w[t]) << 32);
+        tog += static_cast<std::uint64_t>(std::popcount(pack ^ shifted));
+        wt += static_cast<std::uint64_t>(std::popcount(pack));
+        p = w[t + 1];
+      }
+    }
+    for (; t < t1; ++t) {
+      tog += static_cast<std::uint64_t>(std::popcount(p ^ w[t]));
+      wt += static_cast<std::uint64_t>(std::popcount(w[t]));
+      p = w[t];
+    }
+    prev = p;
+    toggles += tog;
+    weight += wt;
   }
 
   /// Extracts one operand panel (element bits, accumulator-domain values,
@@ -201,13 +259,13 @@ class BitPlaneKernel {
     }
     for (std::size_t s = 0; s < segs.size(); ++s) {
       const auto [t0, t1] = segs[s];
+      // The segment's first word contributes only weight (its toggle is
+      // the per-pairing boundary against the carried bus state); the
+      // interior is the packed XOR stream.
       std::uint64_t tog = 0, wt = 0;
-      wt += static_cast<std::uint64_t>(std::popcount(panel.bits[base + t0]));
-      for (std::size_t t = t0 + 1; t < t1; ++t) {
-        tog += static_cast<std::uint64_t>(
-            std::popcount(panel.bits[base + t - 1] ^ panel.bits[base + t]));
-        wt += static_cast<std::uint64_t>(std::popcount(panel.bits[base + t]));
-      }
+      std::uint32_t prev = panel.bits[base + t0];
+      wt += static_cast<std::uint64_t>(std::popcount(prev));
+      count_stream(panel.bits.data() + base, t0 + 1, t1, prev, tog, wt);
       panel.seg_tog[lane * segs.size() + s] = tog;
       panel.seg_wt[lane * segs.size() + s] = wt;
     }
@@ -284,12 +342,7 @@ class BitPlaneKernel {
     std::uint64_t tog = 0, wt = 0;
     std::uint32_t prev = last;
     for (std::size_t lane = 0; lane < lanes; ++lane) {
-      const std::uint32_t* w = panel.bits.data() + lane * ks;
-      for (std::size_t t = t0; t < t1; ++t) {
-        tog += static_cast<std::uint64_t>(std::popcount(prev ^ w[t]));
-        wt += static_cast<std::uint64_t>(std::popcount(w[t]));
-        prev = w[t];
-      }
+      count_stream(panel.bits.data() + lane * ks, t0, t1, prev, tog, wt);
     }
     totals_.fetch_toggles += tog;
     totals_.fetch_weight += wt;
@@ -505,17 +558,39 @@ class BitPlaneKernel {
     totals_.acc_toggles += acc_tog;
   }
 
+  /// Panel buffers and slice/segment tables, shared across every kernel
+  /// instance a worker thread constructs.  Seed replicas of one experiment
+  /// share their A/B shapes, so after the first replica every resize() is
+  /// a no-op and the multi-megabyte panels stop churning the allocator —
+  /// the "reuse packed panels across seed replicas" item from the PR 3
+  /// note.  Safe because a kernel walks tiles strictly serially within one
+  /// estimate_activity call and every pack_range rewrites the full index
+  /// range it later reads (parity-pinned); distinct threads get distinct
+  /// workspaces.
+  struct Workspace {
+    Panel a_panel;
+    Panel b_panel;
+    std::vector<SliceInfo> slices;
+    std::vector<std::pair<std::size_t, std::size_t>> segs;
+  };
+
+  static Workspace& workspace() {
+    thread_local Workspace ws;
+    return ws;
+  }
+
   const gemm::GemmProblem& problem_;
   const gemm::Matrix<T>& a_;
   const gemm::Matrix<T>& b_;
   const gemm::TileConfig& config_;
+  Workspace& ws_;
 
   ActivityTotals totals_;
   PortState port_;
-  Panel a_panel_;
-  Panel b_panel_;
-  std::vector<SliceInfo> slices_;
-  std::vector<std::pair<std::size_t, std::size_t>> segs_;
+  Panel& a_panel_ = ws_.a_panel;
+  Panel& b_panel_ = ws_.b_panel;
+  std::vector<SliceInfo>& slices_ = ws_.slices;
+  std::vector<std::pair<std::size_t, std::size_t>>& segs_ = ws_.segs;
 };
 
 template <typename T, typename Walker>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace gpupower::gpusim::dvfs {
@@ -36,30 +37,66 @@ TimelineReplayer::TimelineReplayer(const DeviceDescriptor& dev,
                                    gpupower::numeric::DType dtype,
                                    const ActivityTotals& activity,
                                    const PStateTable& table)
+    : TimelineReplayer(dev, problem, dtype,
+                       std::span<const ActivityTotals>(&activity, 1), table) {}
+
+TimelineReplayer::TimelineReplayer(const DeviceDescriptor& dev,
+                                   const gemm::GemmProblem& problem,
+                                   gpupower::numeric::DType dtype,
+                                   std::span<const ActivityTotals> variants,
+                                   const PStateTable& table)
     : dev_(dev), table_(table) {
+  if (variants.empty()) {
+    // An empty variant table would leave every slice with nothing to
+    // price; fail loudly instead of indexing past it later.
+    throw std::invalid_argument(
+        "TimelineReplayer: at least one activity variant is required");
+  }
   const PowerCalculator calc(dev_);
-  reports_.reserve(table_.size());
-  for (const PState& state : table_.states()) {
-    reports_.push_back(
-        calc.evaluate_at(problem, dtype, activity, state.operating_point()));
+  reports_.reserve(variants.size());
+  for (const ActivityTotals& activity : variants) {
+    std::vector<PowerReport> reports;
+    reports.reserve(table_.size());
+    for (const PState& state : table_.states()) {
+      reports.push_back(
+          calc.evaluate_at(problem, dtype, activity, state.operating_point()));
+    }
+    reports_.push_back(std::move(reports));
   }
 }
 
 ReplayResult TimelineReplayer::replay(const WorkloadTimeline& timeline,
                                       Governor& governor, double slice_s,
                                       bool drain_backlog) const {
-  ReplayResult result;
-  if (slice_s <= 0.0 || table_.size() == 0) return result;
-  result.slice_s = slice_s;
-  governor.reset();
+  if (slice_s <= 0.0 || table_.size() == 0) return ReplayResult{};
+  DeviceCursor cursor(*this, timeline, governor, slice_s, drain_backlog);
+  while (cursor.plan()) cursor.step();
+  return cursor.finish();
+}
+
+DeviceCursor::DeviceCursor(const TimelineReplayer& replayer,
+                           const WorkloadTimeline& timeline,
+                           Governor& governor, double slice_s,
+                           bool drain_backlog)
+    : replayer_(replayer),
+      timeline_(timeline),
+      governor_(governor),
+      slice_s_(slice_s),
+      drain_backlog_(drain_backlog) {
+  result_.slice_s = slice_s;
+  governor_.reset();
 
   // Horizon: the timeline plus, when draining, enough slack to empty any
   // backlog even at the slowest state's *effective* (post-TDP-throttle)
   // clock — bounded, so a pathological governor cannot spin the replay
-  // forever; `truncated` reports the backstop firing.
+  // forever; `truncated` reports the backstop firing.  External clamps
+  // (budget, thermal) only move the machine within the table, so the
+  // table-wide slowest rate still bounds a capped fleet's drain.
   double slowest_frac = 1.0;
-  for (const PowerReport& report : reports_) {
-    slowest_frac = std::min(slowest_frac, report.effective_clock_frac);
+  for (std::size_t v = 0; v < replayer_.variant_count(); ++v) {
+    for (const PowerReport& report : replayer_.pstate_reports(v)) {
+      slowest_frac = std::min(slowest_frac, report.effective_clock_frac);
+    }
   }
   // Only guard against zero: a deep P-state under a hard TDP clamp can
   // legitimately sit far below 0.05 effective, and the horizon must cover
@@ -67,112 +104,206 @@ ReplayResult TimelineReplayer::replay(const WorkloadTimeline& timeline,
   slowest_frac = std::max(slowest_frac, 1e-4);
   const double horizon =
       drain_backlog
-          ? timeline.duration_s() * (1.0 + 1.0 / slowest_frac) + slice_s
-          : timeline.duration_s();
-  const auto max_slices = std::min(
-      static_cast<std::size_t>(std::ceil(horizon / slice_s + 0.5)),
+          ? timeline_.duration_s() * (1.0 + 1.0 / slowest_frac) + slice_s_
+          : timeline_.duration_s();
+  max_slices_ = std::min(
+      static_cast<std::size_t>(std::ceil(horizon / slice_s_ + 0.5)),
       kMaxReplaySlices);
-  result.slices.reserve(std::min(max_slices, std::size_t{1} << 20));
-
-  double backlog_s = 0.0;
-  double last_util = 0.0;
-  int pstate = 0;
-  double backlog_time_integral = 0.0;
+  result_.slices.reserve(std::min(max_slices_, std::size_t{1} << 20));
 
   // Per-state effective serve rates for the governors that reason about
   // throughput (the oracle): what each state actually serves after the
-  // TDP clamp, not its nominal clock.
-  std::vector<double> effective_clock;
-  effective_clock.reserve(reports_.size());
-  for (const PowerReport& report : reports_) {
-    effective_clock.push_back(report.effective_clock_frac);
+  // TDP clamp, not its nominal clock.  Base-variant rates — the governor
+  // models the machine, not the per-phase inputs.
+  effective_clock_.reserve(replayer_.pstate_reports().size());
+  for (const PowerReport& report : replayer_.pstate_reports()) {
+    effective_clock_.push_back(report.effective_clock_frac);
+  }
+}
+
+bool DeviceCursor::plan() {
+  if (index_ >= max_slices_) return false;
+  const double t0 = static_cast<double>(index_) * slice_s_;
+  const bool in_timeline = t0 < timeline_.duration_s();
+  if (!in_timeline && (!drain_backlog_ || backlog_s_ <= kBacklogEps)) {
+    return false;
   }
 
-  for (std::size_t i = 0; i < max_slices; ++i) {
-    const double t0 = static_cast<double>(i) * slice_s;
-    const bool in_timeline = t0 < timeline.duration_s();
-    if (!in_timeline && (!drain_backlog || backlog_s <= kBacklogEps)) break;
+  // Piecewise-constant timelines are sampled at the midpoint of the
+  // slice's in-timeline window, so phase boundaries landing exactly on
+  // slice edges stay unambiguous and a final partial slice (duration not
+  // a multiple of slice_s — the norm for trace-driven replay) still sees
+  // its load instead of sampling past the end.
+  planned_covered_s_ =
+      in_timeline ? std::min(slice_s_, timeline_.duration_s() - t0) : 0.0;
+  planned_offered_ =
+      planned_covered_s_ > 0.0
+          ? timeline_.offered_at(t0 + 0.5 * planned_covered_s_)
+          : 0.0;
 
-    // Piecewise-constant timelines are sampled at the midpoint of the
-    // slice's in-timeline window, so phase boundaries landing exactly on
-    // slice edges stay unambiguous and a final partial slice (duration not
-    // a multiple of slice_s — the norm for trace-driven replay) still sees
-    // its load instead of sampling past the end.
-    const double covered_s =
-        in_timeline ? std::min(slice_s, timeline.duration_s() - t0) : 0.0;
-    const double offered =
-        covered_s > 0.0 ? timeline.offered_at(t0 + 0.5 * covered_s) : 0.0;
-
-    GovernorInput input;
-    input.t_s = t0;
-    input.slice_s = slice_s;
-    input.utilization = last_util;
-    input.offered_next = offered;
-    input.backlog_s = backlog_s;
-    input.pstate = pstate;
-    input.effective_clock = effective_clock;
-    const int next = table_.clamp_index(governor.decide(input, table_));
-    // The first decision seeds the machine (the device "boots" into the
-    // governor's choice); only subsequent changes are transitions, so a
-    // pinned fixed(p) governor reports zero.
-    if (i > 0 && next != pstate) ++result.transitions;
-    pstate = next;
-
-    const PowerReport& report =
-        reports_[static_cast<std::size_t>(pstate)];
-    const double eff_clock = std::max(report.effective_clock_frac, 1e-6);
-
-    // Work arrives only over the slice's in-timeline window (equal to
-    // slice_s everywhere except a trailing partial slice).
-    const double arriving = offered * covered_s;  // boost-seconds of work
-    const double wanted = backlog_s + arriving;
-    // Busy wall time first: a saturated slice is exactly slice_s, so the
-    // realized utilization is exactly 1.0 (and the slice's power exactly
-    // the steady-state total — the degenerate-case bit-identicality).
-    const double busy = std::min(slice_s, wanted / eff_clock);
-    const double served = std::min(wanted, busy * eff_clock);
-    backlog_s = std::max(0.0, wanted - served);
-    const double util = busy / slice_s;
-
-    // Idle fraction of the slice sits at the *parked state's* idle floor
-    // (its core rail already at the lowered voltage), busy fraction at the
-    // state's active steady-state power.
-    const double power_w =
-        report.total_w * util + report.idle_w * (1.0 - util);
-
-    ReplaySlice slice;
-    slice.t_s = t0;
-    slice.offered = offered;
-    slice.utilization = util;
-    slice.pstate = pstate;
-    slice.clock_frac = report.effective_clock_frac;
-    slice.power_w = power_w;
-    slice.backlog_s = backlog_s;
-    result.slices.push_back(slice);
-
-    result.energy_j += power_w * slice_s;
-    result.peak_power_w = std::max(result.peak_power_w, power_w);
-    result.work_offered_s += arriving;
-    result.work_completed_s += served;
-    if (served > 0.0) result.completion_s = t0 + busy;
-    result.backlog_max_s = std::max(result.backlog_max_s, backlog_s);
-    backlog_time_integral += backlog_s * slice_s;
-    last_util = util;
+  // The slice's activity variant: the phase's pattern override when the
+  // midpoint lands on one (0 is the base working point).  Drain-tail
+  // slices past the timeline charge the base variant.
+  planned_variant_ = 0;
+  if (planned_covered_s_ > 0.0) {
+    const int pattern =
+        timeline_.pattern_at(t0 + 0.5 * planned_covered_s_);
+    // Out-of-range overrides (config validation should have caught them)
+    // fall back to the base variant rather than read past the table.
+    if (pattern >= 0 &&
+        static_cast<std::size_t>(pattern) + 1 < replayer_.variant_count()) {
+      planned_variant_ = static_cast<std::size_t>(pattern) + 1;
+    }
   }
 
+  GovernorInput input;
+  input.t_s = t0;
+  input.slice_s = slice_s_;
+  input.utilization = last_util_;
+  input.offered_next = planned_offered_;
+  input.backlog_s = backlog_s_;
+  input.pstate = pstate_;
+  input.effective_clock = effective_clock_;
+  planned_state_ =
+      replayer_.table_.clamp_index(governor_.decide(input, replayer_.table_));
+  return true;
+}
+
+double DeviceCursor::predicted_power_w(int state,
+                                       double temperature_c) const {
+  const auto& reports = replayer_.pstate_reports(planned_variant_);
+  const PowerReport& report = reports[static_cast<std::size_t>(state)];
+  const double eff_clock = std::max(report.effective_clock_frac, 1e-6);
+  const double wanted =
+      backlog_s_ + planned_offered_ * planned_covered_s_;
+  const double busy = std::min(slice_s_, wanted / eff_clock);
+  const double util = busy / slice_s_;
+  if (temperature_c >= 0.0) {
+    const double leakage_w =
+        report.idle_w * replayer_.dev_.leakage_per_c *
+        std::max(0.0, temperature_c - kLeakageRefC);
+    return (report.total_w - report.leakage_w) * util +
+           report.idle_w * (1.0 - util) + leakage_w;
+  }
+  return report.total_w * util + report.idle_w * (1.0 - util);
+}
+
+double DeviceCursor::demand_w(double temperature_c) const noexcept {
+  return predicted_power_w(planned_state_, temperature_c);
+}
+
+double DeviceCursor::floor_w(double temperature_c) const noexcept {
+  // The deepest state's predicted draw for the planned slice: the least
+  // the device can physically draw while it still serves its queue — a
+  // zero-budget grant cannot push it below this.
+  const auto& reports = replayer_.pstate_reports(planned_variant_);
+  return predicted_power_w(static_cast<int>(reports.size()) - 1,
+                           temperature_c);
+}
+
+double DeviceCursor::pending_work_s() const noexcept {
+  return backlog_s_ + planned_offered_ * planned_covered_s_;
+}
+
+double DeviceCursor::efficiency_s_per_j() const noexcept {
+  const auto& reports = replayer_.pstate_reports(planned_variant_);
+  const PowerReport& report =
+      reports[static_cast<std::size_t>(planned_state_)];
+  return report.effective_clock_frac / std::max(report.total_w, 1e-9);
+}
+
+void DeviceCursor::step(const StepConstraint& constraint) {
+  const auto& reports = replayer_.pstate_reports(planned_variant_);
+
+  // Constraint clamps deepen the governor's choice, never boost it: first
+  // the thermal throttle floor, then the power budget (deepen until the
+  // state's steady-state active power fits, or the table runs out — the
+  // deepest state is the physical floor a starved budget cannot push
+  // below).
+  int next = planned_state_;
+  if (constraint.min_pstate > next) {
+    next = replayer_.table_.clamp_index(constraint.min_pstate);
+  }
+  while (static_cast<std::size_t>(next) + 1 < reports.size() &&
+         predicted_power_w(next, constraint.temperature_c) >
+             constraint.budget_w) {
+    ++next;
+  }
+
+  // The first decision seeds the machine (the device "boots" into the
+  // governor's choice); only subsequent changes are transitions, so a
+  // pinned fixed(p) governor reports zero.
+  if (index_ > 0 && next != pstate_) ++result_.transitions;
+  pstate_ = next;
+
+  const PowerReport& report = reports[static_cast<std::size_t>(pstate_)];
+  const double eff_clock = std::max(report.effective_clock_frac, 1e-6);
+
+  // Work arrives only over the slice's in-timeline window (equal to
+  // slice_s everywhere except a trailing partial slice).
+  const double arriving =
+      planned_offered_ * planned_covered_s_;  // boost-seconds of work
+  const double wanted = backlog_s_ + arriving;
+  // Busy wall time first: a saturated slice is exactly slice_s, so the
+  // realized utilization is exactly 1.0 (and the slice's power exactly
+  // the steady-state total — the degenerate-case bit-identicality).
+  const double busy = std::min(slice_s_, wanted / eff_clock);
+  const double served = std::min(wanted, busy * eff_clock);
+  backlog_s_ = std::max(0.0, wanted - served);
+  const double util = busy / slice_s_;
+
+  // Idle fraction of the slice sits at the *parked state's* idle floor
+  // (its core rail already at the lowered voltage), busy fraction at the
+  // state's active steady-state power.  With a threaded die temperature
+  // the leakage term comes from that temperature (RC thermal model)
+  // instead of the per-state steady-state fixed point; without one the
+  // baked totals apply unchanged — the bit-identical historical path.
+  double power_w;
+  if (constraint.temperature_c >= 0.0) {
+    const double leakage_w =
+        report.idle_w * replayer_.dev_.leakage_per_c *
+        std::max(0.0, constraint.temperature_c - kLeakageRefC);
+    power_w = (report.total_w - report.leakage_w) * util +
+              report.idle_w * (1.0 - util) + leakage_w;
+  } else {
+    power_w = report.total_w * util + report.idle_w * (1.0 - util);
+  }
+
+  const double t0 = static_cast<double>(index_) * slice_s_;
+  ReplaySlice slice;
+  slice.t_s = t0;
+  slice.offered = planned_offered_;
+  slice.utilization = util;
+  slice.pstate = pstate_;
+  slice.clock_frac = report.effective_clock_frac;
+  slice.power_w = power_w;
+  slice.backlog_s = backlog_s_;
+  result_.slices.push_back(slice);
+
+  result_.energy_j += power_w * slice_s_;
+  result_.peak_power_w = std::max(result_.peak_power_w, power_w);
+  result_.work_offered_s += arriving;
+  result_.work_completed_s += served;
+  if (served > 0.0) result_.completion_s = t0 + busy;
+  result_.backlog_max_s = std::max(result_.backlog_max_s, backlog_s_);
+  backlog_time_integral_ += backlog_s_ * slice_s_;
+  last_util_ = util;
+  ++index_;
+}
+
+ReplayResult DeviceCursor::finish() {
   // The slice cap fired with work still queued: the summary under-counts
   // the tail, so say so instead of reporting a clean completion.
-  result.truncated =
-      drain_backlog && backlog_s > kBacklogEps &&
-      result.slices.size() >= max_slices;
+  result_.truncated = drain_backlog_ && backlog_s_ > kBacklogEps &&
+                      result_.slices.size() >= max_slices_;
 
-  result.duration_s =
-      static_cast<double>(result.slices.size()) * slice_s;
-  if (result.duration_s > 0.0) {
-    result.avg_power_w = result.energy_j / result.duration_s;
-    result.mean_backlog_s = backlog_time_integral / result.duration_s;
+  result_.duration_s =
+      static_cast<double>(result_.slices.size()) * slice_s_;
+  if (result_.duration_s > 0.0) {
+    result_.avg_power_w = result_.energy_j / result_.duration_s;
+    result_.mean_backlog_s = backlog_time_integral_ / result_.duration_s;
   }
-  return result;
+  return std::move(result_);
 }
 
 }  // namespace gpupower::gpusim::dvfs

@@ -7,11 +7,16 @@
 // Per slice:
 //   1. the governor picks the next P-state from the last slice's realized
 //      utilization (the oracle additionally sees the upcoming offered load),
-//   2. offered work arrives (timeline), queued work drains at the state's
+//   2. external constraints clamp the choice (a fleet power budget, a
+//      thermal throttle) — unconstrained replays pass the defaults, which
+//      clamp nothing,
+//   3. offered work arrives (timeline), queued work drains at the state's
 //      effective clock (TDP throttling included via evaluate_at),
-//   3. power is the busy-weighted blend of the state's active steady-state
+//   4. power is the busy-weighted blend of the state's active steady-state
 //      power and the device's idle floor; energy integrates power over the
-//      slice.
+//      slice.  When the caller threads a die temperature through the slices
+//      (fleet thermal model), the slice's leakage comes from that
+//      temperature instead of the baked steady-state fixed point.
 //
 // With a one-state (boost-only) table, a fixed(0) governor, and a saturating
 // timeline, every slice reproduces the static model's total_w bit-identically
@@ -19,10 +24,16 @@
 //
 // The replay is a deterministic, single-threaded state machine: identical
 // inputs give identical traces regardless of how many engine workers run
-// other seeds concurrently.
+// other seeds concurrently.  DeviceCursor exposes the same machine one
+// slice at a time, which is how the fleet simulator steps N devices in
+// lockstep under a shared power cap; TimelineReplayer::replay() is exactly
+// "plan + step until done" on one cursor, so a fleet of one unconstrained
+// device is bit-identical to the single-device replay by construction.
 #pragma once
 
 #include <cstddef>
+#include <limits>
+#include <span>
 #include <vector>
 
 #include "gemm/problem.hpp"
@@ -68,6 +79,24 @@ struct ReplayResult {
   [[nodiscard]] telemetry::PowerTrace power_trace() const;
 };
 
+/// External per-slice constraints on the state machine.  The defaults clamp
+/// nothing — an unconstrained step is bit-identical to the historical
+/// single-device replay.
+struct StepConstraint {
+  /// Thermal throttle: the realized state index is at least this (deeper =
+  /// larger index), regardless of what the governor wanted.
+  int min_pstate = 0;
+  /// Fleet power budget: the realized state deepens until its steady-state
+  /// active power fits the budget (or the table's deepest state is
+  /// reached — the physical floor may still exceed a starved budget, which
+  /// the fleet reports as an over-cap slice).
+  double budget_w = std::numeric_limits<double>::infinity();
+  /// Die temperature threaded across slices (fleet RC thermal model).
+  /// >= 0: the slice's leakage is computed from this temperature instead
+  /// of the per-state steady-state fixed point baked into the reports.
+  double temperature_c = -1.0;
+};
+
 class TimelineReplayer {
  public:
   /// Precomputes the steady-state power report for every P-state in the
@@ -76,6 +105,16 @@ class TimelineReplayer {
                    const gemm::GemmProblem& problem,
                    gpupower::numeric::DType dtype,
                    const ActivityTotals& activity, const PStateTable& table);
+
+  /// Multi-variant form: `variants[0]` is the base working point, further
+  /// entries are the per-phase pattern overrides a timeline can reference
+  /// (phase pattern index k selects variants[k + 1]).  One evaluate_at per
+  /// (variant, state).
+  TimelineReplayer(const DeviceDescriptor& dev,
+                   const gemm::GemmProblem& problem,
+                   gpupower::numeric::DType dtype,
+                   std::span<const ActivityTotals> variants,
+                   const PStateTable& table);
 
   /// Steps the governor through the timeline.  When `drain_backlog` is set
   /// the replay keeps running past the timeline's end (offered load 0)
@@ -88,16 +127,125 @@ class TimelineReplayer {
                                     bool drain_backlog = true) const;
 
   [[nodiscard]] const PStateTable& table() const noexcept { return table_; }
-  /// Steady-state report per P-state (index-aligned with the table).
+  [[nodiscard]] const DeviceDescriptor& descriptor() const noexcept {
+    return dev_;
+  }
+  /// Steady-state report per P-state for the base working point
+  /// (index-aligned with the table).
   [[nodiscard]] const std::vector<PowerReport>& pstate_reports()
       const noexcept {
-    return reports_;
+    return reports_.front();
+  }
+  /// Reports for one activity variant (0 = base, k+1 = phase pattern k).
+  [[nodiscard]] const std::vector<PowerReport>& pstate_reports(
+      std::size_t variant) const noexcept {
+    return reports_[variant];
+  }
+  [[nodiscard]] std::size_t variant_count() const noexcept {
+    return reports_.size();
   }
 
  private:
+  friend class DeviceCursor;
   DeviceDescriptor dev_;
   PStateTable table_;
-  std::vector<PowerReport> reports_;
+  /// [variant][pstate] steady-state reports; variant 0 is the base.
+  std::vector<std::vector<PowerReport>> reports_;
+};
+
+/// One device's replay state machine, advanced one slice at a time:
+///
+///   DeviceCursor cursor(replayer, timeline, governor, slice_s, true);
+///   while (cursor.plan()) cursor.step(constraint);
+///   ReplayResult result = cursor.finish();
+///
+/// plan() samples the timeline and runs the governor for the upcoming
+/// slice (so a fleet allocator can read the device's unconstrained power
+/// demand before committing a budget); step() applies the constraints,
+/// serves work, charges power, and records the slice.  Every plan() must
+/// be paired with exactly one step() before the next plan().
+class DeviceCursor {
+ public:
+  /// Borrows everything: replayer, timeline, and governor must outlive the
+  /// cursor.  Resets the governor.
+  DeviceCursor(const TimelineReplayer& replayer,
+               const WorkloadTimeline& timeline, Governor& governor,
+               double slice_s, bool drain_backlog = true);
+
+  /// Prepares the next slice: samples offered load and asks the governor
+  /// for its (unconstrained) P-state choice.  Returns false when the
+  /// device is done — timeline exhausted and, when draining, backlog empty
+  /// — or the slice backstop fired.
+  [[nodiscard]] bool plan();
+
+  /// Executes the planned slice under `constraint`.
+  void step(const StepConstraint& constraint = {});
+
+  /// Finalizes the averages and returns the accumulated result.  The
+  /// cursor is spent afterwards.
+  [[nodiscard]] ReplayResult finish();
+
+  // --- planned-slice observers (valid after a true plan()) ----------------
+  /// State the governor chose before any constraint.
+  [[nodiscard]] int desired_pstate() const noexcept { return planned_state_; }
+  /// Exact power the planned slice would draw at the desired state — the
+  /// busy-weighted blend step() will charge, so an idle device demands its
+  /// floor, not its worst case.  Pass the device's threaded die
+  /// temperature when the thermal model is on (the same value the step's
+  /// constraint will carry) so demand and the budget clamp price leakage
+  /// identically; < 0 uses the baked steady-state leakage.  This is the
+  /// unconstrained demand an allocator divides the shared cap against.
+  [[nodiscard]] double demand_w(double temperature_c = -1.0) const noexcept;
+  /// The least power the device can draw this slice — the deepest state's
+  /// predicted draw while it serves its queue.  A budget below this is
+  /// physically unenforceable (the fleet reports such slices as over-cap).
+  /// Same temperature contract as demand_w().
+  [[nodiscard]] double floor_w(double temperature_c = -1.0) const noexcept;
+  /// Queued plus newly arriving work for the planned slice, boost-seconds
+  /// (what the greedy-oracle allocator provisions against).
+  [[nodiscard]] double pending_work_s() const noexcept;
+  /// Served boost-seconds per joule at the desired state — the greedy
+  /// oracle fills efficient devices first.
+  [[nodiscard]] double efficiency_s_per_j() const noexcept;
+
+  // --- running-state observers --------------------------------------------
+  [[nodiscard]] int pstate() const noexcept { return pstate_; }
+  [[nodiscard]] double backlog_s() const noexcept { return backlog_s_; }
+  [[nodiscard]] double t_s() const noexcept {
+    return static_cast<double>(index_) * slice_s_;
+  }
+  [[nodiscard]] const ReplayResult& partial() const noexcept {
+    return result_;
+  }
+
+ private:
+  /// Power the planned slice draws at `state`: exactly the value step()
+  /// would charge (same busy/util arithmetic, same leakage source), which
+  /// is what makes the budget clamp exact — a granted budget is violated
+  /// only when even the deepest state's draw exceeds it.
+  [[nodiscard]] double predicted_power_w(int state,
+                                         double temperature_c) const;
+
+  const TimelineReplayer& replayer_;
+  const WorkloadTimeline& timeline_;
+  Governor& governor_;
+  double slice_s_;
+  bool drain_backlog_;
+  std::size_t max_slices_ = 0;
+  std::vector<double> effective_clock_;  ///< base variant, for governors
+
+  ReplayResult result_;
+  std::size_t index_ = 0;
+  double backlog_s_ = 0.0;
+  double last_util_ = 0.0;
+  int pstate_ = 0;
+  double backlog_time_integral_ = 0.0;
+
+  // Planned-slice scratch (plan() fills, step() consumes).
+  double planned_offered_ = 0.0;
+  double planned_covered_s_ = 0.0;
+  int planned_state_ = 0;
+  std::size_t planned_variant_ = 0;
 };
 
 }  // namespace gpupower::gpusim::dvfs

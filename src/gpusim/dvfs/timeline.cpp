@@ -24,15 +24,16 @@ double clamp_util(double u) { return std::clamp(u, 0.0, 1.0); }
 WorkloadTimeline::WorkloadTimeline(std::vector<TimelinePhase> phases) {
   for (const TimelinePhase& phase : phases) {
     if (phase.duration_s <= 0.0) continue;
-    append(constant(phase.utilization, phase.duration_s));
+    append(constant(phase.utilization, phase.duration_s, phase.pattern));
   }
 }
 
 WorkloadTimeline WorkloadTimeline::constant(double utilization,
-                                            double duration_s) {
+                                            double duration_s, int pattern) {
   WorkloadTimeline timeline;
   if (duration_s > 0.0) {
-    timeline.phases_.push_back({duration_s, clamp_util(utilization)});
+    timeline.phases_.push_back(
+        {duration_s, clamp_util(utilization), std::max(pattern, -1)});
     timeline.duration_s_ = duration_s;
     timeline.ends_.push_back(duration_s);
   }
@@ -102,9 +103,12 @@ WorkloadTimeline WorkloadTimeline::from_trace(
 WorkloadTimeline& WorkloadTimeline::append(const WorkloadTimeline& other) {
   for (const TimelinePhase& phase : other.phases_) {
     // Merge equal-utilization neighbours so trace round trips through
-    // to_util_trace/from_trace compare structurally equal.
+    // to_util_trace/from_trace compare structurally equal.  Phases carrying
+    // different pattern overrides never merge — they are different inputs
+    // even at equal load.
     if (!phases_.empty() &&
-        phases_.back().utilization == phase.utilization) {
+        phases_.back().utilization == phase.utilization &&
+        phases_.back().pattern == phase.pattern) {
       phases_.back().duration_s += phase.duration_s;
       duration_s_ += phase.duration_s;
       ends_.back() = duration_s_;
@@ -122,6 +126,21 @@ double WorkloadTimeline::offered_at(double t_s) const noexcept {
   const auto it = std::upper_bound(ends_.begin(), ends_.end(), t_s);
   const std::size_t idx = static_cast<std::size_t>(it - ends_.begin());
   return idx < phases_.size() ? phases_[idx].utilization : 0.0;
+}
+
+int WorkloadTimeline::pattern_at(double t_s) const noexcept {
+  if (t_s < 0.0 || phases_.empty() || t_s >= duration_s_) return -1;
+  const auto it = std::upper_bound(ends_.begin(), ends_.end(), t_s);
+  const std::size_t idx = static_cast<std::size_t>(it - ends_.begin());
+  return idx < phases_.size() ? phases_[idx].pattern : -1;
+}
+
+int WorkloadTimeline::max_pattern_index() const noexcept {
+  int max_index = -1;
+  for (const TimelinePhase& phase : phases_) {
+    max_index = std::max(max_index, phase.pattern);
+  }
+  return max_index;
 }
 
 telemetry::UtilTrace WorkloadTimeline::to_util_trace(double period_s) const {
@@ -191,13 +210,13 @@ TimelineParseResult parse_timeline(std::string_view text) {
     WorkloadTimeline stage;
     std::string bad;
     if (name == "constant") {
-      bad = known({"util", "dur"});
+      bad = known({"util", "dur", "pattern"});
       stage = WorkloadTimeline::constant(get("util", 1.0), get("dur", 1.0));
     } else if (name == "idle") {
-      bad = known({"dur"});
+      bad = known({"dur", "pattern"});
       stage = WorkloadTimeline::idle(get("dur", 1.0));
     } else if (name == "burst") {
-      bad = known({"period", "duty", "high", "low", "dur"});
+      bad = known({"period", "duty", "high", "low", "dur", "pattern"});
       stage = WorkloadTimeline::burst(get("period", 0.2), get("duty", 0.3),
                                       get("high", 1.0), get("low", 0.0),
                                       get("dur", 1.0));
@@ -208,7 +227,7 @@ TimelineParseResult parse_timeline(std::string_view text) {
                     "(more than 1e6 periods)");
       }
     } else if (name == "ramp") {
-      bad = known({"from", "to", "steps", "dur"});
+      bad = known({"from", "to", "steps", "dur", "pattern"});
       // Clamp in the double domain first: casting an unrepresentable
       // double to int is UB, and user DSL input reaches here directly.
       const int steps =
@@ -224,6 +243,21 @@ TimelineParseResult parse_timeline(std::string_view text) {
     }
     if (stage.empty()) {
       return fail(name + "() produced an empty stage (check dur/period)");
+    }
+
+    // Every stage accepts pattern=K: an index into the owning config's
+    // phase-pattern list, stamped onto each phase the stage realises.
+    const double pattern_value = get("pattern", -1.0);
+    if (pattern_value != -1.0) {
+      if (!(pattern_value >= 0.0 && pattern_value <= 255.0) ||
+          pattern_value != std::floor(pattern_value)) {
+        return fail("pattern must be an integer index in [0, 255]");
+      }
+      std::vector<TimelinePhase> stamped = stage.phases();
+      for (TimelinePhase& phase : stamped) {
+        phase.pattern = static_cast<int>(pattern_value);
+      }
+      stage = WorkloadTimeline(std::move(stamped));
     }
 
     result.timeline.append(stage);
@@ -244,7 +278,12 @@ std::string to_dsl(const WorkloadTimeline& timeline) {
   for (const TimelinePhase& phase : timeline.phases()) {
     if (!out.empty()) out += " | ";
     out += "constant(util=" + format_exact(phase.utilization) +
-           ", dur=" + format_exact(phase.duration_s) + ")";
+           ", dur=" + format_exact(phase.duration_s);
+    // Pattern-free phases keep the historical form (stable cache keys).
+    if (phase.pattern >= 0) {
+      out += ", pattern=" + std::to_string(phase.pattern);
+    }
+    out += ")";
   }
   if (out.empty()) out = "idle(dur=0)";
   return out;

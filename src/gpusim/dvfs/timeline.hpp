@@ -28,6 +28,12 @@ namespace gpupower::gpusim::dvfs {
 struct TimelinePhase {
   double duration_s = 0.0;
   double utilization = 0.0;  ///< offered load in [0, 1] of boost capacity
+  /// Input-pattern override for the phase: an index into the owning
+  /// config's phase-pattern list (DvfsConfig::phase_patterns), so activity
+  /// — not just load — varies over time.  -1 (the default) keeps the
+  /// experiment's base pattern, which is bit-identical to the behaviour
+  /// before phases carried patterns.
+  int pattern = -1;
 };
 
 class WorkloadTimeline {
@@ -37,7 +43,8 @@ class WorkloadTimeline {
 
   // --- factories ----------------------------------------------------------
   [[nodiscard]] static WorkloadTimeline constant(double utilization,
-                                                 double duration_s);
+                                                 double duration_s,
+                                                 int pattern = -1);
   [[nodiscard]] static WorkloadTimeline idle(double duration_s);
   /// Square wave: `duty` of each period at `high`, the rest at `low`.
   [[nodiscard]] static WorkloadTimeline burst(double period_s, double duty,
@@ -62,6 +69,15 @@ class WorkloadTimeline {
 
   /// Offered load at time t (0 past the end).
   [[nodiscard]] double offered_at(double t_s) const noexcept;
+
+  /// Phase-pattern index at time t (-1 past the end or when the phase
+  /// carries no override).
+  [[nodiscard]] int pattern_at(double t_s) const noexcept;
+
+  /// Largest phase-pattern index any phase references, -1 when none do —
+  /// the replica runner sizes its activity-variant table from this, and a
+  /// config validates it against its phase-pattern list.
+  [[nodiscard]] int max_pattern_index() const noexcept;
 
   /// Samples the schedule every `period_s` (window-end timestamps), the
   /// shape from_trace inverts: aligned periods round-trip exactly.

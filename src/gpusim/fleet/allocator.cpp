@@ -1,0 +1,173 @@
+#include "gpusim/fleet/allocator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace gpupower::gpusim::fleet {
+namespace {
+
+std::size_t active_count(std::span<const DeviceDemand> demands) {
+  std::size_t count = 0;
+  for (const DeviceDemand& demand : demands) {
+    if (demand.active) ++count;
+  }
+  return count;
+}
+
+/// Demand-blind equal split: cap / N for every active device.  Grants can
+/// exceed a device's demand (the unused headroom is simply not drawn);
+/// they still sum to exactly the cap.
+class UniformAllocator final : public PowerAllocator {
+ public:
+  void allocate(std::span<const DeviceDemand> demands, double cap_w,
+                std::span<double> budgets) override {
+    const std::size_t n = active_count(demands);
+    const double share =
+        n > 0 ? cap_w / static_cast<double>(n) : cap_w;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      budgets[i] = demands[i].active ? share : 0.0;
+    }
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "uniform";
+  }
+};
+
+/// Shares scale with demand: when total demand fits, everyone gets what it
+/// asked for; otherwise each device gets cap * demand / total.
+class ProportionalAllocator final : public PowerAllocator {
+ public:
+  void allocate(std::span<const DeviceDemand> demands, double cap_w,
+                std::span<double> budgets) override {
+    double total = 0.0;
+    for (const DeviceDemand& demand : demands) {
+      if (demand.active) total += demand.demand_w;
+    }
+    const double scale = total > cap_w && total > 0.0 ? cap_w / total : 1.0;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      budgets[i] = demands[i].active ? demands[i].demand_w * scale : 0.0;
+    }
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "proportional";
+  }
+};
+
+/// Fill in a deterministic order: first every active device's idle floor
+/// (a parked device draws it regardless, so leaving it unfunded only
+/// manufactures over-cap slices), then each device's demand above the
+/// floor until the cap runs out.  The ordering predicate is the only
+/// difference between the priority policy and the greedy oracle.
+template <typename Better>
+void ordered_fill(std::span<const DeviceDemand> demands, double cap_w,
+                  std::span<double> budgets, Better better) {
+  std::vector<std::size_t> order;
+  order.reserve(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    budgets[i] = 0.0;
+    if (demands[i].active) order.push_back(i);
+  }
+  // stable_sort + index tiebreak: allocation order (and therefore every
+  // budget) is deterministic for identical demand vectors.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return better(demands[a], demands[b]);
+                   });
+  double remaining = cap_w;
+  for (const std::size_t i : order) {
+    const double grant =
+        std::min(std::max(demands[i].floor_w, 0.0), remaining);
+    budgets[i] = grant;
+    remaining -= grant;
+    if (remaining <= 0.0) break;
+  }
+  for (const std::size_t i : order) {
+    if (remaining <= 0.0) break;
+    const double extra = std::min(
+        std::max(demands[i].demand_w - budgets[i], 0.0), remaining);
+    budgets[i] += extra;
+    remaining -= extra;
+  }
+}
+
+class PriorityAllocator final : public PowerAllocator {
+ public:
+  void allocate(std::span<const DeviceDemand> demands, double cap_w,
+                std::span<double> budgets) override {
+    ordered_fill(demands, cap_w, budgets,
+                 [](const DeviceDemand& a, const DeviceDemand& b) {
+                   return a.priority > b.priority;
+                 });
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "priority";
+  }
+};
+
+/// Clairvoyant greedy baseline: devices that turn a watt into the most
+/// completed work get filled first — served-work-per-joule weighted by how
+/// much work is actually waiting (an efficient but idle device should not
+/// hoard budget).
+class GreedyOracleAllocator final : public PowerAllocator {
+ public:
+  void allocate(std::span<const DeviceDemand> demands, double cap_w,
+                std::span<double> budgets) override {
+    ordered_fill(demands, cap_w, budgets,
+                 [](const DeviceDemand& a, const DeviceDemand& b) {
+                   return a.pending_work_s * a.efficiency_s_per_j >
+                          b.pending_work_s * b.efficiency_s_per_j;
+                 });
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "greedy";
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PowerAllocator> make_allocator(const AllocatorConfig& config) {
+  switch (config.policy) {
+    case AllocatorConfig::Policy::kUniform:
+      return std::make_unique<UniformAllocator>();
+    case AllocatorConfig::Policy::kProportional:
+      return std::make_unique<ProportionalAllocator>();
+    case AllocatorConfig::Policy::kPriority:
+      return std::make_unique<PriorityAllocator>();
+    case AllocatorConfig::Policy::kGreedyOracle:
+      return std::make_unique<GreedyOracleAllocator>();
+  }
+  return std::make_unique<ProportionalAllocator>();
+}
+
+bool parse_allocator_policy(std::string_view name,
+                            AllocatorConfig::Policy& policy) {
+  if (name == "uniform") {
+    policy = AllocatorConfig::Policy::kUniform;
+  } else if (name == "proportional") {
+    policy = AllocatorConfig::Policy::kProportional;
+  } else if (name == "priority") {
+    policy = AllocatorConfig::Policy::kPriority;
+  } else if (name == "greedy" || name == "oracle") {
+    policy = AllocatorConfig::Policy::kGreedyOracle;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view name(AllocatorConfig::Policy policy) noexcept {
+  switch (policy) {
+    case AllocatorConfig::Policy::kUniform:
+      return "uniform";
+    case AllocatorConfig::Policy::kProportional:
+      return "proportional";
+    case AllocatorConfig::Policy::kPriority:
+      return "priority";
+    case AllocatorConfig::Policy::kGreedyOracle:
+      return "greedy";
+  }
+  return "proportional";
+}
+
+}  // namespace gpupower::gpusim::fleet

@@ -1,0 +1,83 @@
+// Fleet power allocators: how a shared datacenter power cap is divided
+// across the devices of a fleet every time slice.  Large installations
+// provision hundreds of accelerators against a fixed site envelope; the
+// allocator is the policy that decides which device gets to boost when the
+// envelope is tight.
+//
+//  - uniform()       cap / N to every active device, demand-blind — the
+//                    classic static power-capping baseline (nvidia-smi -pl
+//                    on every box).
+//  - proportional()  each device's share scales with its demanded power;
+//                    when total demand fits the cap everyone gets what it
+//                    asked for.
+//  - priority()      strict priority order (ties broken by device index):
+//                    high-priority devices take their full demand first,
+//                    the remainder trickles down.
+//  - greedy()        the oracle baseline: sees true queued work and fills
+//                    devices in descending served-work-per-joule order —
+//                    the upper bound a demand-signal allocator chases.
+//
+// Contract (pinned by the conservation tests): the sum of granted budgets
+// never exceeds the cap, and a device never receives more than its demand
+// (except uniform, which is demand-blind by definition and still sums to
+// at most the cap).  Allocation is deterministic: same demands, same
+// budgets, regardless of engine worker count.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace gpupower::gpusim::fleet {
+
+/// What the allocator sees per device per slice.  `demand_w` is the
+/// steady-state power of the state the device's governor wants; the
+/// oracle fields are only read by greedy().
+struct DeviceDemand {
+  double demand_w = 0.0;      ///< unconstrained power wanted next slice
+  double floor_w = 0.0;       ///< deepest-state idle floor (physical min)
+  double pending_work_s = 0.0;  ///< queued + arriving work, boost-seconds
+  double efficiency_s_per_j = 0.0;  ///< served work per joule at the wanted state
+  int priority = 0;           ///< larger = served first (priority policy)
+  bool active = true;         ///< device still replaying (else budget 0)
+};
+
+struct AllocatorConfig {
+  enum class Policy { kUniform, kProportional, kPriority, kGreedyOracle };
+  Policy policy = Policy::kProportional;
+  /// Shared fleet power budget in watts; infinity = uncapped (every
+  /// allocator degenerates to "grant everything", the equivalence case).
+  double cap_w = std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] bool capped() const noexcept {
+    return cap_w < std::numeric_limits<double>::infinity();
+  }
+  [[nodiscard]] bool operator==(const AllocatorConfig&) const noexcept =
+      default;
+};
+
+class PowerAllocator {
+ public:
+  virtual ~PowerAllocator() = default;
+
+  /// Fills `budgets` (same length as `demands`) so that the sum over
+  /// active devices is at most `cap_w`.  Inactive devices get 0.
+  virtual void allocate(std::span<const DeviceDemand> demands, double cap_w,
+                        std::span<double> budgets) = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+[[nodiscard]] std::unique_ptr<PowerAllocator> make_allocator(
+    const AllocatorConfig& config);
+
+/// Parses "uniform" | "proportional" | "priority" | "greedy" (the CLI /
+/// bench spelling).  Returns false on an unknown name.
+[[nodiscard]] bool parse_allocator_policy(std::string_view name,
+                                          AllocatorConfig::Policy& policy);
+
+/// Canonical lower-case policy name (round-trips through the parser).
+[[nodiscard]] std::string_view name(AllocatorConfig::Policy policy) noexcept;
+
+}  // namespace gpupower::gpusim::fleet

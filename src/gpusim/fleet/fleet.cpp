@@ -1,0 +1,150 @@
+#include "gpusim/fleet/fleet.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gpupower::gpusim::fleet {
+
+FleetRun FleetSimulator::run(std::span<const Device> devices, double slice_s,
+                             bool drain_backlog) const {
+  FleetRun run;
+  run.slice_s = slice_s;
+  run.cap_w = allocator_.cap_w;
+  if (devices.empty() || slice_s <= 0.0) return run;
+
+  const std::size_t n = devices.size();
+  std::vector<dvfs::DeviceCursor> cursors;
+  cursors.reserve(n);
+  std::vector<ThermalState> thermal;
+  thermal.reserve(n);
+  for (const Device& device : devices) {
+    cursors.emplace_back(*device.replayer, *device.timeline, *device.governor,
+                         slice_s, drain_backlog);
+    thermal.emplace_back(thermal_,
+                         device.replayer->descriptor()
+                             .thermal_resistance_c_per_w);
+  }
+
+  run.devices.resize(n);
+  const auto allocator = make_allocator(allocator_);
+  const bool capped = allocator_.capped();
+  std::vector<DeviceDemand> demands(n);
+  std::vector<double> budgets(n);
+  std::vector<char> planned(n, 0);
+  std::vector<char> done(n, 0);
+
+  for (;;) {
+    // Phase 1: every active device plans (timeline sample + governor
+    // decision) so the allocator sees the whole fleet's demand at once.
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      planned[i] = 0;
+      if (done[i]) continue;
+      if (!cursors[i].plan()) {
+        done[i] = 1;
+        continue;
+      }
+      planned[i] = 1;
+      any = true;
+    }
+    if (!any) break;
+
+    // Phase 2: divide the cap.  Uncapped fleets skip allocation entirely
+    // — budgets stay infinite and the step below is unconstrained, the
+    // single-device-equivalence path.
+    if (capped) {
+      for (std::size_t i = 0; i < n; ++i) {
+        DeviceDemand& demand = demands[i];
+        demand.active = planned[i] != 0;
+        if (!demand.active) {
+          demand = DeviceDemand{};
+          demand.active = false;
+          continue;
+        }
+        // Price demand and floor at the same die temperature the step's
+        // budget clamp will use, or a device with cap headroom would
+        // spuriously clamp on its own leakage.
+        const double temperature_c =
+            thermal_.enabled ? thermal[i].temperature_c() : -1.0;
+        demand.demand_w = cursors[i].demand_w(temperature_c);
+        demand.floor_w = cursors[i].floor_w(temperature_c);
+        demand.pending_work_s = cursors[i].pending_work_s();
+        demand.efficiency_s_per_j = cursors[i].efficiency_s_per_j();
+        demand.priority = devices[i].priority;
+      }
+      allocator->allocate(demands, allocator_.cap_w, budgets);
+    }
+
+    // Phase 3 + 4: step each device in index order under its constraints,
+    // then integrate its thermal state with the slice's realized power.
+    double slice_power_w = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!planned[i]) continue;
+      dvfs::DeviceCursor& cursor = cursors[i];
+      FleetDeviceRun& device_run = run.devices[i];
+
+      dvfs::StepConstraint constraint;
+      int thermal_floor = 0;
+      if (thermal_.enabled) {
+        constraint.temperature_c = thermal[i].temperature_c();
+        if (thermal[i].throttling()) {
+          const int table_size = static_cast<int>(
+              devices[i].replayer->table().size());
+          thermal_floor = thermal_.throttle_pstate >= 0
+                              ? std::min(thermal_.throttle_pstate,
+                                         table_size - 1)
+                              : table_size - 1;
+          constraint.min_pstate = thermal_floor;
+          ++device_run.throttled_slices;
+        }
+      }
+      if (capped) constraint.budget_w = budgets[i];
+
+      const int desired = cursor.desired_pstate();
+      cursor.step(constraint);
+
+      // The budget clamped iff the realized state is deeper than both the
+      // governor's choice and the thermal floor.
+      if (cursor.pstate() > std::max(desired, thermal_floor)) {
+        ++device_run.budget_clamped_slices;
+      }
+
+      const double power_w = cursor.partial().slices.back().power_w;
+      slice_power_w += power_w;
+      if (thermal_.enabled) {
+        thermal[i].step(power_w, slice_s);
+        device_run.temperature_c.push_back(thermal[i].temperature_c());
+        device_run.peak_temperature_c = std::max(
+            device_run.peak_temperature_c, thermal[i].temperature_c());
+      }
+      if (capped) device_run.budget_w.push_back(budgets[i]);
+    }
+
+    run.fleet_power_w.push_back(slice_power_w);
+    run.peak_power_w = std::max(run.peak_power_w, slice_power_w);
+    if (capped && slice_power_w > allocator_.cap_w * (1.0 + 1e-12)) {
+      ++run.over_cap_slices;
+    }
+  }
+
+  // Finalize per-device results and fold the fleet summary.
+  double backlog_mean_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dvfs::ReplayResult replay = cursors[i].finish();
+    run.energy_j += replay.energy_j;
+    run.duration_s = std::max(run.duration_s, replay.duration_s);
+    run.completion_s = std::max(run.completion_s, replay.completion_s);
+    run.backlog_max_s = std::max(run.backlog_max_s, replay.backlog_max_s);
+    backlog_mean_sum += replay.mean_backlog_s;
+    run.transitions += replay.transitions;
+    run.truncated = run.truncated || replay.truncated;
+    run.devices[i].replay = std::move(replay);
+  }
+  run.mean_backlog_s = backlog_mean_sum / static_cast<double>(n);
+  if (run.duration_s > 0.0) {
+    run.avg_power_w = run.energy_j / run.duration_s;
+  }
+  return run;
+}
+
+}  // namespace gpupower::gpusim::fleet

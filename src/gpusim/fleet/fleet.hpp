@@ -1,0 +1,97 @@
+// Fleet-scale power-capped replay: N simulated devices (heterogeneous
+// descriptors allowed) step their own workload timelines in lockstep time
+// slices under a shared datacenter power budget.  Each slice:
+//
+//   1. every active device plans its next slice (timeline sample +
+//      governor decision) through its dvfs::DeviceCursor,
+//   2. the allocator divides the shared cap across the devices' demands,
+//   3. each device steps under its granted budget and thermal throttle —
+//      the budget clamps the P-state choice through the existing replay
+//      machinery (deepen until the state's steady-state power fits),
+//   4. the per-device RC thermal state integrates the slice's power
+//      (heat-up toward ambient + R*P, cool-down in gaps) and its throttle
+//      hysteresis feeds back into the next slice's clamp.
+//
+// A fleet of one device with an infinite cap and the thermal model off is
+// bit-identical to TimelineReplayer::replay — the equivalence the test
+// suite pins — because the per-slice arithmetic *is* the single-device
+// cursor, not a reimplementation.
+//
+// Everything is deterministic: devices are stepped in index order, the
+// allocator is a pure function of the demand vector, and the thermal
+// recurrence is a scalar double chain — identical inputs give identical
+// fleet traces on any engine worker count.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gpusim/dvfs/replay.hpp"
+#include "gpusim/fleet/allocator.hpp"
+#include "gpusim/fleet/thermal.hpp"
+
+namespace gpupower::gpusim::fleet {
+
+/// One device's complete fleet replay: the standard replay summary plus
+/// the fleet-only per-slice series (die temperature, granted budget) and
+/// clamp counters.
+struct FleetDeviceRun {
+  dvfs::ReplayResult replay;
+  /// Die temperature at each slice's end; empty when the thermal model is
+  /// off.
+  std::vector<double> temperature_c;
+  /// Budget granted by the allocator each slice; empty when uncapped.
+  std::vector<double> budget_w;
+  double peak_temperature_c = 0.0;
+  int throttled_slices = 0;       ///< slices spent under the thermal clamp
+  int budget_clamped_slices = 0;  ///< slices the budget forced a deeper state
+};
+
+/// One seed's fleet replay: per-device runs plus the aggregate series and
+/// summary the capacity-planning question actually asks about.
+struct FleetRun {
+  std::vector<FleetDeviceRun> devices;
+  std::vector<double> fleet_power_w;  ///< aggregate power per slice
+  double slice_s = 0.0;
+  double cap_w = 0.0;           ///< infinity when uncapped
+  double duration_s = 0.0;      ///< fleet horizon (slowest device)
+  double energy_j = 0.0;        ///< fleet total
+  double avg_power_w = 0.0;     ///< energy / fleet duration
+  double peak_power_w = 0.0;    ///< max per-slice aggregate
+  double completion_s = 0.0;    ///< last device's last served work
+  double backlog_max_s = 0.0;   ///< worst single-device backlog
+  double mean_backlog_s = 0.0;  ///< mean over devices of their time-average
+  int transitions = 0;          ///< total P-state changes across devices
+  /// Slices where realized aggregate power exceeded the cap anyway: a
+  /// starved budget cannot push a device below its deepest-state idle
+  /// floor, so the fleet over-draws instead of violating physics.
+  int over_cap_slices = 0;
+  bool truncated = false;       ///< any device hit the slice-cap backstop
+};
+
+class FleetSimulator {
+ public:
+  /// One simulated device: replayer (P-state table + per-variant power
+  /// reports), its workload timeline, its governor, and its allocation
+  /// priority.  All borrowed; must outlive run().
+  struct Device {
+    const dvfs::TimelineReplayer* replayer = nullptr;
+    const dvfs::WorkloadTimeline* timeline = nullptr;
+    dvfs::Governor* governor = nullptr;
+    int priority = 0;
+  };
+
+  FleetSimulator(const AllocatorConfig& allocator, const ThermalConfig& thermal)
+      : allocator_(allocator), thermal_(thermal) {}
+
+  /// Steps all devices in lockstep until every one has drained (or hit
+  /// the per-device slice backstop).  Single-threaded and deterministic.
+  [[nodiscard]] FleetRun run(std::span<const Device> devices, double slice_s,
+                             bool drain_backlog = true) const;
+
+ private:
+  AllocatorConfig allocator_;
+  ThermalConfig thermal_;
+};
+
+}  // namespace gpupower::gpusim::fleet

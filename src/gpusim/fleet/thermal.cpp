@@ -1,0 +1,36 @@
+#include "gpusim/fleet/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpupower::gpusim::fleet {
+
+ThermalState::ThermalState(const ThermalConfig& config, double r_c_per_w)
+    : config_(config),
+      r_c_per_w_(std::max(r_c_per_w, 0.0)),
+      temperature_c_(config.initial_c >= 0.0 ? config.initial_c
+                                             : config.ambient_c),
+      // A die that boots above the trip point throttles from slice 0.
+      throttling_(temperature_c_ >= config.trip_c) {}
+
+void ThermalState::step(double power_w, double dt_s) {
+  if (dt_s <= 0.0) return;
+  const double target_c =
+      config_.ambient_c + r_c_per_w_ * std::max(power_w, 0.0);
+  // Exact discretisation of dT/dt = (target - T) / tau: unconditionally
+  // stable for any slice length, monotone toward the target, and
+  // deterministic (a fixed-dt recurrence of doubles).
+  const double tau = std::max(config_.tau_s, 1e-6);
+  const double decay = std::exp(-dt_s / tau);
+  temperature_c_ = target_c + (temperature_c_ - target_c) * decay;
+
+  // Hysteresis latch: trip at/above trip_c, release only at/below
+  // release_c.  With release < trip the latch cannot flap on slice noise.
+  if (temperature_c_ >= config_.trip_c) {
+    throttling_ = true;
+  } else if (throttling_ && temperature_c_ <= config_.release_c) {
+    throttling_ = false;
+  }
+}
+
+}  // namespace gpupower::gpusim::fleet

@@ -1,0 +1,66 @@
+// Per-device thermal state threaded across replay slices: a first-order RC
+// die-temperature model replacing the per-slice steady-state fixed point
+// the static power path solves.  The die relaxes exponentially toward
+// ambient + R_thermal * P (the same steady state evaluate_at's fixed point
+// converges to), so a burst heats the die over seconds and an idle gap
+// cools it — ramp-up/cool-down dynamics a per-slice fixed point cannot
+// express.
+//
+// Throttle hysteresis: crossing `trip_c` latches the throttle (the fleet
+// clamps the device's P-state to at least `throttle_pstate`); the latch
+// only releases once the die cools below `release_c`.  The trip/release
+// gap is what prevents per-slice flapping — pinned by the no-flap test.
+//
+// The state is a deterministic scalar recurrence: identical power
+// sequences give identical temperature traces on any worker count.
+#pragma once
+
+#include "gpusim/power.hpp"
+
+namespace gpupower::gpusim::fleet {
+
+struct ThermalConfig {
+  bool enabled = false;
+  /// The same anchor the static fixed point relaxes toward — one
+  /// constant, so thermal-off and thermal-on model the same silicon.
+  double ambient_c = kAmbientC;
+  /// RC time constant of the die + heatsink, seconds.  GPUs settle over
+  /// roughly tens of seconds; 8 s keeps burst dynamics visible at the
+  /// 10 ms default slice.
+  double tau_s = 8.0;
+  double trip_c = 87.0;      ///< throttle latches at or above this
+  double release_c = 78.0;   ///< ...and releases at or below this
+  /// Minimum P-state index while throttling; -1 = the table's deepest.
+  int throttle_pstate = -1;
+  /// Starting die temperature; < 0 starts at ambient.
+  double initial_c = -1.0;
+
+  [[nodiscard]] bool operator==(const ThermalConfig&) const noexcept =
+      default;
+};
+
+class ThermalState {
+ public:
+  /// `r_c_per_w` is the device's steady-state thermal resistance
+  /// (DeviceDescriptor::thermal_resistance_c_per_w): the RC model's
+  /// asymptote at power P is ambient + R * P, matching the fixed point.
+  ThermalState(const ThermalConfig& config, double r_c_per_w);
+
+  /// Advances the die by one slice at `power_w`: exact exponential
+  /// relaxation toward ambient + R * P over `dt_s`, then the hysteresis
+  /// latch update.
+  void step(double power_w, double dt_s);
+
+  [[nodiscard]] double temperature_c() const noexcept {
+    return temperature_c_;
+  }
+  [[nodiscard]] bool throttling() const noexcept { return throttling_; }
+
+ private:
+  ThermalConfig config_;
+  double r_c_per_w_;
+  double temperature_c_;
+  bool throttling_;
+};
+
+}  // namespace gpupower::gpusim::fleet

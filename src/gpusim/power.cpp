@@ -9,8 +9,6 @@ namespace gpupower::gpusim {
 namespace {
 
 constexpr double kPicojoule = 1e-12;
-constexpr double kAmbientC = 30.0;
-constexpr double kLeakageRefC = 40.0;
 /// Fraction of the idle floor that is core-rail leakage and clock-tree
 /// charge, scaling with V^2 when a P-state lowers the supply; the rest
 /// (fans, VRs, memory refresh) is voltage-independent.  At boost voltage

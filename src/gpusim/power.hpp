@@ -11,6 +11,15 @@
 
 namespace gpupower::gpusim {
 
+/// Ambient air temperature the thermal model relaxes toward, and the
+/// junction temperature above which excess leakage accrues.  Shared by the
+/// steady-state fixed point in PowerCalculator::evaluate_at and the
+/// time-resolved RC thermal model the fleet simulator threads across
+/// slices — the two must agree or the thermal-off/thermal-on paths would
+/// model different silicon.
+inline constexpr double kAmbientC = 30.0;
+inline constexpr double kLeakageRefC = 40.0;
+
 /// Dynamic power broken down by physical rail, in watts at the realized
 /// clock.
 struct RailPower {

@@ -127,6 +127,41 @@ TEST(BenchCompare, WallTimesGateOnlyWhenOptedIn) {
       tools::compare_bench_documents(baseline, close, walltime).regressed);
 }
 
+JsonValue fleet_doc(const std::string& protocol, double energy_j) {
+  std::vector<tools::BenchCase> cases;
+  tools::BenchCase entry;
+  entry.name = "proportional@0.50";
+  entry.metrics = {{"energy_j", energy_j}, {"backlog_max_s", 0.05}};
+  cases.push_back(entry);
+  return tools::bench_document("fleet_capping", protocol, cases);
+}
+
+TEST(BenchCompare, EnergyMetricsGateSymmetricallyOnMatchingProtocol) {
+  const JsonValue baseline = fleet_doc("fleet N=512", 450.0);
+  // Deterministic model outputs: drift in EITHER direction beyond the
+  // tolerance fails — a changed model must regenerate the committed
+  // document, a faster-looking number is no excuse.
+  EXPECT_TRUE(tools::compare_bench_documents(baseline,
+                                             fleet_doc("fleet N=512", 600.0))
+                  .regressed);
+  EXPECT_TRUE(tools::compare_bench_documents(baseline,
+                                             fleet_doc("fleet N=512", 300.0))
+                  .regressed);
+  EXPECT_FALSE(tools::compare_bench_documents(baseline,
+                                              fleet_doc("fleet N=512", 460.0))
+                   .regressed);
+  // Different protocol: informational only.
+  EXPECT_FALSE(tools::compare_bench_documents(baseline,
+                                              fleet_doc("fleet N=128", 600.0))
+                   .regressed);
+  // Opt-out clears the gate.
+  tools::CompareOptions no_energy;
+  no_energy.gate_energy = false;
+  EXPECT_FALSE(tools::compare_bench_documents(
+                   baseline, fleet_doc("fleet N=512", 600.0), no_energy)
+                   .regressed);
+}
+
 TEST(BenchCompare, NothingGatesAcrossProtocols) {
   // Speedups at different shapes are different quantities: a smaller CI
   // shape must never fail the gate against the committed full-protocol

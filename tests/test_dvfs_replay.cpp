@@ -12,6 +12,7 @@
 #include "core/config_builder.hpp"
 #include "core/dvfs_experiment.hpp"
 #include "core/engine.hpp"
+#include "core/pattern_dsl.hpp"
 #include "core/pattern_spec.hpp"
 #include "gpusim/dvfs/timeline.hpp"
 #include "gpusim/simulator.hpp"
@@ -75,6 +76,37 @@ TEST(TimelineDsl, CanonicalFormRoundTrips) {
     EXPECT_DOUBLE_EQ(first.timeline.phases()[i].utilization,
                      second.timeline.phases()[i].utilization);
   }
+}
+
+TEST(TimelineDsl, PhasesCarryPatternIndices) {
+  const auto parsed = parse_timeline(
+      "constant(util=60%, dur=0.3, pattern=1) | constant(util=60%, dur=0.3)");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  // Equal-utilization neighbours with different pattern overrides must NOT
+  // merge — they are different inputs at equal load.
+  ASSERT_EQ(parsed.timeline.phases().size(), 2u);
+  EXPECT_EQ(parsed.timeline.phases()[0].pattern, 1);
+  EXPECT_EQ(parsed.timeline.phases()[1].pattern, -1);
+  EXPECT_EQ(parsed.timeline.pattern_at(0.1), 1);
+  EXPECT_EQ(parsed.timeline.pattern_at(0.4), -1);
+  EXPECT_EQ(parsed.timeline.pattern_at(0.9), -1);  // past the end
+  EXPECT_EQ(parsed.timeline.max_pattern_index(), 1);
+
+  // The canonical form round-trips the pattern key.
+  const auto second = parse_timeline(to_dsl(parsed.timeline));
+  ASSERT_TRUE(second.ok) << second.error;
+  ASSERT_EQ(second.timeline.phases().size(), 2u);
+  EXPECT_EQ(second.timeline.phases()[0].pattern, 1);
+  EXPECT_EQ(second.timeline.phases()[1].pattern, -1);
+
+  // Pattern-free timelines keep the historical canonical form.
+  const auto plain = parse_timeline("constant(util=60%, dur=0.3)");
+  ASSERT_TRUE(plain.ok);
+  EXPECT_EQ(to_dsl(plain.timeline).find("pattern"), std::string::npos);
+  EXPECT_EQ(plain.timeline.max_pattern_index(), -1);
+
+  EXPECT_FALSE(parse_timeline("idle(dur=1, pattern=1.5)").ok);
+  EXPECT_FALSE(parse_timeline("idle(dur=1, pattern=-3)").ok);
 }
 
 // --- shared fixture -------------------------------------------------------
@@ -342,6 +374,64 @@ TEST(TimelineDsl, SingleStepRampTakesTheMidpoint) {
   ASSERT_TRUE(parsed.ok) << parsed.error;
   ASSERT_EQ(parsed.timeline.phases().size(), 1u);
   EXPECT_DOUBLE_EQ(parsed.timeline.phases()[0].utilization, 0.5);
+}
+
+// --- per-phase input patterns ---------------------------------------------
+
+TEST(DvfsReplay, PhasePatternEqualToBaseIsBitIdentical) {
+  // A phase override pointing at a pattern identical to the experiment's
+  // base pattern must reproduce the pattern-free replay bit for bit: the
+  // variant's activity walk sees the same inputs and the same seed.
+  DvfsConfig baseline = small_dvfs_config();
+  baseline.timeline = parse_timeline("constant(util=80%, dur=0.3)").timeline;
+
+  DvfsConfig overridden = baseline;
+  overridden.phase_patterns = {baseline.experiment.pattern};
+  overridden.timeline =
+      parse_timeline("constant(util=80%, dur=0.3, pattern=0)").timeline;
+
+  expect_identical(core::run_dvfs(baseline), core::run_dvfs(overridden));
+}
+
+TEST(DvfsReplay, SparsePhasePatternLowersPowerInItsPhase) {
+  // Activity — not just load — varies over time: a 90%-sparse phase
+  // toggles far fewer wires than the Gaussian base at the same offered
+  // utilization, so its slices draw less power.
+  DvfsConfig config = small_dvfs_config();
+  config.experiment.seeds = 1;
+  config.governor.policy = GovernorConfig::Policy::kFixed;
+  config.governor.fixed_pstate = 0;
+  const auto sparse = core::parse_pattern("gaussian() | sparsity(90%)");
+  ASSERT_TRUE(sparse.ok) << sparse.error;
+  config.phase_patterns = {sparse.spec};
+  config.timeline =
+      parse_timeline(
+          "constant(util=1, dur=0.2) | constant(util=1, dur=0.2, pattern=0)")
+          .timeline;
+
+  const DvfsResult result = core::run_dvfs(config);
+  const auto& slices = result.trace.slices;
+  ASSERT_GE(slices.size(), 40u);
+  // Compare a slice well inside each phase (same P-state, same load).
+  const double base_power = slices[5].power_w;
+  const double sparse_power = slices[25].power_w;
+  EXPECT_EQ(slices[5].pstate, slices[25].pstate);
+  EXPECT_LT(sparse_power, base_power);
+}
+
+TEST(DvfsReplay, PhasePatternsSeparateCacheKeysAndValidate) {
+  DvfsConfig plain = small_dvfs_config();
+  DvfsConfig with_pattern = plain;
+  with_pattern.phase_patterns = {plain.experiment.pattern};
+  EXPECT_NE(core::canonical_dvfs_key(plain),
+            core::canonical_dvfs_key(with_pattern));
+
+  // A timeline referencing a pattern index with no configured pattern is
+  // rejected.
+  DvfsConfig dangling = plain;
+  dangling.timeline =
+      parse_timeline("constant(util=1, dur=0.1, pattern=0)").timeline;
+  EXPECT_THROW((void)core::run_dvfs(dangling), std::invalid_argument);
 }
 
 // --- backlog / latency accounting -----------------------------------------

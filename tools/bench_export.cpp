@@ -75,6 +75,13 @@ bool is_gated_metric(const std::string& name) {
   return name.size() > 3 && name.compare(name.size() - 3, 3, "_ms") == 0;
 }
 
+/// Energy metrics are deterministic model outputs: any drift beyond the
+/// tolerance (either direction) means the model changed under the
+/// committed document.
+bool is_energy_metric(const std::string& name) {
+  return name.size() > 2 && name.compare(name.size() - 2, 2, "_j") == 0;
+}
+
 const analysis::JsonValue* find_case(const analysis::JsonValue& cases,
                                      const std::string& name) {
   for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -167,6 +174,13 @@ CompareResult compare_bench_documents(const analysis::JsonValue& baseline,
         // worse.
         delta.regressed = options.gate_walltime && result.protocols_match &&
                           delta.ratio > 1.0 + options.tolerance;
+      } else if (is_energy_metric(metric)) {
+        // Deterministic model output: symmetric drift gate on a matching
+        // protocol — a changed model must regenerate the committed
+        // baseline, not slide past it.
+        delta.regressed = options.gate_energy && result.protocols_match &&
+                          (delta.ratio > 1.0 + options.tolerance ||
+                           delta.ratio < 1.0 - options.tolerance);
       }
       result.regressed = result.regressed || delta.regressed;
       result.deltas.push_back(std::move(delta));

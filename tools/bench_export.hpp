@@ -73,6 +73,12 @@ struct CompareOptions {
   /// mean something between runs on the same machine, which the documents
   /// cannot prove — enable for local like-for-like comparisons.
   bool gate_walltime = false;
+  /// Gate "*_j" energies (e.g. the fig_fleet_capping summary).  On by
+  /// default: energies are deterministic model outputs, not timings, so on
+  /// a matching protocol they gate *symmetrically* — movement in either
+  /// direction beyond the tolerance means the model changed and the
+  /// committed trajectory document must be regenerated with it.
+  bool gate_energy = true;
   /// When the baseline contains a case with this name, only its speedup
   /// gates and per-case speedups stay informational — an aggregate damps
   /// the per-dtype noise a shared CI runner adds (one dtype's ratio can
@@ -97,7 +103,10 @@ struct CompareResult {
 ///    so it transfers across machines) gates — smaller than baseline
 ///    beyond tolerance fails;
 ///  - "*_ms" wall times (machine-absolute) additionally gate when
-///    options.gate_walltime is set — bigger beyond tolerance fails.
+///    options.gate_walltime is set — bigger beyond tolerance fails;
+///  - "*_j" energies (deterministic model outputs) gate symmetrically
+///    unless options.gate_energy is cleared — any move beyond tolerance
+///    fails.
 /// Everything else (macs, ...) is reported but never gates.  Cases present
 /// in the baseline but missing from the fresh run make the documents
 /// incomparable.

@@ -23,11 +23,15 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --compare <fresh.json> <baseline.json> "
-               "[--tolerance F] [--gate-walltime] [--require-protocol]\n"
+               "[--tolerance F] [--gate-walltime] [--no-gate-energy] "
+               "[--require-protocol]\n"
                "  exits 1 when, on a matching protocol, a speedup in "
                "<fresh.json> is more than\n  F (default 0.25) below "
                "<baseline.json> — or, with --gate-walltime, a *_ms\n"
-               "  metric is more than F slower.  --require-protocol makes "
+               "  metric is more than F slower.  *_j energies "
+               "(deterministic model outputs,\n  e.g. the fleet-capping "
+               "summary) gate symmetrically at F unless\n"
+               "  --no-gate-energy.  --require-protocol makes "
                "a protocol mismatch\n  an error (exit 2) instead of "
                "downgrading the run to informational — use it\n  in CI so "
                "protocol drift cannot silently disable the gate\n",
@@ -67,6 +71,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--gate-walltime") == 0) {
       options.gate_walltime = true;
+    } else if (std::strcmp(argv[i], "--no-gate-energy") == 0) {
+      options.gate_energy = false;
     } else if (std::strcmp(argv[i], "--require-protocol") == 0) {
       require_protocol = true;
     } else {
@@ -99,13 +105,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::string gating;
+  if (!result.protocols_match) {
+    gating = "informational only: protocols differ";
+  } else {
+    gating = "gating speedup";
+    if (options.gate_energy) gating += " + *_j energies";
+    if (options.gate_walltime) gating += " + wall times";
+  }
   std::printf("perf gate: %s vs %s (tolerance %.0f%%, %s)\n",
               fresh_path.c_str(), baseline_path.c_str(),
-              options.tolerance * 100.0,
-              !result.protocols_match
-                  ? "informational only: protocols differ"
-                  : (options.gate_walltime ? "gating speedup + wall times"
-                                           : "gating speedup"));
+              options.tolerance * 100.0, gating.c_str());
   std::printf("%-10s %-14s %12s %12s %8s\n", "case", "metric", "baseline",
               "fresh", "ratio");
   for (const tools::MetricDelta& delta : result.deltas) {
