@@ -6,37 +6,51 @@
 // produce: energy vs completion-time trade-offs of driver power management
 // serving non-steady traffic.
 //
-// Every (governor x timeline) cell is one DVFS job on the ExperimentEngine:
-// seed replicas fan out across the worker pool and duplicate configs (the
-// shared baselines) are served from the engine cache.
+// The grid is expressed as a campaign spec (core/spec.hpp): the bench
+// assembles the campaign document a user could equally write by hand —
+// one dvfs base scenario plus a `governor` axis — expands it, and fans
+// every point through the ExperimentEngine as one deduplicated batch.
+// `--emit-spec FILE` writes the document for reuse with `gpowerctl run`.
 //
 // Environment knobs as every figure bench: GPUPOWER_N, GPUPOWER_SEEDS,
 // GPUPOWER_TILES, GPUPOWER_KFRAC, GPUPOWER_WORKERS, GPUPOWER_CSV.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/table.hpp"
 #include "core/config_builder.hpp"
-#include "core/dvfs_experiment.hpp"
 #include "core/engine.hpp"
 #include "core/env.hpp"
+#include "core/spec.hpp"
 #include "fig_harness.hpp"
 
 namespace {
 
 using namespace gpupower;
-namespace dvfs = gpusim::dvfs;
+using analysis::JsonValue;
 
-struct Cell {
-  std::string label;
-  core::DvfsHandle handle;
-};
+JsonValue governor_axis_value(const std::string& dsl,
+                              const std::string& label) {
+  JsonValue entry = JsonValue::object();
+  entry.set("value", JsonValue::string(dsl))
+      .set("label", JsonValue::string(label));
+  return entry;
+}
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string emit_spec_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--emit-spec") == 0 && i + 1 < argc) {
+      emit_spec_path = argv[++i];
+    }
+  }
+
   const core::BenchEnv env = core::read_bench_env();
   bench::print_preamble(env, "DVFS governor sweep — bursty GEMM timeline");
 
@@ -47,32 +61,25 @@ int main() {
   const char* kTimeline =
       "burst(period=0.2, duty=30%, high=100%, low=20%, dur=2)";
 
-  const core::ExperimentConfig experiment =
-      core::ExperimentConfigBuilder().dtype("fp16t").env(env).build();
-  const auto base_builder = [&](std::string_view governor) {
-    return core::DvfsConfigBuilder()
-        .experiment(experiment)
-        .timeline(kTimeline)
-        .slice(0.01)
-        .pstates(5)
-        .governor(governor);
-  };
+  const auto base_builder = core::DvfsConfigBuilder()
+                                .experiment(core::ExperimentConfigBuilder()
+                                                .dtype("fp16t")
+                                                .env(env)
+                                                .build())
+                                .timeline(kTimeline)
+                                .slice(0.01)
+                                .pstates(5)
+                                .governor("fixed(0)");
+  if (!base_builder.valid()) {
+    std::fprintf(stderr, "fig_dvfs_governor: %s\n",
+                 base_builder.error().c_str());
+    return 2;
+  }
 
-  core::ExperimentEngine engine = bench::make_engine(env);
-  std::vector<Cell> cells;
-  const auto submit = [&](const std::string& label,
-                          const std::string& governor) {
-    const auto builder = base_builder(governor);
-    if (!builder.valid()) {
-      std::fprintf(stderr, "fig_dvfs_governor: %s\n",
-                   builder.error().c_str());
-      std::exit(2);
-    }
-    cells.push_back({label, engine.submit_dvfs(builder.build())});
-  };
-
-  submit("fixed max clock", "fixed(0)");
-  submit("fixed deepest", "fixed(4)");
+  // The campaign document: one dvfs base scenario, one governor axis.
+  JsonValue values = JsonValue::array();
+  values.push(governor_axis_value("fixed(0)", "fixed max clock"));
+  values.push(governor_axis_value("fixed(4)", "fixed deepest"));
   for (const int up : {60, 90}) {
     for (const int down : {15, 30, 45, 60}) {
       char governor[96];
@@ -82,21 +89,60 @@ int main() {
                     up, down);
       char label[48];
       std::snprintf(label, sizeof label, "util up=%d%% down=%d%%", up, down);
-      submit(label, governor);
+      values.push(governor_axis_value(governor, label));
     }
   }
-  submit("oracle", "oracle()");
+  values.push(governor_axis_value("oracle()", "oracle"));
+
+  JsonValue axis = JsonValue::object();
+  axis.set("field", JsonValue::string("governor"))
+      .set("values", std::move(values));
+  JsonValue axes = JsonValue::array();
+  axes.push(std::move(axis));
+  JsonValue doc = JsonValue::object();
+  doc.set("scenario", JsonValue::string("campaign"))
+      .set("name", JsonValue::string("dvfs_governor"))
+      .set("base",
+           core::spec_to_json(core::ScenarioConfig(base_builder.build())))
+      .set("axes", std::move(axes));
+
+  if (!emit_spec_path.empty()) {
+    std::ofstream out(emit_spec_path);
+    if (!out) {
+      std::fprintf(stderr, "fig_dvfs_governor: cannot write %s\n",
+                   emit_spec_path.c_str());
+      return 1;
+    }
+    out << doc.dump(/*pretty=*/true) << "\n";
+    std::printf("wrote %s\n", emit_spec_path.c_str());
+  }
+
+  const core::SpecParseResult spec = core::parse_scenario_spec(doc);
+  if (!spec.ok) {
+    std::fprintf(stderr, "fig_dvfs_governor: %s\n", spec.error.c_str());
+    return 2;
+  }
+  core::ExperimentEngine engine = bench::make_engine(env);
+  core::CampaignRun run;
+  std::string error;
+  if (!core::submit_campaign(engine, spec.spec, run, error)) {
+    std::fprintf(stderr, "fig_dvfs_governor: %s\n", error.c_str());
+    return 2;
+  }
+  auto& points = run.points;
+  auto& handles = run.handles;
   engine.wait_all();
 
-  const double fixed_energy = cells.front().handle.get().energy_j;
-  const double fixed_completion = cells.front().handle.get().completion_s;
+  const core::DvfsResult& fixed = handles.front().get().dvfs();
+  const double fixed_energy = fixed.energy_j;
+  const double fixed_completion = fixed.completion_s;
 
   analysis::Table table({"governor", "energy (J)", "vs fixed (%)",
                          "completion (s)", "stretch (ms)", "avg W",
                          "transitions"});
-  for (const Cell& cell : cells) {
-    const core::DvfsResult& r = cell.handle.get();
-    table.add_row(cell.label,
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const core::DvfsResult& r = handles[i].get().dvfs();
+    table.add_row(points[i].label,
                   {r.energy_j,
                    fixed_energy > 0.0
                        ? (r.energy_j / fixed_energy - 1.0) * 100.0

@@ -11,19 +11,28 @@
 // peak from the uncapped replay).  A fraction of raw peak would land below
 // the fleet's idle floor at small GPUPOWER_N — four ~50 W idle floors are
 // most of a small-problem fleet's draw — degenerating every allocator to
-// "everyone clamps to the deepest state".  Every (allocator x cap) cell is
-// one fleet job on the ExperimentEngine.
+// "everyone clamps to the deepest state".
+//
+// The (allocator x cap) grid is a campaign spec (core/spec.hpp): the bench
+// assembles the campaign document — fleet base scenario, allocator axis,
+// cap_w axis carrying the measured watt values — expands it, and fans every
+// cell through the ExperimentEngine as one deduplicated batch.
+// `--emit-spec FILE` writes the document; the committed
+// examples/specs/fleet_capping.json is exactly this output at the default
+// protocol shape, so `gpowerctl run examples/specs/fleet_capping.json
+// --bench-out fresh.json` reproduces the committed BENCH_fleet.json.
 //
 // Emits BENCH_fleet.json (tools/bench_export): deterministic model outputs
 // (energy_j per cell), committed as a trajectory file and gated by
 // `bench_export --compare` in CI — a model change must regenerate the
-// committed document.
+// committed document (and the committed spec's cap anchors with it).
 //
 // Environment knobs as every figure bench: GPUPOWER_N, GPUPOWER_SEEDS,
 // GPUPOWER_TILES, GPUPOWER_KFRAC, GPUPOWER_WORKERS, GPUPOWER_CSV.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -33,12 +42,14 @@
 #include "core/engine.hpp"
 #include "core/env.hpp"
 #include "core/fleet_experiment.hpp"
+#include "core/spec.hpp"
 #include "fig_harness.hpp"
 #include "tools/bench_export.hpp"
 
 namespace {
 
 using namespace gpupower;
+using analysis::JsonValue;
 namespace fleet = gpusim::fleet;
 
 constexpr int kDevices = 4;
@@ -65,9 +76,12 @@ core::FleetConfigBuilder base_fleet(const core::ExperimentConfig& experiment) {
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_fleet.json";
+  std::string emit_spec_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--emit-spec") == 0 && i + 1 < argc) {
+      emit_spec_path = argv[++i];
     }
   }
 
@@ -108,46 +122,88 @@ int main(int argc, char** argv) {
       uncapped.peak_power_w, uncapped.energy_j, uncapped.completion_s,
       floor_w);
 
-  // Phase 2: the (allocator x cap-fraction) grid.
-  struct Cell {
-    std::string name;
-    std::string allocator;
-    double cap_frac = 0.0;
-    core::FleetHandle handle;
-  };
+  // Phase 2: the (allocator x cap-fraction) grid as a campaign document —
+  // the same shape a user writes by hand for `gpowerctl run`, with the
+  // measured cap anchors baked into the cap_w axis values.
+  char protocol[200];
+  std::snprintf(protocol, sizeof protocol,
+                "N=%zu seeds=%d sampled(tiles=%zu, kfrac=%.2f), %d x A100 "
+                "staggered burst, slice 10 ms, thermal on, cap x uncapped "
+                "peak",
+                env.n, env.seeds, env.tiles, env.k_fraction, kDevices);
+
   const char* kAllocators[] = {"uniform", "proportional", "priority",
                                "greedy"};
   const double kCapFractions[] = {0.5, 0.65, 0.8};
-  std::vector<Cell> cells;
+
+  JsonValue allocator_values = JsonValue::array();
   for (const char* allocator : kAllocators) {
-    for (const double frac : kCapFractions) {
-      auto builder = base_fleet(experiment);
-      builder.allocator(allocator)
-          .cap(floor_w + frac * (uncapped.peak_power_w - floor_w));
-      if (!builder.valid()) {
-        std::fprintf(stderr, "fig_fleet_capping: %s\n",
-                     builder.error().c_str());
-        return 2;
-      }
-      char name[48];
-      std::snprintf(name, sizeof name, "%s@%.2f", allocator, frac);
-      cells.push_back(
-          {name, allocator, frac, engine.submit_fleet(builder.build())});
-    }
+    allocator_values.push(JsonValue::string(allocator));
   }
+  JsonValue cap_values = JsonValue::array();
+  for (const double frac : kCapFractions) {
+    char label[16];
+    std::snprintf(label, sizeof label, "%.2f", frac);
+    JsonValue entry = JsonValue::object();
+    entry
+        .set("value", JsonValue::number(
+                          floor_w + frac * (uncapped.peak_power_w - floor_w)))
+        .set("label", JsonValue::string(label));
+    cap_values.push(std::move(entry));
+  }
+  JsonValue allocator_axis = JsonValue::object();
+  allocator_axis.set("field", JsonValue::string("allocator"))
+      .set("values", std::move(allocator_values));
+  JsonValue cap_axis = JsonValue::object();
+  cap_axis.set("field", JsonValue::string("cap_w"))
+      .set("values", std::move(cap_values));
+  JsonValue axes = JsonValue::array();
+  axes.push(std::move(allocator_axis));
+  axes.push(std::move(cap_axis));
+  JsonValue doc = JsonValue::object();
+  doc.set("scenario", JsonValue::string("campaign"))
+      .set("name", JsonValue::string("fleet_capping"))
+      .set("protocol", JsonValue::string(protocol))
+      .set("base", core::spec_to_json(core::ScenarioConfig(uncapped_config)))
+      .set("axes", std::move(axes));
+
+  if (!emit_spec_path.empty()) {
+    std::ofstream spec_out(emit_spec_path);
+    if (!spec_out) {
+      std::fprintf(stderr, "fig_fleet_capping: cannot write %s\n",
+                   emit_spec_path.c_str());
+      return 1;
+    }
+    spec_out << doc.dump(/*pretty=*/true) << "\n";
+    std::printf("wrote %s\n", emit_spec_path.c_str());
+  }
+
+  const core::SpecParseResult spec = core::parse_scenario_spec(doc);
+  if (!spec.ok) {
+    std::fprintf(stderr, "fig_fleet_capping: %s\n", spec.error.c_str());
+    return 2;
+  }
+  core::CampaignRun run;
+  std::string error;
+  if (!core::submit_campaign(engine, spec.spec, run, error)) {
+    std::fprintf(stderr, "fig_fleet_capping: %s\n", error.c_str());
+    return 2;
+  }
+  auto& points = run.points;
+  auto& handles = run.handles;
   engine.wait_all();
 
   analysis::Table table({"allocator@cap", "energy (J)", "vs uncapped (%)",
                          "completion (s)", "mean backlog (ms)",
                          "max backlog (ms)", "peak T (C)", "over-cap"});
   std::vector<tools::BenchCase> cases;
-  for (const Cell& cell : cells) {
-    const core::FleetResult& r = cell.handle.get();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const core::FleetResult& r = handles[i].get().fleet();
     double peak_temp_c = 0.0;
     for (const core::FleetDeviceSummary& device : r.devices) {
       peak_temp_c = std::max(peak_temp_c, device.peak_temperature_c);
     }
-    table.add_row(cell.name,
+    table.add_row(points[i].label,
                   {r.energy_j,
                    uncapped.energy_j > 0.0
                        ? (r.energy_j / uncapped.energy_j - 1.0) * 100.0
@@ -156,7 +212,7 @@ int main(int argc, char** argv) {
                    r.backlog_max_s * 1e3, peak_temp_c, r.over_cap_slices},
                   2);
     tools::BenchCase bench_case;
-    bench_case.name = cell.name;
+    bench_case.name = points[i].label;
     bench_case.metrics = {{"energy_j", r.energy_j},
                           {"completion_s", r.completion_s},
                           {"backlog_mean_s", r.mean_backlog_s},
@@ -172,14 +228,16 @@ int main(int argc, char** argv) {
   // The acceptance comparison: at each cap level, does the proportional
   // allocator dominate the uniform split on energy at equal-or-better
   // backlog?
-  for (const double frac : kCapFractions) {
+  for (std::size_t c = 0; c < std::size(kCapFractions); ++c) {
     const core::FleetResult* uniform = nullptr;
     const core::FleetResult* proportional = nullptr;
-    for (const Cell& cell : cells) {
-      if (cell.cap_frac != frac) continue;
-      if (cell.allocator == "uniform") uniform = &cell.handle.get();
-      if (cell.allocator == "proportional") {
-        proportional = &cell.handle.get();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      // Row-major grid: allocator axis first, cap axis second.
+      if (i % std::size(kCapFractions) != c) continue;
+      const std::string& allocator = points[i].coords[0].second;
+      if (allocator == "uniform") uniform = &handles[i].get().fleet();
+      if (allocator == "proportional") {
+        proportional = &handles[i].get().fleet();
       }
     }
     if (uniform == nullptr || proportional == nullptr) continue;
@@ -191,20 +249,15 @@ int main(int argc, char** argv) {
     std::printf(
         "cap %.2f: proportional %s uniform (energy %+.2f J, max backlog "
         "%+.1f ms)\n",
-        frac, dominates ? "dominates" : "does not dominate",
+        kCapFractions[c], dominates ? "dominates" : "does not dominate",
         proportional->energy_j - uniform->energy_j,
         (proportional->backlog_max_s - uniform->backlog_max_s) * 1e3);
   }
   bench::print_engine_stats(engine);
 
-  char protocol[200];
-  std::snprintf(protocol, sizeof protocol,
-                "N=%zu seeds=%d sampled(tiles=%zu, kfrac=%.2f), %d x A100 "
-                "staggered burst, slice 10 ms, thermal on, cap x uncapped "
-                "peak",
-                env.n, env.seeds, env.tiles, env.k_fraction, kDevices);
-  const auto doc = tools::bench_document("fleet_capping", protocol, cases);
-  if (!tools::write_bench_json(out_path, doc)) {
+  const auto bench_doc = tools::bench_document("fleet_capping", protocol,
+                                               cases);
+  if (!tools::write_bench_json(out_path, bench_doc)) {
     std::fprintf(stderr, "fig_fleet_capping: cannot write %s\n",
                  out_path.c_str());
     return 1;

@@ -49,13 +49,7 @@ inline core::ExperimentEngine make_engine(const core::BenchEnv& env) {
 }
 
 inline void print_engine_stats(const core::ExperimentEngine& engine) {
-  const core::EngineStats stats = engine.stats();
-  std::printf(
-      "\nengine: %d worker(s), %llu experiment(s) submitted, %llu computed, "
-      "%llu cache hit(s)\n",
-      engine.workers(), static_cast<unsigned long long>(stats.submitted),
-      static_cast<unsigned long long>(stats.jobs_computed),
-      static_cast<unsigned long long>(stats.cache_hits));
+  std::printf("\nengine: %s\n", core::engine_stats_line(engine).c_str());
 }
 
 /// Runs a figure's sweep for all four datatypes through the engine and

@@ -2,10 +2,11 @@
 // provisioned per worst case (a DGX-H100 node reserves 10 kW for 8 GPUs),
 // but the paper shows the *input data* moves per-GPU draw by tens of watts.
 // This example runs the input-dependent power model across the four
-// simulated GPUs and three workload input profiles — all twelve experiments
-// batched on the ExperimentEngine — and reports how much provisioning
-// headroom an input-aware scheduler could reclaim per GPU and per 1000-GPU
-// cluster.
+// simulated GPUs and three workload input profiles — the whole grid
+// expressed as one campaign spec (core/spec.hpp), exactly what a user
+// would write into a JSON file for `gpowerctl run` — and reports how much
+// provisioning headroom an input-aware scheduler could reclaim per GPU and
+// per 1000-GPU cluster.
 //
 //   ./build/examples/datacenter_provisioning
 #include <cstdio>
@@ -16,9 +17,13 @@
 #include "core/engine.hpp"
 #include "core/env.hpp"
 #include "core/figures.hpp"
+#include "core/pattern_dsl.hpp"
+#include "core/spec.hpp"
+#include "gpusim/device.hpp"
 
 int main() {
   using namespace gpupower;
+  using analysis::JsonValue;
 
   const core::BenchEnv env = core::read_bench_env();
   std::printf(
@@ -45,36 +50,73 @@ int main() {
                         return s;
                       }()});
 
-  constexpr gpusim::GpuModel kGpus[] = {
-      gpusim::GpuModel::kA100PCIe, gpusim::GpuModel::kH100SXM,
-      gpusim::GpuModel::kV100SXM2, gpusim::GpuModel::kRTX6000};
+  struct Gpu {
+    const char* key;
+    gpusim::GpuModel model;
+  };
+  constexpr Gpu kGpus[] = {{"a100", gpusim::GpuModel::kA100PCIe},
+                           {"h100", gpusim::GpuModel::kH100SXM},
+                           {"v100", gpusim::GpuModel::kV100SXM2},
+                           {"rtx6000", gpusim::GpuModel::kRTX6000}};
+
+  // The whole (gpu x profile) grid as one campaign document.
+  const core::ExperimentConfig base_config = core::ExperimentConfigBuilder()
+                                                 .dtype(numeric::DType::kFP16T)
+                                                 .env(env)
+                                                 .build();
+  JsonValue gpu_values = JsonValue::array();
+  for (const Gpu& gpu : kGpus) gpu_values.push(JsonValue::string(gpu.key));
+  JsonValue profile_values = JsonValue::array();
+  for (const Profile& profile : profiles) {
+    JsonValue entry = JsonValue::object();
+    entry.set("value", JsonValue::string(core::to_dsl(profile.spec)))
+        .set("label", JsonValue::string(profile.name));
+    profile_values.push(std::move(entry));
+  }
+  JsonValue gpu_axis = JsonValue::object();
+  gpu_axis.set("field", JsonValue::string("experiment.gpu"))
+      .set("values", std::move(gpu_values));
+  JsonValue profile_axis = JsonValue::object();
+  profile_axis.set("field", JsonValue::string("experiment.pattern"))
+      .set("values", std::move(profile_values));
+  JsonValue axes = JsonValue::array();
+  axes.push(std::move(gpu_axis));
+  axes.push(std::move(profile_axis));
+  JsonValue doc = JsonValue::object();
+  doc.set("scenario", JsonValue::string("campaign"))
+      .set("name", JsonValue::string("provisioning"))
+      .set("base", core::spec_to_json(core::ScenarioConfig(base_config)))
+      .set("axes", std::move(axes));
+
+  const core::SpecParseResult spec = core::parse_scenario_spec(doc);
+  if (!spec.ok) {
+    std::fprintf(stderr, "datacenter_provisioning: %s\n", spec.error.c_str());
+    return 2;
+  }
 
   // All (gpu x profile) experiments in flight at once.
   core::EngineOptions engine_options;
   engine_options.workers = env.workers;
   core::ExperimentEngine engine(engine_options);
-  std::vector<std::vector<core::ExperimentHandle>> handles_by_gpu;
-  for (const auto gpu : kGpus) {
-    std::vector<core::ExperimentHandle> handles;
-    for (const auto& profile : profiles) {
-      handles.push_back(engine.submit(core::ExperimentConfigBuilder()
-                                          .gpu(gpu)
-                                          .dtype(numeric::DType::kFP16T)
-                                          .env(env)
-                                          .pattern(profile.spec)
-                                          .build()));
-    }
-    handles_by_gpu.push_back(std::move(handles));
+  core::CampaignRun run;
+  std::string error;
+  if (!core::submit_campaign(engine, spec.spec, run, error)) {
+    std::fprintf(stderr, "datacenter_provisioning: %s\n", error.c_str());
+    return 2;
   }
+  auto& handles = run.handles;
   engine.wait_all();
 
+  // Row-major grid: gpu axis first, so gpu g's profiles are the
+  // consecutive block starting at g * profiles.size().
   for (std::size_t g = 0; g < std::size(kGpus); ++g) {
-    const auto& dev = gpusim::device(kGpus[g]);
+    const auto& dev = gpusim::device(kGpus[g].model);
     analysis::Table table({"input profile", "power (W)", "vs TDP"});
     double worst = 0.0;
     double best = 1e30;
     for (std::size_t p = 0; p < profiles.size(); ++p) {
-      const auto& result = handles_by_gpu[g][p].get();
+      const auto& result =
+          handles[g * profiles.size() + p].get().static_result();
       worst = std::max(worst, result.power_w);
       best = std::min(best, result.power_w);
       table.add_row({profiles[p].name, analysis::fixed(result.power_w, 1),

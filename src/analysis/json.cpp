@@ -119,9 +119,12 @@ void JsonValue::write(std::string& out, bool pretty, int depth) const {
         out += "null";  // JSON has no Inf/NaN
         return;
       }
+      // Shortest decimal that round-trips the exact double: spec documents
+      // (core/spec.hpp) rely on dump -> parse preserving every scalar bit
+      // for canonical-key equality, and short values ("2.5") stay short.
       char buf[64];
-      std::snprintf(buf, sizeof buf, "%.10g", number_);
-      out += buf;
+      const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, number_);
+      out.append(buf, ec == std::errc{} ? ptr : buf);
       return;
     }
     case Kind::kString:

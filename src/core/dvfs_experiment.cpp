@@ -76,6 +76,27 @@ std::vector<gpupower::gpusim::ActivityTotals> replica_activity_variants(
   return variants;
 }
 
+std::string validate_dvfs_config(const DvfsConfig& config) {
+  if (config.experiment.seeds <= 0) {
+    return "experiment.seeds must be >= 1, got " +
+           std::to_string(config.experiment.seeds);
+  }
+  if (config.slice_s <= 0.0) return "slice_s must be > 0";
+  if (config.timeline.empty()) return "timeline has no phases";
+  if (config.pstates < 1 || config.pstates > 16) {
+    // Matches DvfsConfigBuilder's bound; a hand-built config must not
+    // request a million-entry P-state table.
+    return "pstates must be in [1, 16], got " + std::to_string(config.pstates);
+  }
+  const int max_pattern = config.timeline.max_pattern_index();
+  if (max_pattern >= static_cast<int>(config.phase_patterns.size())) {
+    return "timeline references phase pattern " + std::to_string(max_pattern) +
+           " but only " + std::to_string(config.phase_patterns.size()) +
+           " phase pattern(s) are configured";
+  }
+  return {};
+}
+
 dvfs::ReplayResult run_dvfs_seed_replica(const DvfsConfig& config,
                                          int seed_index) {
   if (config.slice_s <= 0.0) {

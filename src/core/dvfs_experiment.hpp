@@ -61,6 +61,13 @@ struct DvfsResult {
   gpupower::gpusim::dvfs::ReplayResult trace;
 };
 
+/// Validates everything a hand-assembled config can get wrong (seeds,
+/// slice, empty timeline, pstates range, dangling phase-pattern
+/// references).  Returns an empty string when valid, else the first
+/// problem — shared by DvfsConfigBuilder, ExperimentEngine, and the
+/// scenario registry.
+[[nodiscard]] std::string validate_dvfs_config(const DvfsConfig& config);
+
 /// Replays one seed replica's timeline.  Pure and thread-safe, like
 /// run_seed_replica.  Throws std::invalid_argument on a non-positive slice
 /// or an empty timeline.

@@ -13,25 +13,22 @@
 #include <unordered_map>
 #include <utility>
 
-#include "core/config_builder.hpp"
-
 namespace gpupower::core {
 namespace detail {
 
-/// Shared machinery of a multi-replica job: one result slot per seed
-/// (disjoint writes), an atomic countdown that triggers the in-seed-order
-/// reduction, and the done/error latch handles block on.  Config/Replica/
-/// Result vary between the classic experiment and the DVFS pipeline.
-template <typename Config, typename Replica, typename Result>
-struct ReplicaJob {
-  Config config;
-  std::vector<Replica> replicas;
+/// One type-erased multi-replica job: one result slot per seed (disjoint
+/// writes), an atomic countdown that triggers the in-seed-order reduction
+/// through the kind's registry hook, and the done/error latch handles
+/// block on.
+struct ScenarioJob {
+  ScenarioConfig config;
+  std::vector<ScenarioReplica> replicas;
   std::atomic<int> remaining{0};
 
   mutable std::mutex mutex;
   mutable std::condition_variable cv;
   bool done = false;
-  Result result;
+  ScenarioResult result;
   std::exception_ptr error;
 
   void wait() const {
@@ -39,15 +36,6 @@ struct ReplicaJob {
     cv.wait(lock, [this] { return done; });
   }
 };
-
-struct ExperimentJob
-    : ReplicaJob<ExperimentConfig, SeedReplicaResult, ExperimentResult> {};
-
-struct DvfsJob : ReplicaJob<DvfsConfig, gpupower::gpusim::dvfs::ReplayResult,
-                            DvfsResult> {};
-
-struct FleetJob : ReplicaJob<FleetConfig, gpupower::gpusim::fleet::FleetRun,
-                             FleetResult> {};
 
 struct EngineState {
   EngineOptions options;
@@ -64,33 +52,33 @@ struct EngineState {
   std::uint64_t outstanding = 0;
 
   mutable std::mutex cache_mutex;
-  std::unordered_map<std::string, std::shared_ptr<ExperimentJob>> cache;
-  std::unordered_map<std::string, std::shared_ptr<DvfsJob>> dvfs_cache;
-  std::unordered_map<std::string, std::shared_ptr<FleetJob>> fleet_cache;
+  /// One cache for every kind; keys are kind-prefixed
+  /// (canonical_scenario_key), so kinds can never collide.
+  std::unordered_map<std::string, std::shared_ptr<ScenarioJob>> cache;
   EngineStats stats;
-  std::atomic<std::uint64_t> replicas_run{0};
+  std::atomic<std::uint64_t> replicas_run[kScenarioKindCount] = {};
 };
 
 namespace {
 
 /// Reduces and publishes a finished job, then retires it from the
-/// outstanding count.  `reduce` runs under the job lock exactly once.
-template <typename Job, typename Reduce>
-void finish_job(EngineState& state, const std::shared_ptr<Job>& job,
-                Reduce reduce) {
+/// outstanding count.  The registry reduce hook runs under the job lock
+/// exactly once and consumes the replica slots.
+void finish_job(EngineState& state, const std::shared_ptr<ScenarioJob>& job) {
   {
     std::lock_guard lock(job->mutex);
     if (!job->error) {
       try {
-        job->result = reduce(job->config, job->replicas);
+        job->result = scenario_kind_info(job->config.kind())
+                          .reduce(job->config, job->replicas);
       } catch (...) {
         job->error = std::current_exception();
       }
     }
     // All writers are done (remaining hit zero) and the reduction has
-    // consumed the replicas; release them now — cached DVFS jobs would
-    // otherwise pin every seed's full per-slice trace for the engine's
-    // lifetime.
+    // consumed the replicas; release them now — cached DVFS/fleet jobs
+    // would otherwise pin every seed's full per-slice trace for the
+    // engine's lifetime.
     job->replicas.clear();
     job->replicas.shrink_to_fit();
     job->done = true;
@@ -103,25 +91,27 @@ void finish_job(EngineState& state, const std::shared_ptr<Job>& job,
   }
 }
 
-/// One seed replica of `job`: runs `compute`, stores into the seed's
-/// disjoint slot, and finishes the job with `reduce` when the countdown
-/// hits zero.  Shared by the experiment and DVFS paths.
-template <typename Job, typename Compute, typename Reduce>
-void run_replica_task(EngineState& state, const std::shared_ptr<Job>& job,
-                      int seed_index, Compute compute, Reduce reduce) {
+/// One seed replica of `job`: runs the kind's replica hook, stores into
+/// the seed's disjoint slot, and finishes the job when the countdown hits
+/// zero.
+void run_replica_task(EngineState& state,
+                      const std::shared_ptr<ScenarioJob>& job,
+                      int seed_index) {
+  const ScenarioKindInfo& info = scenario_kind_info(job->config.kind());
   try {
     // Disjoint slots: no lock needed for the write, the job's atomic
     // countdown orders it before the reduction.
     job->replicas[static_cast<std::size_t>(seed_index)] =
-        compute(job->config, seed_index);
+        info.run_replica(job->config, seed_index);
   } catch (...) {
     std::lock_guard lock(job->mutex);
     if (!job->error) job->error = std::current_exception();
   }
-  state.replicas_run.fetch_add(1, std::memory_order_relaxed);
+  state.replicas_run[static_cast<std::size_t>(info.kind)].fetch_add(
+      1, std::memory_order_relaxed);
 
   if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    finish_job(state, job, reduce);
+    finish_job(state, job);
   }
 }
 
@@ -156,33 +146,49 @@ namespace {
                          "methods");
 }
 
-// Shared bodies for the two handle types (the public classes stay
-// concrete; only the implementations are generic).
-template <typename Job>
-const auto& handle_get(const std::shared_ptr<Job>& job, const char* cls) {
+// Shared bodies for the handle types (the public classes stay concrete;
+// only the implementations are generic).
+const ScenarioResult& handle_get(
+    const std::shared_ptr<detail::ScenarioJob>& job, const char* cls) {
   if (!job) throw_invalid_handle(cls, "get");
   job->wait();
   if (job->error) std::rethrow_exception(job->error);
   return job->result;
 }
 
-template <typename Job>
-bool handle_ready(const std::shared_ptr<Job>& job, const char* cls) {
+bool handle_ready(const std::shared_ptr<detail::ScenarioJob>& job,
+                  const char* cls) {
   if (!job) throw_invalid_handle(cls, "ready");
   std::lock_guard lock(job->mutex);
   return job->done;
 }
 
-template <typename Job>
-const auto& handle_config(const std::shared_ptr<Job>& job, const char* cls) {
+const ScenarioConfig& handle_config(
+    const std::shared_ptr<detail::ScenarioJob>& job, const char* cls) {
   if (!job) throw_invalid_handle(cls, "config");
   return job->config;
 }
 
 }  // namespace
 
+const ScenarioResult& ScenarioHandle::get() const {
+  return handle_get(job_, "ScenarioHandle");
+}
+
+bool ScenarioHandle::ready() const {
+  return handle_ready(job_, "ScenarioHandle");
+}
+
+const ScenarioConfig& ScenarioHandle::config() const {
+  return handle_config(job_, "ScenarioHandle");
+}
+
+ScenarioKind ScenarioHandle::kind() const {
+  return handle_config(job_, "ScenarioHandle").kind();
+}
+
 const ExperimentResult& ExperimentHandle::get() const {
-  return handle_get(job_, "ExperimentHandle");
+  return handle_get(job_, "ExperimentHandle").static_result();
 }
 
 bool ExperimentHandle::ready() const {
@@ -190,27 +196,27 @@ bool ExperimentHandle::ready() const {
 }
 
 const ExperimentConfig& ExperimentHandle::config() const {
-  return handle_config(job_, "ExperimentHandle");
+  return handle_config(job_, "ExperimentHandle").static_config();
 }
 
 const DvfsResult& DvfsHandle::get() const {
-  return handle_get(job_, "DvfsHandle");
+  return handle_get(job_, "DvfsHandle").dvfs();
 }
 
 bool DvfsHandle::ready() const { return handle_ready(job_, "DvfsHandle"); }
 
 const DvfsConfig& DvfsHandle::config() const {
-  return handle_config(job_, "DvfsHandle");
+  return handle_config(job_, "DvfsHandle").dvfs();
 }
 
 const FleetResult& FleetHandle::get() const {
-  return handle_get(job_, "FleetHandle");
+  return handle_get(job_, "FleetHandle").fleet();
 }
 
 bool FleetHandle::ready() const { return handle_ready(job_, "FleetHandle"); }
 
 const FleetConfig& FleetHandle::config() const {
-  return handle_config(job_, "FleetHandle");
+  return handle_config(job_, "FleetHandle").fleet();
 }
 
 std::vector<SweepEntry> SweepRun::collect() const {
@@ -251,39 +257,49 @@ ExperimentEngine::~ExperimentEngine() {
   for (std::thread& thread : state_->threads) thread.join();
 }
 
-namespace {
-
-/// Shared submit path: publish-to-cache (or attach to the in-flight
-/// duplicate), then fan the seed replicas out as queue tasks.  `compute`
-/// runs one replica, `reduce` folds them in seed order; `key_fn` produces
-/// the canonical cache key and only runs when the cache is enabled (key
+/// The one submit path every family funnels through: validate through the
+/// kind's registry hook, publish-to-cache (or attach to the in-flight
+/// duplicate), then fan the seed replicas out as queue tasks.  The
+/// canonical key is only computed when the cache is enabled (key
 /// serialisation is not free — a DVFS key spells out every timeline
 /// phase).
-template <typename Job, typename Config, typename KeyFn, typename Compute,
-          typename Reduce>
-std::shared_ptr<Job> submit_replica_job(
-    detail::EngineState& state,
-    std::unordered_map<std::string, std::shared_ptr<Job>>& cache,
-    const Config& config, KeyFn key_fn, int seeds, Compute compute,
-    Reduce reduce) {
+std::shared_ptr<detail::ScenarioJob> ExperimentEngine::submit_job(
+    ScenarioConfig config) {
+  const ScenarioKindInfo& info = scenario_kind_info(config.kind());
+  const std::string problem = info.validate(config);
+  if (!problem.empty()) {
+    // Reject malformed configs before scheduling: a worker throwing later
+    // would surface the same message, but only at get() time (and cache
+    // the poisoned job).
+    throw std::invalid_argument("ExperimentEngine::submit(" +
+                                std::string(info.name) + "): " + problem);
+  }
+  const int seeds = config.seeds();
+  const std::size_t kind_index = static_cast<std::size_t>(info.kind);
+  detail::EngineState& state = *state_;
+
   // Fully initialise the job before publishing it to the cache, so a
   // concurrent duplicate submit sees a consistent object.
-  auto job = std::make_shared<Job>();
-  job->config = config;
+  auto job = std::make_shared<detail::ScenarioJob>();
+  job->config = std::move(config);
   job->replicas.resize(static_cast<std::size_t>(seeds));
   job->remaining.store(seeds, std::memory_order_relaxed);
 
   {
     std::lock_guard lock(state.cache_mutex);
     ++state.stats.submitted;
+    ++state.stats.by_kind[kind_index].submitted;
     if (state.options.cache_enabled) {
-      const auto [it, inserted] = cache.try_emplace(key_fn(config), job);
+      const auto [it, inserted] = state.cache.try_emplace(
+          canonical_scenario_key(job->config), job);
       if (!inserted) {
         ++state.stats.cache_hits;
+        ++state.stats.by_kind[kind_index].cache_hits;
         return it->second;
       }
     }
     ++state.stats.jobs_computed;
+    ++state.stats.by_kind[kind_index].jobs_computed;
   }
 
   {
@@ -293,34 +309,30 @@ std::shared_ptr<Job> submit_replica_job(
   {
     std::lock_guard lock(state.queue_mutex);
     for (int s = 0; s < seeds; ++s) {
-      state.queue.push_back([&state, job, s, compute, reduce] {
-        detail::run_replica_task(state, job, s, compute, reduce);
-      });
+      state.queue.push_back(
+          [&state, job, s] { detail::run_replica_task(state, job, s); });
     }
   }
   state.queue_cv.notify_all();
   return job;
 }
 
-}  // namespace
+ScenarioHandle ExperimentEngine::submit(ScenarioConfig config) {
+  return ScenarioHandle(submit_job(std::move(config)));
+}
+
+std::vector<ScenarioHandle> ExperimentEngine::submit_batch(
+    const std::vector<ScenarioConfig>& configs) {
+  std::vector<ScenarioHandle> handles;
+  handles.reserve(configs.size());
+  for (const ScenarioConfig& config : configs) {
+    handles.push_back(submit(config));
+  }
+  return handles;
+}
 
 ExperimentHandle ExperimentEngine::submit(const ExperimentConfig& config) {
-  if (config.seeds <= 0) {
-    // A zero-seed job would "complete" with an all-zero result; reject it
-    // loudly instead (ExperimentConfigBuilder enforces the same bound).
-    throw std::invalid_argument(
-        "ExperimentEngine::submit: config.seeds must be >= 1, got " +
-        std::to_string(config.seeds));
-  }
-  return ExperimentHandle(submit_replica_job(
-      *state_, state_->cache, config,
-      [](const ExperimentConfig& c) { return canonical_config_key(c); },
-      config.seeds,
-      [](const ExperimentConfig& c, int s) { return run_seed_replica(c, s); },
-      [](const ExperimentConfig& c,
-         const std::vector<SeedReplicaResult>& replicas) {
-        return reduce_replicas(c, replicas);
-      }));
+  return ExperimentHandle(submit_job(ScenarioConfig(config)));
 }
 
 std::vector<ExperimentHandle> ExperimentEngine::submit_batch(
@@ -349,46 +361,7 @@ SweepRun ExperimentEngine::submit_sweep(FigureId id,
 }
 
 DvfsHandle ExperimentEngine::submit_dvfs(const DvfsConfig& config) {
-  if (config.experiment.seeds <= 0) {
-    throw std::invalid_argument(
-        "ExperimentEngine::submit_dvfs: experiment.seeds must be >= 1, got " +
-        std::to_string(config.experiment.seeds));
-  }
-  if (config.slice_s <= 0.0) {
-    throw std::invalid_argument(
-        "ExperimentEngine::submit_dvfs: slice_s must be > 0");
-  }
-  if (config.timeline.empty()) {
-    throw std::invalid_argument(
-        "ExperimentEngine::submit_dvfs: timeline has no phases");
-  }
-  if (config.pstates < 1 || config.pstates > 16) {
-    // Matches DvfsConfigBuilder's bound; a hand-built config must not
-    // request a million-entry P-state table.
-    throw std::invalid_argument(
-        "ExperimentEngine::submit_dvfs: pstates must be in [1, 16], got " +
-        std::to_string(config.pstates));
-  }
-  const int max_pattern = config.timeline.max_pattern_index();
-  if (max_pattern >= static_cast<int>(config.phase_patterns.size())) {
-    // Reject the dangling cross-reference eagerly — a worker throwing
-    // later would surface the same message, but only at get() time (and
-    // cache the poisoned job).
-    throw std::invalid_argument(
-        "ExperimentEngine::submit_dvfs: timeline references phase "
-        "pattern " + std::to_string(max_pattern) + " but only " +
-        std::to_string(config.phase_patterns.size()) +
-        " phase pattern(s) are configured");
-  }
-  return DvfsHandle(submit_replica_job(
-      *state_, state_->dvfs_cache, config,
-      [](const DvfsConfig& c) { return canonical_dvfs_key(c); },
-      config.experiment.seeds,
-      [](const DvfsConfig& c, int s) { return run_dvfs_seed_replica(c, s); },
-      [](const DvfsConfig& c,
-         const std::vector<gpupower::gpusim::dvfs::ReplayResult>& replicas) {
-        return reduce_dvfs_replicas(c, replicas);
-      }));
+  return DvfsHandle(submit_job(ScenarioConfig(config)));
 }
 
 std::vector<DvfsHandle> ExperimentEngine::submit_dvfs_batch(
@@ -402,26 +375,7 @@ std::vector<DvfsHandle> ExperimentEngine::submit_dvfs_batch(
 }
 
 FleetHandle ExperimentEngine::submit_fleet(const FleetConfig& config) {
-  if (config.experiment.seeds <= 0) {
-    throw std::invalid_argument(
-        "ExperimentEngine::submit_fleet: experiment.seeds must be >= 1, "
-        "got " + std::to_string(config.experiment.seeds));
-  }
-  // Reject malformed cross-references before scheduling: a worker throwing
-  // later would surface the same message, but only at get() time.
-  const std::string problem = validate_fleet_config(config);
-  if (!problem.empty()) {
-    throw std::invalid_argument("ExperimentEngine::submit_fleet: " + problem);
-  }
-  return FleetHandle(submit_replica_job(
-      *state_, state_->fleet_cache, config,
-      [](const FleetConfig& c) { return canonical_fleet_key(c); },
-      config.experiment.seeds,
-      [](const FleetConfig& c, int s) { return run_fleet_seed_replica(c, s); },
-      [](const FleetConfig& c,
-         const std::vector<gpupower::gpusim::fleet::FleetRun>& replicas) {
-        return reduce_fleet_replicas(c, replicas);
-      }));
+  return FleetHandle(submit_job(ScenarioConfig(config)));
 }
 
 std::vector<FleetHandle> ExperimentEngine::submit_fleet_batch(
@@ -442,7 +396,12 @@ void ExperimentEngine::wait_all() {
 EngineStats ExperimentEngine::stats() const {
   std::lock_guard lock(state_->cache_mutex);
   EngineStats stats = state_->stats;
-  stats.replicas_run = state_->replicas_run.load(std::memory_order_relaxed);
+  stats.replicas_run = 0;
+  for (std::size_t k = 0; k < kScenarioKindCount; ++k) {
+    stats.by_kind[k].replicas_run =
+        state_->replicas_run[k].load(std::memory_order_relaxed);
+    stats.replicas_run += stats.by_kind[k].replicas_run;
+  }
   return stats;
 }
 
@@ -451,8 +410,24 @@ int ExperimentEngine::workers() const noexcept { return state_->worker_count; }
 void ExperimentEngine::clear_cache() {
   std::lock_guard lock(state_->cache_mutex);
   state_->cache.clear();
-  state_->dvfs_cache.clear();
-  state_->fleet_cache.clear();
+}
+
+std::string engine_stats_line(const ExperimentEngine& engine) {
+  const EngineStats stats = engine.stats();
+  std::string line = std::to_string(engine.workers()) + " worker(s), " +
+                     std::to_string(stats.submitted) + " submitted, " +
+                     std::to_string(stats.jobs_computed) + " computed, " +
+                     std::to_string(stats.cache_hits) + " cache hit(s)";
+  // Per-kind breakdown (where the time went), only for kinds that ran.
+  for (const auto kind : kAllScenarioKinds) {
+    const EngineKindStats& k = stats.of(kind);
+    if (k.submitted == 0) continue;
+    line += " | ";
+    line += name(kind);
+    line += ": " + std::to_string(k.jobs_computed) + " computed, " +
+            std::to_string(k.replicas_run) + " replica(s)";
+  }
+  return line;
 }
 
 }  // namespace gpupower::core

@@ -3,25 +3,34 @@
 // `run_experiment` calls for every sweep-scale workload (14 figures x 4
 // datatypes x sweep points x 10 seeds in the paper's full protocol).
 //
+// Every submission — classic static experiment, DVFS timeline replay,
+// power-capped fleet — goes through ONE type-erased entry point:
+//
 //   ExperimentEngine engine;                       // worker pool sized to HW
-//   auto handle = engine.submit(config);           // non-blocking
+//   auto any   = engine.submit(ScenarioConfig(fleet_config));  // any kind
+//   auto handle = engine.submit(config);           // typed wrapper, same path
 //   auto sweep  = engine.submit_sweep(FigureId::kFig6aSparsity, base);
 //   engine.wait_all();
+//   const FleetResult& f = any.get().fleet();
 //   const ExperimentResult& r = handle.get();      // blocks if still running
 //   auto entries = sweep.collect();                // [SweepPoint, Result]...
-//   auto json    = sweep.to_json();                // analysis/json export
+//
+// The typed submit/submit_dvfs/submit_fleet families are thin wrappers over
+// submit(ScenarioConfig) — same cache, same replica pool, same seed-order
+// reduction — so they are bit-identical to the type-erased path by
+// construction.  New scenario kinds plug in through the registry in
+// core/scenario.hpp without touching the engine.
 //
 // Guarantees:
-//  - Results are bit-identical to the serial `run_experiment` path: seed
-//    replicas derive independent RNG streams, the engine computes them in
-//    parallel and folds them in seed order through the same
-//    `reduce_replicas` arithmetic.
+//  - Results are bit-identical to the serial reference paths: seed replicas
+//    derive independent RNG streams, the engine computes them in parallel
+//    and folds them in seed order through the kind's reduce hook.
 //  - Submissions are de-duplicated through an in-engine cache keyed by
-//    `canonical_config_key` (pattern in DSL form + every scalar field), so
-//    sweeps sharing points — e.g. every figure's baseline column — are
-//    computed once.  In-flight duplicates attach to the running job.
+//    `canonical_scenario_key` (kind-prefixed), so sweeps sharing points —
+//    e.g. every figure's baseline column — are computed once.  In-flight
+//    duplicates attach to the running job.
 //  - `submit` never blocks; per-seed tasks fan out across a fixed worker
-//    pool shared by all outstanding jobs.
+//    pool shared by all outstanding jobs of every kind.
 #pragma once
 
 #include <cstdint>
@@ -29,18 +38,14 @@
 #include <vector>
 
 #include "analysis/json.hpp"
-#include "core/dvfs_experiment.hpp"
-#include "core/experiment.hpp"
 #include "core/figures.hpp"
-#include "core/fleet_experiment.hpp"
 #include "core/report.hpp"
+#include "core/scenario.hpp"
 
 namespace gpupower::core {
 
 namespace detail {
-struct ExperimentJob;
-struct DvfsJob;
-struct FleetJob;
+struct ScenarioJob;
 struct EngineState;
 }  // namespace detail
 
@@ -52,45 +57,83 @@ struct EngineOptions {
   bool cache_enabled = true;
 };
 
+/// One scenario kind's slice of the engine counters — how a campaign run
+/// reports where the time went.
+struct EngineKindStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t jobs_computed = 0;
+  std::uint64_t replicas_run = 0;
+};
+
 struct EngineStats {
-  std::uint64_t submitted = 0;     ///< total submit() calls
+  std::uint64_t submitted = 0;     ///< total submit() calls, every kind
   std::uint64_t cache_hits = 0;    ///< submits served by an existing job
   std::uint64_t jobs_computed = 0; ///< unique configs actually scheduled
   std::uint64_t replicas_run = 0;  ///< seed-replica tasks executed
 
+  /// Per-kind breakdown; the aggregate fields above are the sums.
+  EngineKindStats by_kind[kScenarioKindCount];
+
+  [[nodiscard]] const EngineKindStats& of(ScenarioKind kind) const noexcept {
+    return by_kind[static_cast<std::size_t>(kind)];
+  }
   [[nodiscard]] std::uint64_t cache_misses() const noexcept {
     return submitted - cache_hits;
   }
 };
 
-/// Lightweight, copyable reference to a submitted experiment.  Handles to
+/// Lightweight, copyable reference to any submitted scenario.  Handles to
 /// the same (cached) config share the underlying job and result.  Calling
 /// get()/ready()/config() on a default-constructed handle throws
 /// std::logic_error (check valid() first).
+class ScenarioHandle {
+ public:
+  ScenarioHandle() = default;
+
+  /// Blocks until the scenario finishes; rethrows any worker exception.
+  /// The reference stays valid as long as any handle to the job exists.
+  [[nodiscard]] const ScenarioResult& get() const;
+  /// True once the result is available (non-blocking).
+  [[nodiscard]] bool ready() const;
+  /// The config this handle was submitted with.
+  [[nodiscard]] const ScenarioConfig& config() const;
+  /// Scenario kind (throws std::logic_error on an invalid handle).
+  [[nodiscard]] ScenarioKind kind() const;
+  [[nodiscard]] bool valid() const noexcept { return job_ != nullptr; }
+
+ private:
+  friend class ExperimentEngine;
+  friend class ExperimentHandle;
+  friend class DvfsHandle;
+  friend class FleetHandle;
+  explicit ScenarioHandle(std::shared_ptr<detail::ScenarioJob> job)
+      : job_(std::move(job)) {}
+
+  std::shared_ptr<detail::ScenarioJob> job_;
+};
+
+/// Typed view of a static-experiment job — a thin wrapper over the shared
+/// type-erased job (same cache entry, same result storage).
 class ExperimentHandle {
  public:
   ExperimentHandle() = default;
 
   /// Blocks until the experiment finishes; rethrows any worker exception.
-  /// The reference stays valid as long as any handle to the job exists.
   [[nodiscard]] const ExperimentResult& get() const;
-  /// True once the result is available (non-blocking).
   [[nodiscard]] bool ready() const;
-  /// The config this handle was submitted with.
   [[nodiscard]] const ExperimentConfig& config() const;
   [[nodiscard]] bool valid() const noexcept { return job_ != nullptr; }
 
  private:
   friend class ExperimentEngine;
-  explicit ExperimentHandle(std::shared_ptr<detail::ExperimentJob> job)
+  explicit ExperimentHandle(std::shared_ptr<detail::ScenarioJob> job)
       : job_(std::move(job)) {}
 
-  std::shared_ptr<detail::ExperimentJob> job_;
+  std::shared_ptr<detail::ScenarioJob> job_;
 };
 
-/// Reference to a submitted DVFS timeline experiment — same semantics as
-/// ExperimentHandle (shared cached jobs, blocking get(), logic_error on a
-/// default-constructed handle).
+/// Typed view of a DVFS timeline job — same semantics as ExperimentHandle.
 class DvfsHandle {
  public:
   DvfsHandle() = default;
@@ -103,15 +146,13 @@ class DvfsHandle {
 
  private:
   friend class ExperimentEngine;
-  explicit DvfsHandle(std::shared_ptr<detail::DvfsJob> job)
+  explicit DvfsHandle(std::shared_ptr<detail::ScenarioJob> job)
       : job_(std::move(job)) {}
 
-  std::shared_ptr<detail::DvfsJob> job_;
+  std::shared_ptr<detail::ScenarioJob> job_;
 };
 
-/// Reference to a submitted fleet experiment — same semantics as the other
-/// handles (shared cached jobs, blocking get(), logic_error on a
-/// default-constructed handle).
+/// Typed view of a fleet job — same semantics as the other handles.
 class FleetHandle {
  public:
   FleetHandle() = default;
@@ -124,10 +165,10 @@ class FleetHandle {
 
  private:
   friend class ExperimentEngine;
-  explicit FleetHandle(std::shared_ptr<detail::FleetJob> job)
+  explicit FleetHandle(std::shared_ptr<detail::ScenarioJob> job)
       : job_(std::move(job)) {}
 
-  std::shared_ptr<detail::FleetJob> job_;
+  std::shared_ptr<detail::ScenarioJob> job_;
 };
 
 /// A figure sweep in flight: one handle per sweep point, in sweep order.
@@ -152,10 +193,18 @@ class ExperimentEngine {
   ExperimentEngine(const ExperimentEngine&) = delete;
   ExperimentEngine& operator=(const ExperimentEngine&) = delete;
 
-  /// Enqueues one experiment (never blocks).  Identical configs — by
-  /// canonical_config_key — share one computation and one result.  Throws
-  /// std::invalid_argument when config.seeds <= 0 (a zero-seed job would
-  /// silently reduce to an all-zero result).
+  /// The one submission entry point: enqueues any scenario kind (never
+  /// blocks).  Identical configs — by canonical_scenario_key — share one
+  /// computation and one result.  Throws std::invalid_argument when the
+  /// kind's validator rejects the config (zero seeds, empty timeline,
+  /// dangling cross-references, ...).
+  ScenarioHandle submit(ScenarioConfig config);
+
+  /// Enqueues a batch of scenarios; handles are in input order.
+  std::vector<ScenarioHandle> submit_batch(
+      const std::vector<ScenarioConfig>& configs);
+
+  /// Typed wrapper over submit(ScenarioConfig) for classic experiments.
   ExperimentHandle submit(const ExperimentConfig& config);
 
   /// Enqueues a batch; handles are in input order.
@@ -164,27 +213,18 @@ class ExperimentEngine {
 
   /// Enqueues every sweep point of a paper figure.  `base` supplies the
   /// scalars (gpu, dtype, n, seeds, sampling...); each point's PatternSpec
-  /// overrides `base.pattern`.
+  /// overrides `base.pattern`.  (Campaign specs — core/spec.hpp — are the
+  /// generic grid form of this.)
   SweepRun submit_sweep(FigureId id, const ExperimentConfig& base);
 
-  /// Enqueues one DVFS timeline experiment (never blocks).  Seed replicas
-  /// fan out across the same worker pool as classic experiments and reduce
-  /// in seed order, so results are independent of the worker count.
-  /// De-duplicated by canonical_dvfs_key like submit().  Throws
-  /// std::invalid_argument on seeds <= 0, a non-positive slice, or an
-  /// empty timeline.
+  /// Typed wrapper over submit(ScenarioConfig) for DVFS timeline replays.
   DvfsHandle submit_dvfs(const DvfsConfig& config);
 
   /// Enqueues a batch of DVFS experiments; handles are in input order.
   std::vector<DvfsHandle> submit_dvfs_batch(
       const std::vector<DvfsConfig>& configs);
 
-  /// Enqueues one fleet power-capping experiment (never blocks).  Seed
-  /// replicas fan out across the shared worker pool — each replica steps
-  /// its whole fleet in lockstep — and reduce in seed order, so results
-  /// are independent of the worker count.  De-duplicated by
-  /// canonical_fleet_key like submit().  Throws std::invalid_argument on
-  /// seeds <= 0 or a config validate_fleet_config rejects.
+  /// Typed wrapper over submit(ScenarioConfig) for fleet experiments.
   FleetHandle submit_fleet(const FleetConfig& config);
 
   /// Enqueues a batch of fleet experiments; handles are in input order.
@@ -202,7 +242,15 @@ class ExperimentEngine {
   void clear_cache();
 
  private:
+  std::shared_ptr<detail::ScenarioJob> submit_job(ScenarioConfig config);
+
   std::shared_ptr<detail::EngineState> state_;
 };
+
+/// One-line human summary of an engine's counters — "4 worker(s), 12
+/// submitted, 12 computed, 0 cache hit(s) | fleet: 12 computed, 24
+/// replica(s)" — shared by the bench harness and gpowerctl so the
+/// per-kind breakdown prints identically everywhere.
+[[nodiscard]] std::string engine_stats_line(const ExperimentEngine& engine);
 
 }  // namespace gpupower::core

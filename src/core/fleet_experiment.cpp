@@ -36,6 +36,18 @@ const dvfs::WorkloadTimeline& widest_timeline(const FleetConfig& config) {
   return *widest;
 }
 
+/// Quantile by linear interpolation between order statistics (the
+/// numpy-default "linear" method); q in [0, 1].
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
 }  // namespace
 
 std::string validate_fleet_config(const FleetConfig& config) {
@@ -152,7 +164,8 @@ FleetResult reduce_fleet_replicas(
     const FleetConfig& config,
     std::span<const fleet::FleetRun> replicas) {
   analysis::RunningStats energy, avg_power, peak_power, completion, duration;
-  analysis::RunningStats backlog_max, mean_backlog, transitions, over_cap;
+  analysis::RunningStats backlog_max, backlog_p99, mean_backlog, transitions,
+      over_cap;
   FleetResult result;
   result.devices.resize(config.devices.size());
   std::vector<analysis::RunningStats> dev_energy(config.devices.size());
@@ -173,6 +186,14 @@ FleetResult reduce_fleet_replicas(
     completion.add(replica.completion_s);
     duration.add(replica.duration_s);
     backlog_max.add(replica.backlog_max_s);
+    {
+      std::vector<double> device_worst;
+      device_worst.reserve(replica.devices.size());
+      for (const fleet::FleetDeviceRun& device : replica.devices) {
+        device_worst.push_back(device.replay.backlog_max_s);
+      }
+      backlog_p99.add(quantile(std::move(device_worst), 0.99));
+    }
     mean_backlog.add(replica.mean_backlog_s);
     transitions.add(static_cast<double>(replica.transitions));
     over_cap.add(static_cast<double>(replica.over_cap_slices));
@@ -200,6 +221,7 @@ FleetResult reduce_fleet_replicas(
   result.completion_s = completion.mean();
   result.duration_s = duration.mean();
   result.backlog_max_s = backlog_max.mean();
+  result.backlog_p99_s = backlog_p99.mean();
   result.mean_backlog_s = mean_backlog.mean();
   result.transitions = transitions.mean();
   result.over_cap_slices = over_cap.mean();

@@ -205,6 +205,7 @@ analysis::JsonValue fleet_to_json(const FleetConfig& config,
       .set("completion_s", JsonValue::number(result.completion_s))
       .set("duration_s", JsonValue::number(result.duration_s))
       .set("backlog_max_s", JsonValue::number(result.backlog_max_s))
+      .set("backlog_p99_s", JsonValue::number(result.backlog_p99_s))
       .set("mean_backlog_s", JsonValue::number(result.mean_backlog_s))
       .set("transitions", JsonValue::number(result.transitions))
       .set("over_cap_slices", JsonValue::number(result.over_cap_slices))

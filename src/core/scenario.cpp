@@ -1,0 +1,232 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/config_builder.hpp"
+#include "core/report.hpp"
+
+namespace gpupower::core {
+namespace {
+
+[[noreturn]] void throw_kind_mismatch(const char* accessor,
+                                      ScenarioKind actual) {
+  throw std::logic_error(std::string("ScenarioConfig/Result::") + accessor +
+                         "(): scenario holds a " + std::string(name(actual)) +
+                         " value");
+}
+
+/// Moves the typed replicas out of their variant slots; the engine clears
+/// the slots right after the reduction, so the move is safe.
+template <typename Replica>
+std::vector<Replica> take_replicas(std::span<ScenarioReplica> replicas) {
+  std::vector<Replica> typed;
+  typed.reserve(replicas.size());
+  for (ScenarioReplica& replica : replicas) {
+    typed.push_back(std::get<Replica>(std::move(replica)));
+  }
+  return typed;
+}
+
+std::string validate_seeds(int seeds) {
+  if (seeds <= 0) {
+    return "experiment.seeds must be >= 1, got " + std::to_string(seeds);
+  }
+  return {};
+}
+
+// --- static experiment hooks -----------------------------------------------
+
+std::string static_validate(const ScenarioConfig& config) {
+  return validate_seeds(config.static_config().seeds);
+}
+
+std::string static_key(const ScenarioConfig& config) {
+  return canonical_config_key(config.static_config());
+}
+
+ScenarioReplica static_replica(const ScenarioConfig& config, int seed_index) {
+  return run_seed_replica(config.static_config(), seed_index);
+}
+
+ScenarioResult static_reduce(const ScenarioConfig& config,
+                             std::span<ScenarioReplica> replicas) {
+  return reduce_replicas(config.static_config(),
+                         take_replicas<SeedReplicaResult>(replicas));
+}
+
+analysis::JsonValue static_json(const ScenarioConfig& config,
+                                const ScenarioResult& result) {
+  return to_json(config.static_config(), result.static_result());
+}
+
+// --- DVFS hooks ------------------------------------------------------------
+
+std::string dvfs_validate(const ScenarioConfig& config) {
+  return validate_dvfs_config(config.dvfs());
+}
+
+std::string dvfs_key(const ScenarioConfig& config) {
+  return canonical_dvfs_key(config.dvfs());
+}
+
+ScenarioReplica dvfs_replica(const ScenarioConfig& config, int seed_index) {
+  return run_dvfs_seed_replica(config.dvfs(), seed_index);
+}
+
+ScenarioResult dvfs_reduce(const ScenarioConfig& config,
+                           std::span<ScenarioReplica> replicas) {
+  return reduce_dvfs_replicas(
+      config.dvfs(),
+      take_replicas<gpupower::gpusim::dvfs::ReplayResult>(replicas));
+}
+
+analysis::JsonValue dvfs_json(const ScenarioConfig& config,
+                              const ScenarioResult& result) {
+  return dvfs_to_json(config.dvfs(), result.dvfs());
+}
+
+// --- fleet hooks -----------------------------------------------------------
+
+std::string fleet_validate(const ScenarioConfig& config) {
+  const std::string seeds = validate_seeds(config.fleet().experiment.seeds);
+  if (!seeds.empty()) return seeds;
+  return validate_fleet_config(config.fleet());
+}
+
+std::string fleet_key(const ScenarioConfig& config) {
+  return canonical_fleet_key(config.fleet());
+}
+
+ScenarioReplica fleet_replica(const ScenarioConfig& config, int seed_index) {
+  return run_fleet_seed_replica(config.fleet(), seed_index);
+}
+
+ScenarioResult fleet_reduce(const ScenarioConfig& config,
+                            std::span<ScenarioReplica> replicas) {
+  return reduce_fleet_replicas(
+      config.fleet(),
+      take_replicas<gpupower::gpusim::fleet::FleetRun>(replicas));
+}
+
+analysis::JsonValue fleet_json(const ScenarioConfig& config,
+                               const ScenarioResult& result) {
+  return fleet_to_json(config.fleet(), result.fleet());
+}
+
+constexpr ScenarioKindInfo kRegistry[kScenarioKindCount] = {
+    {ScenarioKind::kStatic, "static", &static_validate, &static_key,
+     &static_replica, &static_reduce, &static_json},
+    {ScenarioKind::kDvfs, "dvfs", &dvfs_validate, &dvfs_key, &dvfs_replica,
+     &dvfs_reduce, &dvfs_json},
+    {ScenarioKind::kFleet, "fleet", &fleet_validate, &fleet_key,
+     &fleet_replica, &fleet_reduce, &fleet_json},
+};
+
+}  // namespace
+
+std::string_view name(ScenarioKind kind) noexcept {
+  return kRegistry[static_cast<std::size_t>(kind)].name;
+}
+
+bool parse_scenario_kind(std::string_view text, ScenarioKind& out) noexcept {
+  for (const ScenarioKindInfo& info : kRegistry) {
+    if (text == info.name) {
+      out = info.kind;
+      return true;
+    }
+  }
+  if (text == "experiment") {  // the spec-file alias for "static"
+    out = ScenarioKind::kStatic;
+    return true;
+  }
+  return false;
+}
+
+const ExperimentConfig& ScenarioConfig::static_config() const {
+  if (kind() != ScenarioKind::kStatic) {
+    throw_kind_mismatch("static_config", kind());
+  }
+  return std::get<ExperimentConfig>(value_);
+}
+
+const DvfsConfig& ScenarioConfig::dvfs() const {
+  if (kind() != ScenarioKind::kDvfs) throw_kind_mismatch("dvfs", kind());
+  return std::get<DvfsConfig>(value_);
+}
+
+const FleetConfig& ScenarioConfig::fleet() const {
+  if (kind() != ScenarioKind::kFleet) throw_kind_mismatch("fleet", kind());
+  return std::get<FleetConfig>(value_);
+}
+
+const ExperimentConfig& ScenarioConfig::experiment() const noexcept {
+  switch (kind()) {
+    case ScenarioKind::kDvfs:
+      return std::get<DvfsConfig>(value_).experiment;
+    case ScenarioKind::kFleet:
+      return std::get<FleetConfig>(value_).experiment;
+    case ScenarioKind::kStatic:
+      break;
+  }
+  return std::get<ExperimentConfig>(value_);
+}
+
+const ExperimentResult& ScenarioResult::static_result() const {
+  if (!valid() || kind() != ScenarioKind::kStatic) {
+    throw_kind_mismatch("static_result", kind());
+  }
+  return std::get<ExperimentResult>(value_);
+}
+
+const DvfsResult& ScenarioResult::dvfs() const {
+  if (!valid() || kind() != ScenarioKind::kDvfs) {
+    throw_kind_mismatch("dvfs", kind());
+  }
+  return std::get<DvfsResult>(value_);
+}
+
+const FleetResult& ScenarioResult::fleet() const {
+  if (!valid() || kind() != ScenarioKind::kFleet) {
+    throw_kind_mismatch("fleet", kind());
+  }
+  return std::get<FleetResult>(value_);
+}
+
+const ScenarioKindInfo& scenario_kind_info(ScenarioKind kind) noexcept {
+  return kRegistry[static_cast<std::size_t>(kind)];
+}
+
+std::string validate_scenario(const ScenarioConfig& config) {
+  return scenario_kind_info(config.kind()).validate(config);
+}
+
+std::string canonical_scenario_key(const ScenarioConfig& config) {
+  const ScenarioKindInfo& info = scenario_kind_info(config.kind());
+  // '\x1f' (unit separator) cannot appear in a kind name, so keys of
+  // different kinds can never collide even if a kind's key embedded
+  // another kind's spelling.
+  return std::string(info.name) + '\x1f' + info.canonical_key(config);
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  const ScenarioKindInfo& info = scenario_kind_info(config.kind());
+  const std::string problem = info.validate(config);
+  if (!problem.empty()) {
+    throw std::invalid_argument("run_scenario: " + problem);
+  }
+  std::vector<ScenarioReplica> replicas;
+  replicas.reserve(static_cast<std::size_t>(config.seeds()));
+  for (int s = 0; s < config.seeds(); ++s) {
+    replicas.push_back(info.run_replica(config, s));
+  }
+  return info.reduce(config, replicas);
+}
+
+analysis::JsonValue scenario_to_json(const ScenarioConfig& config,
+                                     const ScenarioResult& result) {
+  return scenario_kind_info(config.kind()).to_json(config, result);
+}
+
+}  // namespace gpupower::core

@@ -388,6 +388,27 @@ TEST(Fleet, TightCapForcesDeeperStatesAndBacklog) {
   EXPECT_GT(clamped, 0);
 }
 
+TEST(Fleet, P99BacklogIsAFleetQuantileBelowTheMax) {
+  // Staggered load means the devices' worst backlogs differ; the p99
+  // across devices interpolates between the top order statistics, so it
+  // stays positive, at most the max, and above the across-device mean
+  // whenever the distribution has a tail.
+  FleetConfig config = small_fleet_config(4);
+  config.allocator.policy = AllocatorConfig::Policy::kUniform;
+  const FleetResult uncapped = core::run_fleet(config);
+  FleetConfig capped = config;
+  capped.allocator.cap_w =
+      0.5 * (uncapped.peak_power_w +
+             4.0 * device(config.devices[0].gpu).idle_w);
+  const FleetResult result = core::run_fleet(capped);
+
+  EXPECT_GT(result.backlog_p99_s, 0.0);
+  EXPECT_LE(result.backlog_p99_s, result.backlog_max_s + 1e-12);
+  // The JSON export carries the SLO metric.
+  const std::string json = core::fleet_to_json(capped, result).dump();
+  EXPECT_NE(json.find("\"backlog_p99_s\":"), std::string::npos);
+}
+
 TEST(Fleet, DemandAwareAllocationBeatsUniformOnBacklog) {
   // Staggered bursts: devices peak at different times, so a demand signal
   // can move budget to whoever is bursting.  The uniform split starves the

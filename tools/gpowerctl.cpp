@@ -24,6 +24,16 @@
 //       device) under a shared power cap and print per-device and
 //       fleet-aggregate energy/backlog/temperature, against the uncapped
 //       fleet baseline
+//   gpowerctl validate <spec.json>
+//       parse a declarative scenario spec (core/spec.hpp) and report what
+//       it would run — campaign grids are expanded and every point checked
+//   gpowerctl run <spec.json> [--json] [--bench-out FILE]
+//       execute a spec: one scenario, or a whole campaign grid fanned
+//       through the engine as one deduplicated batch
+//
+// The dvfs/fleet verbs are spec-building shims: the flags assemble a spec
+// document (printable with --emit-spec for migration), which is parsed
+// back and submitted through the same type-erased path `run` uses.
 //
 // Common options: --n SIZE, --seeds K, --tiles T, --kfrac F, --workers W
 // (same meaning as the GPUPOWER_* environment knobs).  Sweeps and model
@@ -49,8 +59,11 @@
 #include "core/pattern_dsl.hpp"
 #include "core/power_model.hpp"
 #include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "core/spec.hpp"
 #include "telemetry/nvml.hpp"
 #include "telemetry/sampler.hpp"
+#include "tools/bench_export.hpp"
 
 namespace {
 
@@ -75,6 +88,10 @@ struct Options {
   double cap_w = 0.0;  ///< 0 = uncapped
   std::string allocator = "proportional";
   bool thermal = false;
+  // spec front end (run/validate, and the dvfs/fleet shims)
+  std::string spec_path;  ///< positional <spec.json> of run/validate
+  std::string bench_out;  ///< campaign bench-document output path
+  bool emit_spec = false; ///< dvfs/fleet: print the spec document and exit
 };
 
 constexpr gpusim::GpuModel kGpuByIndex[] = {
@@ -83,8 +100,13 @@ constexpr gpusim::GpuModel kGpuByIndex[] = {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <discovery|dmon|sweep|features|predict|dvfs|fleet> "
-               "[options]\n"
+               "usage: %s <discovery|dmon|sweep|features|predict|dvfs|fleet"
+               "|run|validate> [options]\n"
+               "  run <spec.json>      execute a scenario / campaign spec\n"
+               "  validate <spec.json> parse + expand a spec without running\n"
+               "  --bench-out FILE bench-document export of a campaign run\n"
+               "  --emit-spec      dvfs/fleet: print the equivalent spec "
+               "JSON and exit\n"
                "  --gpu N          device index (see 'discovery'; default 0)\n"
                "  --dtype T        fp32 | fp16 | fp16t | int8 (default fp16)\n"
                "  --pattern DSL    e.g. \"gaussian(sigma=210) | sort_rows(40%%)\"\n"
@@ -256,6 +278,21 @@ bool parse_args(int argc, char** argv, Options& opts, std::string& error) {
         return false;
       }
       opts.env.workers = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (flag == "--bench-out") {
+      const char* v = next();
+      if (!v) {
+        error = "--bench-out needs a path";
+        return false;
+      }
+      opts.bench_out = v;
+    } else if (flag == "--emit-spec") {
+      opts.emit_spec = true;
+    } else if (!flag.starts_with("--") && opts.spec_path.empty() &&
+               (opts.command == "run" || opts.command == "validate")) {
+      // Only run/validate take a positional (the spec path); a stray
+      // positional on any other verb stays a hard error — "fleet 400"
+      // must not silently run an uncapped fleet.
+      opts.spec_path = flag;
     } else {
       error = "unknown option '" + std::string(flag) + "'";
       return false;
@@ -495,6 +532,218 @@ int cmd_predict(const Options& opts) {
   return 0;
 }
 
+// --- spec front end ---------------------------------------------------------
+
+int spec_error(const std::string& message) {
+  std::fprintf(stderr, "gpowerctl: %s\n", message.c_str());
+  return 2;
+}
+
+/// Metric columns of a campaign table / bench document, per scenario kind.
+std::vector<std::string> kind_metric_headers(core::ScenarioKind kind) {
+  switch (kind) {
+    case core::ScenarioKind::kStatic:
+      return {"power (W)", "std (W)", "iter (ms)", "energy/iter (J)"};
+    case core::ScenarioKind::kDvfs:
+      return {"energy (J)", "avg W", "completion (s)", "max backlog (ms)"};
+    case core::ScenarioKind::kFleet:
+      return {"energy (J)", "avg W", "completion (s)", "max backlog (ms)",
+              "p99 backlog (ms)"};
+  }
+  return {};
+}
+
+std::vector<double> kind_metric_values(const core::ScenarioResult& result) {
+  switch (result.kind()) {
+    case core::ScenarioKind::kStatic: {
+      const core::ExperimentResult& r = result.static_result();
+      return {r.power_w, r.power_std_w, r.iteration_s * 1e3,
+              r.energy_per_iter_j};
+    }
+    case core::ScenarioKind::kDvfs: {
+      const core::DvfsResult& r = result.dvfs();
+      return {r.energy_j, r.avg_power_w, r.completion_s,
+              r.backlog_max_s * 1e3};
+    }
+    case core::ScenarioKind::kFleet: {
+      const core::FleetResult& r = result.fleet();
+      return {r.energy_j, r.avg_power_w, r.completion_s,
+              r.backlog_max_s * 1e3, r.backlog_p99_s * 1e3};
+    }
+  }
+  return {};
+}
+
+/// Bench-document metrics (names aligned with the committed BENCH_*.json
+/// documents so `bench_export --compare` gates campaign runs directly).
+std::vector<tools::BenchMetric> kind_bench_metrics(
+    const core::ScenarioResult& result) {
+  switch (result.kind()) {
+    case core::ScenarioKind::kStatic: {
+      const core::ExperimentResult& r = result.static_result();
+      return {{"power_w", r.power_w},
+              {"energy_per_iter_j", r.energy_per_iter_j}};
+    }
+    case core::ScenarioKind::kDvfs: {
+      const core::DvfsResult& r = result.dvfs();
+      return {{"energy_j", r.energy_j},
+              {"completion_s", r.completion_s},
+              {"backlog_mean_s", r.mean_backlog_s},
+              {"backlog_max_s", r.backlog_max_s}};
+    }
+    case core::ScenarioKind::kFleet: {
+      const core::FleetResult& r = result.fleet();
+      return {{"energy_j", r.energy_j},
+              {"completion_s", r.completion_s},
+              {"backlog_mean_s", r.mean_backlog_s},
+              {"backlog_max_s", r.backlog_max_s}};
+    }
+  }
+  return {};
+}
+
+void print_engine_stats(const core::ExperimentEngine& engine) {
+  std::printf("\nengine: %s\n", core::engine_stats_line(engine).c_str());
+}
+
+/// Writes the bench trajectory document for a finished run; shared by the
+/// campaign and single-scenario paths (and every output mode — --json
+/// must not swallow --bench-out).
+int write_bench_out(const Options& opts, const std::string& bench_name,
+                    const std::string& protocol,
+                    const std::vector<tools::BenchCase>& cases) {
+  const auto doc = tools::bench_document(bench_name, protocol, cases);
+  if (!tools::write_bench_json(opts.bench_out, doc)) {
+    return spec_error("cannot write " + opts.bench_out);
+  }
+  std::fprintf(stderr, "wrote %s\n", opts.bench_out.c_str());
+  return 0;
+}
+
+void print_scenario_summary(const core::ScenarioConfig& config,
+                            const core::ScenarioResult& result) {
+  const std::vector<std::string> headers = kind_metric_headers(config.kind());
+  const std::vector<double> values = kind_metric_values(result);
+  std::printf("# %s scenario, %d seed(s)\n",
+              std::string(core::name(config.kind())).c_str(), config.seeds());
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    std::printf("  %-18s %.4f\n", headers[i].c_str(), values[i]);
+  }
+}
+
+int cmd_validate(const Options& opts) {
+  if (opts.spec_path.empty()) return spec_error("validate needs <spec.json>");
+  const core::SpecParseResult parsed = core::load_scenario_spec(opts.spec_path);
+  if (!parsed.ok) return spec_error(parsed.error);
+  if (!parsed.spec.campaign) {
+    std::printf("spec OK: %s scenario, %d seed(s)\n",
+                std::string(core::name(parsed.spec.config.kind())).c_str(),
+                parsed.spec.config.seeds());
+    return 0;
+  }
+  std::vector<core::CampaignPoint> points;
+  std::string error;
+  if (!core::expand_campaign(parsed.spec, points, error)) {
+    return spec_error(error);
+  }
+  std::string axes;
+  for (const core::CampaignAxis& axis : parsed.spec.axes) {
+    if (!axes.empty()) axes += " x ";
+    axes += axis.field + "(" + std::to_string(axis.values.size()) + ")";
+  }
+  std::printf("spec OK: campaign '%s', %zu point(s) of kind %s, axes: %s\n",
+              parsed.spec.name.empty() ? "(unnamed)"
+                                       : parsed.spec.name.c_str(),
+              points.size(),
+              std::string(core::name(points.front().config.kind())).c_str(),
+              axes.c_str());
+  return 0;
+}
+
+int run_campaign(const Options& opts, const core::ScenarioSpec& spec) {
+  core::ExperimentEngine engine = make_engine(opts);
+  core::CampaignRun run;
+  std::string error;
+  if (!core::submit_campaign(engine, spec, run, error)) {
+    return spec_error(error);
+  }
+  engine.wait_all();
+
+  if (!opts.bench_out.empty()) {
+    std::vector<tools::BenchCase> cases;
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+      tools::BenchCase bench_case;
+      bench_case.name = run.points[i].label;
+      bench_case.metrics = kind_bench_metrics(run.handles[i].get());
+      cases.push_back(std::move(bench_case));
+    }
+    const int status = write_bench_out(
+        opts, spec.name.empty() ? "campaign" : spec.name, spec.protocol,
+        cases);
+    if (status != 0) return status;
+  }
+
+  if (opts.json) {
+    analysis::JsonValue doc = analysis::JsonValue::object();
+    doc.set("campaign", analysis::JsonValue::string(spec.name));
+    analysis::JsonValue series = analysis::JsonValue::array();
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+      analysis::JsonValue entry = analysis::JsonValue::object();
+      entry.set("label", analysis::JsonValue::string(run.points[i].label))
+          .set("result", core::scenario_to_json(run.points[i].config,
+                                                run.handles[i].get()));
+      series.push(std::move(entry));
+    }
+    doc.set("points", std::move(series));
+    std::printf("%s\n", doc.dump(/*pretty=*/true).c_str());
+    return 0;
+  }
+
+  std::vector<std::string> headers{"point"};
+  for (std::string& header :
+       kind_metric_headers(run.points.front().config.kind())) {
+    headers.push_back(std::move(header));
+  }
+  analysis::Table table(std::move(headers));
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    table.add_row(run.points[i].label,
+                  kind_metric_values(run.handles[i].get()), 3);
+  }
+  if (opts.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  print_engine_stats(engine);
+  return 0;
+}
+
+int cmd_run(const Options& opts) {
+  if (opts.spec_path.empty()) return spec_error("run needs <spec.json>");
+  const core::SpecParseResult parsed = core::load_scenario_spec(opts.spec_path);
+  if (!parsed.ok) return spec_error(parsed.error);
+  if (parsed.spec.campaign) return run_campaign(opts, parsed.spec);
+
+  core::ExperimentEngine engine = make_engine(opts);
+  const core::ScenarioHandle handle = engine.submit(parsed.spec.config);
+  const core::ScenarioResult& result = handle.get();
+  if (!opts.bench_out.empty()) {
+    tools::BenchCase bench_case;
+    bench_case.name = std::string(core::name(parsed.spec.config.kind()));
+    bench_case.metrics = kind_bench_metrics(result);
+    const int status = write_bench_out(opts, "scenario", "", {bench_case});
+    if (status != 0) return status;
+  }
+  if (opts.json) {
+    std::printf("%s\n", core::scenario_to_json(parsed.spec.config, result)
+                            .dump(/*pretty=*/true)
+                            .c_str());
+    return 0;
+  }
+  print_scenario_summary(parsed.spec.config, result);
+  return 0;
+}
+
 int cmd_dvfs(const Options& opts) {
   core::PatternSpec spec;
   if (!parse_pattern_or_die(opts, spec)) return 1;
@@ -509,7 +758,21 @@ int cmd_dvfs(const Options& opts) {
     std::fprintf(stderr, "gpowerctl: %s\n", builder.error().c_str());
     return 2;
   }
-  const core::DvfsConfig config = builder.build();
+
+  // Spec-building shim: the flags assemble a spec document (printable with
+  // --emit-spec for migration), which is parsed back and submitted through
+  // the same type-erased path `gpowerctl run` uses.
+  const analysis::JsonValue spec_doc =
+      core::spec_to_json(core::ScenarioConfig(builder.build()));
+  if (opts.emit_spec) {
+    std::printf("%s\n", spec_doc.dump(/*pretty=*/true).c_str());
+    return 0;
+  }
+  const core::SpecParseResult parsed_spec = core::parse_scenario_spec(spec_doc);
+  if (!parsed_spec.ok) {
+    return spec_error("internal spec round-trip failed: " + parsed_spec.error);
+  }
+  const core::DvfsConfig config = parsed_spec.spec.config.dvfs();
 
   core::ExperimentEngine engine = make_engine(opts);
   const core::DvfsHandle run = engine.submit_dvfs(config);
@@ -623,7 +886,20 @@ int cmd_fleet(const Options& opts) {
     std::fprintf(stderr, "gpowerctl: %s\n", builder.error().c_str());
     return 2;
   }
-  const core::FleetConfig config = builder.build();
+
+  // Spec-building shim, exactly like cmd_dvfs: flags -> spec document ->
+  // parse -> the shared type-erased submission path.
+  const analysis::JsonValue spec_doc =
+      core::spec_to_json(core::ScenarioConfig(builder.build()));
+  if (opts.emit_spec) {
+    std::printf("%s\n", spec_doc.dump(/*pretty=*/true).c_str());
+    return 0;
+  }
+  const core::SpecParseResult parsed_spec = core::parse_scenario_spec(spec_doc);
+  if (!parsed_spec.ok) {
+    return spec_error("internal spec round-trip failed: " + parsed_spec.error);
+  }
+  const core::FleetConfig config = parsed_spec.spec.config.fleet();
 
   core::ExperimentEngine engine = make_engine(opts);
   const core::FleetHandle run = engine.submit_fleet(config);
@@ -691,12 +967,13 @@ int cmd_fleet(const Options& opts) {
       "\nfleet summary (%d seed(s)):\n"
       "  energy        %.2f J (std %.2f)   avg %.1f W   peak %.1f W\n"
       "  completion    %.3f s   max backlog %.1f ms   transitions %.1f\n"
+      "  SLO backlog   p99 across devices %.1f ms\n"
       "  over-cap      %.1f slice(s) (idle-floor physics)\n"
       "  vs uncapped   %.2f J energy, %.3f s completion, peak %.1f W\n",
       result.seeds, result.energy_j, result.energy_std_j, result.avg_power_w,
       result.peak_power_w, result.completion_s, result.backlog_max_s * 1e3,
-      result.transitions, result.over_cap_slices, uncapped.energy_j,
-      uncapped.completion_s, uncapped.peak_power_w);
+      result.transitions, result.backlog_p99_s * 1e3, result.over_cap_slices,
+      uncapped.energy_j, uncapped.completion_s, uncapped.peak_power_w);
   return 0;
 }
 
@@ -716,6 +993,8 @@ int main(int argc, char** argv) {
   if (opts.command == "predict") return cmd_predict(opts);
   if (opts.command == "dvfs") return cmd_dvfs(opts);
   if (opts.command == "fleet") return cmd_fleet(opts);
+  if (opts.command == "run") return cmd_run(opts);
+  if (opts.command == "validate") return cmd_validate(opts);
   std::fprintf(stderr, "error: unknown command '%s'\n", opts.command.c_str());
   return usage(argv[0]);
 }
