@@ -16,7 +16,6 @@
 // GPUPOWER_TILES, GPUPOWER_KFRAC, GPUPOWER_WORKERS, GPUPOWER_CSV.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -26,6 +25,7 @@
 #include "core/engine.hpp"
 #include "core/env.hpp"
 #include "core/spec.hpp"
+#include "core/store/result_store.hpp"
 #include "fig_harness.hpp"
 
 namespace {
@@ -107,13 +107,12 @@ int main(int argc, char** argv) {
       .set("axes", std::move(axes));
 
   if (!emit_spec_path.empty()) {
-    std::ofstream out(emit_spec_path);
-    if (!out) {
+    if (!core::atomic_write_text(emit_spec_path,
+                                 doc.dump(/*pretty=*/true) + "\n")) {
       std::fprintf(stderr, "fig_dvfs_governor: cannot write %s\n",
                    emit_spec_path.c_str());
       return 1;
     }
-    out << doc.dump(/*pretty=*/true) << "\n";
     std::printf("wrote %s\n", emit_spec_path.c_str());
   }
 

@@ -32,7 +32,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -43,6 +42,7 @@
 #include "core/env.hpp"
 #include "core/fleet_experiment.hpp"
 #include "core/spec.hpp"
+#include "core/store/result_store.hpp"
 #include "fig_harness.hpp"
 #include "tools/bench_export.hpp"
 
@@ -168,13 +168,12 @@ int main(int argc, char** argv) {
       .set("axes", std::move(axes));
 
   if (!emit_spec_path.empty()) {
-    std::ofstream spec_out(emit_spec_path);
-    if (!spec_out) {
+    if (!core::atomic_write_text(emit_spec_path,
+                                 doc.dump(/*pretty=*/true) + "\n")) {
       std::fprintf(stderr, "fig_fleet_capping: cannot write %s\n",
                    emit_spec_path.c_str());
       return 1;
     }
-    spec_out << doc.dump(/*pretty=*/true) << "\n";
     std::printf("wrote %s\n", emit_spec_path.c_str());
   }
 

@@ -1,0 +1,223 @@
+// Persistent-store replay latency: the cold/warm campaign pair that the
+// result store (core/store/result_store.hpp) exists for.  Phase 1 runs the
+// committed examples/specs/fleet_capping.json campaign against a fresh
+// store directory (every point computed and written back); phase 2 replays
+// the identical campaign on a NEW engine sharing the same directory and
+// must serve every point from disk — zero replicas, zero computed jobs.
+//
+// The bench is its own acceptance gate: it exits nonzero when the cold
+// pass fails to persist every point, when the warm pass recomputes
+// anything, or when any warm result is not bit-identical (by canonical
+// JSON dump) to its cold twin.
+//
+// Emits BENCH_store.json (tools/bench_export): the campaign energy_j sum
+// is a deterministic model output and gates symmetrically in CI; wall
+// times are machine-absolute and stay informational.
+//
+// Flags: --spec FILE (default examples/specs/fleet_capping.json),
+//        --out FILE (default BENCH_store.json),
+//        --store-dir DIR (default: fresh directory under the system tmp,
+//        removed on exit).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/env.hpp"
+#include "core/scenario.hpp"
+#include "core/spec.hpp"
+#include "core/store/result_store.hpp"
+#include "tools/bench_export.hpp"
+
+namespace {
+
+using namespace gpupower;
+
+struct PhaseOutcome {
+  double wall_ms = 0.0;
+  core::EngineStats stats;
+  std::vector<std::string> dumps;  ///< canonical result JSON per point
+  double energy_j = 0.0;           ///< sum over campaign points
+};
+
+// Every kind reports an energy; the campaign sum is the gated model output.
+double summary_energy_j(const core::ScenarioResult& result) {
+  switch (result.kind()) {
+    case core::ScenarioKind::kStatic:
+      return result.static_result().energy_per_iter_j;
+    case core::ScenarioKind::kDvfs:
+      return result.dvfs().energy_j;
+    case core::ScenarioKind::kFleet:
+      return result.fleet().energy_j;
+  }
+  return 0.0;
+}
+
+/// Runs the whole campaign on a fresh engine sharing `store`, and snapshots
+/// the counters plus every result's canonical JSON dump.
+bool run_phase(const core::ScenarioSpec& spec,
+               std::shared_ptr<core::ResultStore> store, int workers,
+               PhaseOutcome& outcome, std::string& error) {
+  core::EngineOptions options;
+  options.workers = workers;
+  options.store = std::move(store);
+  core::ExperimentEngine engine(options);
+
+  const auto start = std::chrono::steady_clock::now();
+  core::CampaignRun run;
+  if (!core::submit_campaign(engine, spec, run, error)) return false;
+  engine.wait_all();
+  outcome.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+  outcome.stats = engine.stats();
+  for (const core::ScenarioHandle& handle : run.handles) {
+    const core::ScenarioResult& result = handle.get();
+    outcome.dumps.push_back(core::scenario_result_to_json(result).dump());
+    outcome.energy_j += summary_energy_j(result);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path = "examples/specs/fleet_capping.json";
+  std::string out_path = "BENCH_store.json";
+  std::string store_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) {
+      spec_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
+      store_dir = argv[++i];
+    }
+  }
+
+  const core::BenchEnv env = core::read_bench_env();
+  const bool temp_store = store_dir.empty();
+  if (temp_store) {
+    store_dir = (std::filesystem::temp_directory_path() /
+                 ("gpupower_store_bench_" +
+                  std::to_string(static_cast<long>(::getpid()))))
+                    .string();
+  }
+
+  const core::SpecParseResult parsed = core::load_scenario_spec(spec_path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "fig_store_latency: %s\n", parsed.error.c_str());
+    return 2;
+  }
+  if (!parsed.spec.campaign) {
+    std::fprintf(stderr, "fig_store_latency: %s is not a campaign spec\n",
+                 spec_path.c_str());
+    return 2;
+  }
+
+  std::printf("Store replay latency — cold vs warm campaign (%s)\n",
+              spec_path.c_str());
+  std::printf("  store: %s\n\n", store_dir.c_str());
+
+  // Cold: fresh directory, every point computed and persisted.
+  std::error_code ec;
+  std::filesystem::remove_all(store_dir, ec);
+  PhaseOutcome cold;
+  std::string error;
+  if (!run_phase(parsed.spec,
+                 std::make_shared<core::ResultStore>(
+                     core::StoreOptions{store_dir}),
+                 env.workers, cold, error)) {
+    std::fprintf(stderr, "fig_store_latency: cold: %s\n", error.c_str());
+    return 2;
+  }
+
+  // Warm: a brand-new engine (empty memory cache) over the same directory.
+  PhaseOutcome warm;
+  if (!run_phase(parsed.spec,
+                 std::make_shared<core::ResultStore>(
+                     core::StoreOptions{store_dir}),
+                 env.workers, warm, error)) {
+    std::fprintf(stderr, "fig_store_latency: warm: %s\n", error.c_str());
+    return 2;
+  }
+  if (temp_store) std::filesystem::remove_all(store_dir, ec);
+
+  const std::size_t points = cold.dumps.size();
+  std::printf("cold: %8.1f ms  (%llu computed, %llu replicas, %llu writes)\n",
+              cold.wall_ms,
+              static_cast<unsigned long long>(cold.stats.jobs_computed),
+              static_cast<unsigned long long>(cold.stats.replicas_run),
+              static_cast<unsigned long long>(cold.stats.store_writes));
+  std::printf("warm: %8.1f ms  (%llu computed, %llu replicas, %llu hits)\n",
+              warm.wall_ms,
+              static_cast<unsigned long long>(warm.stats.jobs_computed),
+              static_cast<unsigned long long>(warm.stats.replicas_run),
+              static_cast<unsigned long long>(warm.stats.store_hits));
+
+  // Acceptance: the warm pass must be a pure replay...
+  bool ok = true;
+  if (cold.stats.store_writes != points) {
+    std::fprintf(stderr,
+                 "FAIL: cold pass persisted %llu of %zu points\n",
+                 static_cast<unsigned long long>(cold.stats.store_writes),
+                 points);
+    ok = false;
+  }
+  if (warm.stats.jobs_computed != 0 || warm.stats.replicas_run != 0) {
+    std::fprintf(stderr,
+                 "FAIL: warm pass recomputed (%llu jobs, %llu replicas)\n",
+                 static_cast<unsigned long long>(warm.stats.jobs_computed),
+                 static_cast<unsigned long long>(warm.stats.replicas_run));
+    ok = false;
+  }
+  if (warm.stats.store_hits != points) {
+    std::fprintf(stderr, "FAIL: warm pass hit the store %llu of %zu times\n",
+                 static_cast<unsigned long long>(warm.stats.store_hits),
+                 points);
+    ok = false;
+  }
+  // ...and bit-identical to the cold one, point by point.
+  for (std::size_t i = 0; i < points; ++i) {
+    if (cold.dumps[i] != warm.dumps[i]) {
+      std::fprintf(stderr, "FAIL: point %zu differs cold vs warm\n", i);
+      ok = false;
+    }
+  }
+  std::printf("replay parity: %zu/%zu points bit-identical, warm replicas "
+              "%llu\n",
+              points, points,
+              static_cast<unsigned long long>(warm.stats.replicas_run));
+
+  // Machine-independent protocol: the spec embeds its own shape string.
+  const std::string protocol =
+      parsed.spec.protocol + ", cold->warm store replay";
+  std::vector<tools::BenchCase> cases;
+  cases.push_back(
+      {"cold",
+       {{"wall_ms", cold.wall_ms},
+        {"replicas", static_cast<double>(cold.stats.replicas_run)},
+        {"store_writes", static_cast<double>(cold.stats.store_writes)}}});
+  cases.push_back(
+      {"warm",
+       {{"wall_ms", warm.wall_ms},
+        {"replicas", static_cast<double>(warm.stats.replicas_run)},
+        {"store_hits", static_cast<double>(warm.stats.store_hits)}}});
+  cases.push_back({"campaign",
+                   {{"points", static_cast<double>(points)},
+                    {"energy_j", cold.energy_j}}});
+  const auto doc = tools::bench_document("store_latency", protocol, cases);
+  if (!tools::write_bench_json(out_path, doc)) {
+    std::fprintf(stderr, "fig_store_latency: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -1,5 +1,7 @@
 #include "core/engine.hpp"
 
+#include "core/store/result_store.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -22,6 +24,9 @@ namespace detail {
 /// block on.
 struct ScenarioJob {
   ScenarioConfig config;
+  /// Kind-prefixed canonical key; empty when the cache is disabled (no
+  /// key is ever computed).  Doubles as the store key for the write-back.
+  std::string cache_key;
   std::vector<ScenarioReplica> replicas;
   std::atomic<int> remaining{0};
 
@@ -57,6 +62,16 @@ struct EngineState {
   std::unordered_map<std::string, std::shared_ptr<ScenarioJob>> cache;
   EngineStats stats;
   std::atomic<std::uint64_t> replicas_run[kScenarioKindCount] = {};
+  std::atomic<std::uint64_t> store_writes[kScenarioKindCount] = {};
+
+  /// The persistent store, when one is attached AND the cache is enabled
+  /// (a cache-less engine recomputes by contract, so it must not read
+  /// stale results either).  nullptr otherwise.
+  [[nodiscard]] const ResultStore* store() const noexcept {
+    return options.cache_enabled && options.store && options.store->enabled()
+               ? options.store.get()
+               : nullptr;
+  }
 };
 
 namespace {
@@ -84,6 +99,19 @@ void finish_job(EngineState& state, const std::shared_ptr<ScenarioJob>& job) {
     job->done = true;
   }
   job->cv.notify_all();
+  // Persist before retiring from the outstanding count: wait_all()
+  // returning must imply every result is durably in the store, so a warm
+  // engine (or process) started right after it cannot race a write still
+  // in flight and recompute.  job->done is already published — waiters are
+  // not delayed by the disk write.
+  if (const ResultStore* store = state.store();
+      store != nullptr && !job->cache_key.empty() && !job->error &&
+      job->result.valid()) {
+    if (store->save(job->cache_key, job->result)) {
+      state.store_writes[static_cast<std::size_t>(job->config.kind())]
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   {
     std::lock_guard lock(state.done_mutex);
     --state.outstanding;
@@ -258,11 +286,11 @@ ExperimentEngine::~ExperimentEngine() {
 }
 
 /// The one submit path every family funnels through: validate through the
-/// kind's registry hook, publish-to-cache (or attach to the in-flight
-/// duplicate), then fan the seed replicas out as queue tasks.  The
-/// canonical key is only computed when the cache is enabled (key
-/// serialisation is not free — a DVFS key spells out every timeline
-/// phase).
+/// kind's registry hook, consult memory cache -> store -> compute, then
+/// fan the seed replicas out as queue tasks.  The canonical key is only
+/// computed when the cache is enabled (key serialisation is not free — a
+/// DVFS key spells out every timeline phase); the store is only consulted
+/// when the cache is (a cache-less engine recomputes by contract).
 std::shared_ptr<detail::ScenarioJob> ExperimentEngine::submit_job(
     ScenarioConfig config) {
   const ScenarioKindInfo& info = scenario_kind_info(config.kind());
@@ -282,6 +310,9 @@ std::shared_ptr<detail::ScenarioJob> ExperimentEngine::submit_job(
   // concurrent duplicate submit sees a consistent object.
   auto job = std::make_shared<detail::ScenarioJob>();
   job->config = std::move(config);
+  if (state.options.cache_enabled) {
+    job->cache_key = canonical_scenario_key(job->config);
+  }
   job->replicas.resize(static_cast<std::size_t>(seeds));
   job->remaining.store(seeds, std::memory_order_relaxed);
 
@@ -290,8 +321,44 @@ std::shared_ptr<detail::ScenarioJob> ExperimentEngine::submit_job(
     ++state.stats.submitted;
     ++state.stats.by_kind[kind_index].submitted;
     if (state.options.cache_enabled) {
-      const auto [it, inserted] = state.cache.try_emplace(
-          canonical_scenario_key(job->config), job);
+      const auto it = state.cache.find(job->cache_key);
+      if (it != state.cache.end()) {
+        ++state.stats.cache_hits;
+        ++state.stats.by_kind[kind_index].cache_hits;
+        return it->second;
+      }
+    }
+  }
+
+  // Store lookup happens outside the cache lock — entry files can be
+  // large, and a disk read must not serialise unrelated submits.  Two
+  // threads racing the same key both load identical bytes; the
+  // try_emplace below picks one winner.
+  if (const ResultStore* store = state.store(); store != nullptr) {
+    ScenarioResult loaded;
+    if (store->load(job->cache_key, info.kind, loaded)) {
+      job->result = std::move(loaded);
+      job->done = true;  // never scheduled: no lock needed yet
+      job->remaining.store(0, std::memory_order_relaxed);
+      job->replicas.clear();
+      job->replicas.shrink_to_fit();
+      std::lock_guard lock(state.cache_mutex);
+      const auto [it, inserted] = state.cache.try_emplace(job->cache_key, job);
+      if (!inserted) {
+        ++state.stats.cache_hits;
+        ++state.stats.by_kind[kind_index].cache_hits;
+        return it->second;
+      }
+      ++state.stats.store_hits;
+      ++state.stats.by_kind[kind_index].store_hits;
+      return job;
+    }
+  }
+
+  {
+    std::lock_guard lock(state.cache_mutex);
+    if (state.options.cache_enabled) {
+      const auto [it, inserted] = state.cache.try_emplace(job->cache_key, job);
       if (!inserted) {
         ++state.stats.cache_hits;
         ++state.stats.by_kind[kind_index].cache_hits;
@@ -397,10 +464,14 @@ EngineStats ExperimentEngine::stats() const {
   std::lock_guard lock(state_->cache_mutex);
   EngineStats stats = state_->stats;
   stats.replicas_run = 0;
+  stats.store_writes = 0;
   for (std::size_t k = 0; k < kScenarioKindCount; ++k) {
     stats.by_kind[k].replicas_run =
         state_->replicas_run[k].load(std::memory_order_relaxed);
     stats.replicas_run += stats.by_kind[k].replicas_run;
+    stats.by_kind[k].store_writes =
+        state_->store_writes[k].load(std::memory_order_relaxed);
+    stats.store_writes += stats.by_kind[k].store_writes;
   }
   return stats;
 }
@@ -418,6 +489,12 @@ std::string engine_stats_line(const ExperimentEngine& engine) {
                      std::to_string(stats.submitted) + " submitted, " +
                      std::to_string(stats.jobs_computed) + " computed, " +
                      std::to_string(stats.cache_hits) + " cache hit(s)";
+  // Store traffic only prints when it occurred, so store-less runs keep
+  // the historical line byte-for-byte.
+  if (stats.store_hits != 0 || stats.store_writes != 0) {
+    line += ", " + std::to_string(stats.store_hits) + " store hit(s), " +
+            std::to_string(stats.store_writes) + " store write(s)";
+  }
   // Per-kind breakdown (where the time went), only for kinds that ran.
   for (const auto kind : kAllScenarioKinds) {
     const EngineKindStats& k = stats.of(kind);
@@ -426,6 +503,10 @@ std::string engine_stats_line(const ExperimentEngine& engine) {
     line += name(kind);
     line += ": " + std::to_string(k.jobs_computed) + " computed, " +
             std::to_string(k.replicas_run) + " replica(s)";
+    if (k.store_hits != 0 || k.store_writes != 0) {
+      line += ", " + std::to_string(k.store_hits) + " store hit(s), " +
+              std::to_string(k.store_writes) + " store write(s)";
+    }
   }
   return line;
 }

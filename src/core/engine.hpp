@@ -44,6 +44,8 @@
 
 namespace gpupower::core {
 
+class ResultStore;
+
 namespace detail {
 struct ScenarioJob;
 struct EngineState;
@@ -54,7 +56,14 @@ struct EngineOptions {
   int workers = 0;
   /// When false, every submission is computed even if an identical config
   /// was already run (the cache also stops de-duplicating in-flight work).
+  /// Disabling the cache also bypasses the store below.
   bool cache_enabled = true;
+  /// Optional persistent result store (core/store/result_store.hpp):
+  /// submit() consults memory cache -> store -> compute, and completed
+  /// jobs write back before they retire, so wait_all() implies every
+  /// result is on disk.  Shareable between engines (and, through the
+  /// directory, between processes).
+  std::shared_ptr<ResultStore> store;
 };
 
 /// One scenario kind's slice of the engine counters — how a campaign run
@@ -64,6 +73,8 @@ struct EngineKindStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t jobs_computed = 0;
   std::uint64_t replicas_run = 0;
+  std::uint64_t store_hits = 0;    ///< submits served from the on-disk store
+  std::uint64_t store_writes = 0;  ///< completed jobs persisted to the store
 };
 
 struct EngineStats {
@@ -71,6 +82,8 @@ struct EngineStats {
   std::uint64_t cache_hits = 0;    ///< submits served by an existing job
   std::uint64_t jobs_computed = 0; ///< unique configs actually scheduled
   std::uint64_t replicas_run = 0;  ///< seed-replica tasks executed
+  std::uint64_t store_hits = 0;    ///< submits served from the on-disk store
+  std::uint64_t store_writes = 0;  ///< completed jobs persisted to the store
 
   /// Per-kind breakdown; the aggregate fields above are the sums.
   EngineKindStats by_kind[kScenarioKindCount];
@@ -250,7 +263,9 @@ class ExperimentEngine {
 /// One-line human summary of an engine's counters — "4 worker(s), 12
 /// submitted, 12 computed, 0 cache hit(s) | fleet: 12 computed, 24
 /// replica(s)" — shared by the bench harness and gpowerctl so the
-/// per-kind breakdown prints identically everywhere.
+/// per-kind breakdown prints identically everywhere.  Store traffic
+/// appends as ", N store hit(s), M store write(s)" (aggregate and
+/// per-kind) only when it occurred, so store-less runs print unchanged.
 [[nodiscard]] std::string engine_stats_line(const ExperimentEngine& engine);
 
 }  // namespace gpupower::core

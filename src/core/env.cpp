@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace gpupower::core {
 namespace {
@@ -53,6 +54,32 @@ BenchEnv read_bench_env() {
       read_long("GPUPOWER_WORKERS", 0, 0, 256,
                 "worker count in [0, 256]; 0 = hardware concurrency"));
   env.csv = std::getenv("GPUPOWER_CSV") != nullptr;
+  return env;
+}
+
+StoreEnv read_store_env() {
+  StoreEnv env;
+  const char* dir = std::getenv("GPUPOWER_STORE_DIR");
+  if (dir != nullptr) env.dir = dir;
+
+  const char* raw = std::getenv("GPUPOWER_STORE");
+  bool on = true;
+  if (raw != nullptr && *raw != '\0') {
+    const std::string value(raw);
+    if (value == "on") {
+      on = true;
+    } else if (value == "off") {
+      on = false;
+    } else {
+      die("GPUPOWER_STORE", raw, "'on' or 'off'");
+    }
+  }
+  if (on && raw != nullptr && *raw != '\0' && env.dir.empty()) {
+    // An explicit 'on' with nowhere to store is a misconfiguration, not a
+    // silent no-op.
+    die("GPUPOWER_STORE", raw, "GPUPOWER_STORE_DIR to also be set");
+  }
+  env.enabled = on && !env.dir.empty();
   return env;
 }
 

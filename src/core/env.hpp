@@ -8,12 +8,18 @@
 //   GPUPOWER_WORKERS  engine worker threads, 0 = hardware (default 0)
 //   GPUPOWER_CSV      when set, benches also print CSV blocks
 //
+// The persistent result store (core/store/) has its own pair, shared by
+// gpowerctl's run and serve verbs:
+//   GPUPOWER_STORE_DIR  store directory; unset = store off
+//   GPUPOWER_STORE      'on' | 'off' override (default on when a dir is set)
+//
 // Malformed or out-of-range values are rejected with a one-line error on
 // stderr and exit code 2 — a typo'd knob must never silently misconfigure
 // a run.
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "core/experiment.hpp"
 
@@ -40,5 +46,16 @@ struct BenchEnv {
 /// invalid values print `gpupower: invalid GPUPOWER_X='...' (expected ...)`
 /// and exit(2).
 [[nodiscard]] BenchEnv read_bench_env();
+
+/// Persistent-result-store knobs (core/store/result_store.hpp).
+struct StoreEnv {
+  std::string dir;       ///< GPUPOWER_STORE_DIR; empty = no store
+  bool enabled = false;  ///< dir set and not overridden by GPUPOWER_STORE=off
+};
+
+/// Reads GPUPOWER_STORE_DIR / GPUPOWER_STORE with the same strictness as
+/// read_bench_env: GPUPOWER_STORE must be 'on' or 'off' (exit 2 otherwise),
+/// and 'on' without a directory is rejected rather than silently ignored.
+[[nodiscard]] StoreEnv read_store_env();
 
 }  // namespace gpupower::core

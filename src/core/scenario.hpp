@@ -128,6 +128,18 @@ struct ScenarioKindInfo {
                            std::span<ScenarioReplica>) = nullptr;
   analysis::JsonValue (*to_json)(const ScenarioConfig&,
                                  const ScenarioResult&) = nullptr;
+  /// Exact, complete serialisation of the kind's result — every field,
+  /// including the full per-slice traces, at round-trip precision.  This is
+  /// the persistent result store's value format (core/store/), distinct
+  /// from the display-oriented to_json above, which summarises and drops
+  /// trace columns.
+  analysis::JsonValue (*result_to_json)(const ScenarioResult&) = nullptr;
+  /// Inverse of result_to_json: fills `out` from a stored document.
+  /// Returns false (with the first problem in `error`) on any missing or
+  /// mistyped field — the store treats a failed parse as a miss, never an
+  /// error.
+  bool (*result_from_json)(const analysis::JsonValue&, ScenarioResult&,
+                           std::string&) = nullptr;
 };
 
 /// The registry row for a kind (static storage).
@@ -150,5 +162,19 @@ struct ScenarioKindInfo {
 /// fleet_to_json).
 [[nodiscard]] analysis::JsonValue scenario_to_json(const ScenarioConfig& config,
                                                    const ScenarioResult& result);
+
+/// Full-fidelity result serialisation through the kind's result codec (the
+/// persistent store's value format): dumping and re-parsing reproduces the
+/// result bit-identically.  Throws std::logic_error on an empty result.
+[[nodiscard]] analysis::JsonValue scenario_result_to_json(
+    const ScenarioResult& result);
+
+/// Parses a scenario_result_to_json document of the given kind.  Returns
+/// false (with the first problem in `error`) on malformed input; never
+/// throws on bad data.
+[[nodiscard]] bool scenario_result_from_json(ScenarioKind kind,
+                                             const analysis::JsonValue& doc,
+                                             ScenarioResult& out,
+                                             std::string& error);
 
 }  // namespace gpupower::core

@@ -1,0 +1,168 @@
+#include "core/store/result_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "analysis/json.hpp"
+
+namespace gpupower::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Entry schema version; bump on any incompatible change to the entry
+/// envelope or the result codecs — old entries then read as misses and are
+/// rewritten on the next compute.
+constexpr long long kStoreSchema = 1;
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+/// fsync a file descriptor's directory so the rename itself is durable.
+/// Best-effort: some filesystems refuse to fsync directories; the entry
+/// write is still atomic without it.
+void sync_parent_dir(const fs::path& path) {
+  const fs::path parent =
+      path.has_parent_path() ? path.parent_path() : fs::path(".");
+  const int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    (void)::close(fd);
+  }
+}
+
+bool read_file_text(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return false;
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+bool atomic_write_text(const std::string& path, std::string_view text,
+                       std::string* error) {
+  const fs::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      set_error(error, "create_directories(" + target.parent_path().string() +
+                           "): " + ec.message());
+      return false;
+    }
+  }
+  // Unique sibling temp name: same directory (rename must not cross
+  // filesystems), distinct per process and per concurrent writer.
+  static std::atomic<unsigned> counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    set_error(error, "open(" + tmp + "): " + std::strerror(errno));
+    return false;
+  }
+  bool ok = text.empty() ||
+            std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  ok = ok && std::fflush(file) == 0;
+  ok = ok && ::fsync(fileno(file)) == 0;
+  const int saved_errno = errno;
+  ok = (std::fclose(file) == 0) && ok;
+  if (!ok) {
+    set_error(error, "write(" + tmp + "): " + std::strerror(saved_errno));
+    (void)std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "rename(" + tmp + " -> " + path +
+                         "): " + std::strerror(errno));
+    (void)std::remove(tmp.c_str());
+    return false;
+  }
+  sync_parent_dir(target);
+  return true;
+}
+
+ResultStore::ResultStore(StoreOptions options) : options_(std::move(options)) {}
+
+std::string ResultStore::entry_path(std::string_view canonical_key) const {
+  char name[17];
+  std::snprintf(name, sizeof(name), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(canonical_key)));
+  return options_.dir + "/" + name + ".json";
+}
+
+bool ResultStore::load(std::string_view canonical_key, ScenarioKind kind,
+                       ScenarioResult& out) const {
+  if (!enabled()) return false;
+  std::string text;
+  if (!read_file_text(entry_path(canonical_key), text)) return false;
+  const analysis::JsonParseResult parsed = analysis::json_parse(text);
+  if (!parsed.ok || !parsed.value.is_object()) return false;
+  const analysis::JsonValue& doc = parsed.value;
+  const analysis::JsonValue* schema = doc.find("gpupower_store");
+  if (schema == nullptr || !schema->is_number() ||
+      schema->as_number() != static_cast<double>(kStoreSchema)) {
+    return false;
+  }
+  // The entry carries its full canonical key; verifying it turns a
+  // filename-hash collision (and any cross-kind mixup) into a miss.
+  const analysis::JsonValue* key = doc.find("key");
+  if (key == nullptr || !key->is_string() || key->as_string() != canonical_key) {
+    return false;
+  }
+  const analysis::JsonValue* kind_name = doc.find("kind");
+  if (kind_name == nullptr || !kind_name->is_string() ||
+      kind_name->as_string() != name(kind)) {
+    return false;
+  }
+  const analysis::JsonValue* result = doc.find("result");
+  if (result == nullptr) return false;
+  std::string error;
+  ScenarioResult loaded;
+  try {
+    if (!scenario_result_from_json(kind, *result, loaded, error)) return false;
+  } catch (...) {
+    return false;  // a bad entry is a miss, never a crash
+  }
+  out = std::move(loaded);
+  return true;
+}
+
+bool ResultStore::save(std::string_view canonical_key,
+                       const ScenarioResult& result) const {
+  if (!enabled() || !result.valid()) return false;
+  analysis::JsonValue doc = analysis::JsonValue::object();
+  doc.set("gpupower_store", analysis::JsonValue::integer(kStoreSchema))
+      .set("kind", analysis::JsonValue::string(name(result.kind())))
+      .set("key", analysis::JsonValue::string(canonical_key))
+      .set("result", scenario_result_to_json(result));
+  std::string text = doc.dump();
+  text += '\n';
+  return atomic_write_text(entry_path(canonical_key), text, nullptr);
+}
+
+}  // namespace gpupower::core

@@ -1,0 +1,360 @@
+#include "core/store/serve.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <streambuf>
+#include <thread>
+#include <vector>
+
+#include "analysis/json.hpp"
+#include "core/spec.hpp"
+
+namespace gpupower::core {
+namespace {
+
+using analysis::JsonValue;
+
+/// One submitted scenario awaiting emission.
+struct PendingPoint {
+  long req = 0;
+  std::string label;
+  ScenarioConfig config;
+  ScenarioHandle handle;
+  bool emitted = false;
+};
+
+/// Per-request progress, for the trailing done event.
+struct RequestProgress {
+  long req = 0;
+  std::size_t points = 0;
+  std::size_t emitted = 0;
+  bool done_sent = false;
+};
+
+struct SessionState {
+  std::mutex mutex;
+  std::deque<std::string> events;  ///< pre-formatted lines from the reader
+  std::vector<PendingPoint> pending;
+  std::vector<RequestProgress> requests;
+  bool reader_done = false;
+};
+
+std::string error_event(long req, const std::string& message) {
+  JsonValue doc = JsonValue::object();
+  doc.set("type", JsonValue::string("error"))
+      .set("req", JsonValue::integer(req))
+      .set("error", JsonValue::string(message));
+  return doc.dump();
+}
+
+std::string accepted_event(long req, ScenarioKind kind, std::size_t points) {
+  JsonValue doc = JsonValue::object();
+  doc.set("type", JsonValue::string("accepted"))
+      .set("req", JsonValue::integer(req))
+      .set("scenario", JsonValue::string(name(kind)))
+      .set("points", JsonValue::integer(static_cast<long long>(points)));
+  return doc.dump();
+}
+
+std::string done_event(long req, std::size_t points) {
+  JsonValue doc = JsonValue::object();
+  doc.set("type", JsonValue::string("done"))
+      .set("req", JsonValue::integer(req))
+      .set("points", JsonValue::integer(static_cast<long long>(points)));
+  return doc.dump();
+}
+
+std::string stats_event(const ExperimentEngine& engine) {
+  JsonValue doc = JsonValue::object();
+  doc.set("type", JsonValue::string("stats"))
+      .set("engine", JsonValue::string(engine_stats_line(engine)));
+  return doc.dump();
+}
+
+std::string result_event(const PendingPoint& point,
+                         const ScenarioResult& result,
+                         const ServeOptions& options) {
+  JsonValue doc = JsonValue::object();
+  doc.set("type", JsonValue::string("result"))
+      .set("req", JsonValue::integer(point.req))
+      .set("point", JsonValue::string(point.label))
+      .set("scenario", JsonValue::string(name(point.config.kind())));
+  JsonValue metrics = JsonValue::object();
+  for (const auto& [metric, value] : scenario_summary_metrics(result)) {
+    metrics.set(metric, JsonValue::number(value));
+  }
+  doc.set("metrics", std::move(metrics));
+  if (options.full_results) {
+    doc.set("result", scenario_to_json(point.config, result));
+  }
+  // Compact dump: never contains a raw newline, so one event is one line.
+  return doc.dump();
+}
+
+std::string trimmed(const std::string& line) {
+  std::size_t begin = 0;
+  std::size_t end = line.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(line[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(line[end - 1]))) {
+    --end;
+  }
+  return line.substr(begin, end - begin);
+}
+
+/// Parses and submits one request line; records pending points and the
+/// accepted (or error) event under the session lock.
+void handle_request(ExperimentEngine& engine, SessionState& session, long req,
+                    const std::string& line) {
+  const SpecParseResult parsed = parse_scenario_spec_text(line);
+  if (!parsed.ok) {
+    std::lock_guard lock(session.mutex);
+    session.events.push_back(error_event(req, parsed.error));
+    return;
+  }
+
+  std::vector<PendingPoint> points;
+  try {
+    if (parsed.spec.campaign) {
+      CampaignRun run;
+      std::string error;
+      if (!submit_campaign(engine, parsed.spec, run, error)) {
+        std::lock_guard lock(session.mutex);
+        session.events.push_back(error_event(req, error));
+        return;
+      }
+      points.reserve(run.points.size());
+      for (std::size_t i = 0; i < run.points.size(); ++i) {
+        points.push_back({req, run.points[i].label, run.points[i].config,
+                          run.handles[i], false});
+      }
+    } else {
+      const ScenarioHandle handle = engine.submit(parsed.spec.config);
+      points.push_back({req, std::string(name(parsed.spec.config.kind())),
+                        parsed.spec.config, handle, false});
+    }
+  } catch (const std::exception& e) {
+    // Validator rejections (std::invalid_argument) arrive here.
+    std::lock_guard lock(session.mutex);
+    session.events.push_back(error_event(req, e.what()));
+    return;
+  }
+
+  std::lock_guard lock(session.mutex);
+  session.events.push_back(
+      accepted_event(req, points.front().config.kind(), points.size()));
+  session.requests.push_back({req, points.size(), 0, false});
+  for (PendingPoint& point : points) {
+    session.pending.push_back(std::move(point));
+  }
+}
+
+RequestProgress* find_request(SessionState& session, long req) {
+  for (RequestProgress& progress : session.requests) {
+    if (progress.req == req) return &progress;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, double>> scenario_summary_metrics(
+    const ScenarioResult& result) {
+  switch (result.kind()) {
+    case ScenarioKind::kStatic: {
+      const ExperimentResult& r = result.static_result();
+      return {{"power_w", r.power_w},
+              {"energy_per_iter_j", r.energy_per_iter_j}};
+    }
+    case ScenarioKind::kDvfs: {
+      const DvfsResult& r = result.dvfs();
+      return {{"energy_j", r.energy_j},
+              {"completion_s", r.completion_s},
+              {"backlog_mean_s", r.mean_backlog_s},
+              {"backlog_max_s", r.backlog_max_s}};
+    }
+    case ScenarioKind::kFleet: {
+      const FleetResult& r = result.fleet();
+      return {{"energy_j", r.energy_j},
+              {"completion_s", r.completion_s},
+              {"backlog_mean_s", r.mean_backlog_s},
+              {"backlog_max_s", r.backlog_max_s}};
+    }
+  }
+  return {};
+}
+
+long serve_session(ExperimentEngine& engine, std::istream& in,
+                   std::ostream& out, const ServeOptions& options) {
+  SessionState session;
+  long requests = 0;
+
+  // The reader thread turns stdin/socket lines into submissions without
+  // blocking the event stream: a client can pipeline many requests and
+  // results of the first interleave with parsing of the rest.
+  std::thread reader([&engine, &session, &in, &requests] {
+    std::string raw;
+    long req = 0;
+    while (std::getline(in, raw)) {
+      const std::string line = trimmed(raw);
+      if (line.empty()) continue;
+      ++req;
+      if (line == "stats") {
+        std::lock_guard lock(session.mutex);
+        session.events.push_back(stats_event(engine));
+        continue;
+      }
+      handle_request(engine, session, req, line);
+    }
+    std::lock_guard lock(session.mutex);
+    session.reader_done = true;
+    requests = req;
+  });
+
+  // Event streamer: drain reader events, then emit every completed point
+  // the moment its handle is ready — the whole reason serve exists.
+  for (;;) {
+    bool all_done = false;
+    {
+      std::lock_guard lock(session.mutex);
+      while (!session.events.empty()) {
+        out << session.events.front() << '\n';
+        session.events.pop_front();
+      }
+      for (PendingPoint& point : session.pending) {
+        if (point.emitted || !point.handle.ready()) continue;
+        std::string line;
+        try {
+          line = result_event(point, point.handle.get(), options);
+        } catch (const std::exception& e) {
+          line = error_event(point.req, point.label + ": " + e.what());
+        }
+        out << line << '\n';
+        point.emitted = true;
+        RequestProgress* progress = find_request(session, point.req);
+        if (progress != nullptr && ++progress->emitted == progress->points &&
+            !progress->done_sent) {
+          progress->done_sent = true;
+          out << done_event(progress->req, progress->points) << '\n';
+        }
+      }
+      out.flush();
+      all_done = session.reader_done && session.events.empty();
+      if (all_done) {
+        for (const PendingPoint& point : session.pending) {
+          if (!point.emitted) {
+            all_done = false;
+            break;
+          }
+        }
+      }
+    }
+    if (all_done || !out) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.poll_ms > 0 ? options.poll_ms : 1));
+  }
+  reader.join();
+  return requests;
+}
+
+namespace {
+
+/// Minimal bidirectional streambuf over a connected socket fd, so a
+/// socket client reuses the exact stream-based serve_session.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) { setg(in_, in_, in_); }
+
+ protected:
+  int_type underflow() override {
+    const ssize_t n = ::read(fd_, in_, sizeof(in_));
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(in_[0]);
+  }
+
+  int_type overflow(int_type ch) override {
+    if (ch == traits_type::eof()) return 0;
+    const char c = traits_type::to_char_type(ch);
+    return ::write(fd_, &c, 1) == 1 ? ch : traits_type::eof();
+  }
+
+  std::streamsize xsputn(const char* data, std::streamsize count) override {
+    std::streamsize written = 0;
+    while (written < count) {
+      const ssize_t n = ::write(fd_, data + written,
+                                static_cast<std::size_t>(count - written));
+      if (n <= 0) break;
+      written += n;
+    }
+    return written;
+  }
+
+ private:
+  int fd_;
+  char in_[4096];
+};
+
+}  // namespace
+
+bool serve_unix_socket(ExperimentEngine& engine,
+                       const std::string& socket_path,
+                       const ServeOptions& options, std::string& error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path too long: " + socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  (void)::unlink(socket_path.c_str());  // a stale socket from a crashed run
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    error = "bind/listen(" + socket_path + "): " + std::strerror(errno);
+    (void)::close(listen_fd);
+    return false;
+  }
+
+  std::vector<std::thread> sessions;
+  for (;;) {
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      error = std::string("accept: ") + std::strerror(errno);
+      break;
+    }
+    sessions.emplace_back([&engine, options, client] {
+      FdStreamBuf buffer(client);
+      std::istream in(&buffer);
+      std::ostream out(&buffer);
+      (void)serve_session(engine, in, out, options);
+      (void)::shutdown(client, SHUT_RDWR);
+      (void)::close(client);
+    });
+  }
+  for (std::thread& session : sessions) session.join();
+  (void)::close(listen_fd);
+  (void)::unlink(socket_path.c_str());
+  return false;
+}
+
+}  // namespace gpupower::core

@@ -1,0 +1,70 @@
+// The engine as a long-lived service: `gpowerctl serve` reads
+// newline-delimited scenario/campaign spec JSON (core/spec.hpp) and streams
+// one NDJSON event per completed scenario as results land — not at
+// wait_all() — so a client watching a campaign sees points arrive in
+// completion order.  Any number of concurrent sessions (stdin, or one per
+// Unix-socket client) multiplex onto ONE engine and ONE result store:
+// identical scenarios submitted by different clients dedup through the
+// shared cache/store and are computed at most once.
+//
+// Request lines:
+//   {"scenario": "fleet", ...}      any single-scenario or campaign spec,
+//                                   on one line
+//   stats                           emit the engine counter line
+//
+// Response events (one compact JSON object per line):
+//   {"type":"accepted","req":1,"scenario":"fleet","points":12}
+//   {"type":"result","req":1,"point":"uniform@0.50","scenario":"fleet",
+//    "metrics":{"energy_j":...,"completion_s":...,...}}
+//   {"type":"done","req":1,"points":12}
+//   {"type":"error","req":2,"error":"..."}
+//   {"type":"stats","engine":"4 worker(s), ..."}
+//
+// Metric names match the bench documents (kind_bench_metrics in
+// gpowerctl / BENCH_*.json), so serve output can be cross-checked against
+// `gpowerctl run --bench-out` — CI does exactly that.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace gpupower::core {
+
+struct ServeOptions {
+  /// Attach the kind's full display document ("result": scenario_to_json)
+  /// to every result event, not just the summary metrics.
+  bool full_results = false;
+  /// Completion-poll interval for the event streamer.
+  int poll_ms = 2;
+};
+
+/// Serves one client: reads request lines from `in` until EOF, submits
+/// onto the shared engine, and streams events to `out` as scenarios
+/// complete.  Returns the number of request lines consumed.  A malformed
+/// line emits an error event and the session continues — one bad request
+/// must not kill a long-lived service.  Thread-safe with respect to the
+/// engine: run any number of sessions against one engine concurrently.
+long serve_session(ExperimentEngine& engine, std::istream& in,
+                   std::ostream& out, const ServeOptions& options = {});
+
+/// Summary metrics for one result in emission order, named exactly like
+/// the bench-document metrics ("power_w"/"energy_per_iter_j" for static,
+/// "energy_j"/"completion_s"/"backlog_mean_s"/"backlog_max_s" for
+/// dvfs/fleet) — shared by serve result events and gpowerctl's bench
+/// export so the two can never drift apart.
+[[nodiscard]] std::vector<std::pair<std::string, double>>
+scenario_summary_metrics(const ScenarioResult& result);
+
+/// Blocking Unix-domain-socket server: binds `socket_path` (removing a
+/// stale socket file first), accepts clients forever, and runs one
+/// serve_session per connection on its own thread.  Only returns on a
+/// socket-layer failure, with the reason in `error`.
+bool serve_unix_socket(ExperimentEngine& engine,
+                       const std::string& socket_path,
+                       const ServeOptions& options, std::string& error);
+
+}  // namespace gpupower::core

@@ -100,6 +100,52 @@ TEST(BenchEnvDeathTest, WorkersOutOfRangeDies) {
               "invalid GPUPOWER_WORKERS='10000'");
 }
 
+// --- the result-store knobs (GPUPOWER_STORE_DIR / GPUPOWER_STORE) --------
+
+class StoreEnvGuard {
+ public:
+  ~StoreEnvGuard() {
+    unsetenv("GPUPOWER_STORE_DIR");
+    unsetenv("GPUPOWER_STORE");
+  }
+};
+
+TEST(StoreEnvTest, DisabledByDefault) {
+  StoreEnvGuard guard;
+  const StoreEnv env = read_store_env();
+  EXPECT_FALSE(env.enabled);
+  EXPECT_TRUE(env.dir.empty());
+}
+
+TEST(StoreEnvTest, DirAloneEnables) {
+  StoreEnvGuard guard;
+  setenv("GPUPOWER_STORE_DIR", "/tmp/gpupower_store_env_test", 1);
+  const StoreEnv env = read_store_env();
+  EXPECT_TRUE(env.enabled);
+  EXPECT_EQ(env.dir, "/tmp/gpupower_store_env_test");
+}
+
+TEST(StoreEnvTest, ExplicitOffWinsOverDir) {
+  StoreEnvGuard guard;
+  setenv("GPUPOWER_STORE_DIR", "/tmp/gpupower_store_env_test", 1);
+  setenv("GPUPOWER_STORE", "off", 1);
+  EXPECT_FALSE(read_store_env().enabled);
+}
+
+TEST(BenchEnvDeathTest, MalformedStoreDies) {
+  StoreEnvGuard guard;
+  setenv("GPUPOWER_STORE", "maybe", 1);
+  EXPECT_EXIT((void)read_store_env(), ::testing::ExitedWithCode(2),
+              "invalid GPUPOWER_STORE='maybe'");
+}
+
+TEST(BenchEnvDeathTest, StoreOnWithoutDirDies) {
+  StoreEnvGuard guard;
+  setenv("GPUPOWER_STORE", "on", 1);
+  EXPECT_EXIT((void)read_store_env(), ::testing::ExitedWithCode(2),
+              "GPUPOWER_STORE_DIR");
+}
+
 TEST(BenchEnvTest, ApplyConfiguresExperiment) {
   EnvGuard guard;
   setenv("GPUPOWER_N", "256", 1);

@@ -1,0 +1,396 @@
+// Persistent result store suite: codec round-trips that reproduce every
+// kind bit-identically, the on-disk entry contract (atomic writes, key
+// verification, corruption = miss), and the engine integration — store
+// hits skip computation entirely, two engines share one directory, and a
+// cache-less engine bypasses the store by contract.
+#include "core/store/result_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/json.hpp"
+#include "core/config_builder.hpp"
+#include "core/engine.hpp"
+#include "core/figures.hpp"
+#include "gpusim/dvfs/timeline.hpp"
+
+namespace gpupower::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- shared fixtures ------------------------------------------------------
+
+ExperimentConfig small_static_config() {
+  ExperimentConfig config;
+  config.dtype = numeric::DType::kFP16;
+  config.n = 64;
+  config.seeds = 2;
+  config.sampling = gpusim::SamplingPlan::fast(6, 0.5);
+  config.pattern = baseline_gaussian_spec();
+  return config;
+}
+
+DvfsConfig small_dvfs_config() {
+  DvfsConfig config;
+  config.experiment = small_static_config();
+  config.slice_s = 0.01;
+  config.pstates = 5;
+  config.governor.policy = gpusim::dvfs::GovernorConfig::Policy::kUtilization;
+  config.timeline =
+      gpusim::dvfs::parse_timeline(
+          "burst(period=0.1, duty=30%, high=1, low=10%, dur=0.3)")
+          .timeline;
+  return config;
+}
+
+FleetConfig small_fleet_config() {
+  FleetConfigBuilder builder;
+  builder.experiment(small_static_config())
+      .add_timeline("burst(period=0.1, duty=30%, dur=0.3)")
+      .add_device(gpusim::GpuModel::kA100PCIe,
+                  "utilization(up=80%, down=30%)")
+      .add_device(gpusim::GpuModel::kA100PCIe, "fixed(2)", /*timeline=*/0,
+                  /*priority=*/2)
+      .allocator("proportional")
+      .cap(400.0)
+      .slice(0.01)
+      .pstates(5);
+  return builder.build();
+}
+
+std::vector<ScenarioConfig> all_kind_configs() {
+  return {ScenarioConfig(small_static_config()),
+          ScenarioConfig(small_dvfs_config()),
+          ScenarioConfig(small_fleet_config())};
+}
+
+/// RAII temp directory for store tests.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_((fs::temp_directory_path() /
+               ("gpupower_test_" + tag + "_" +
+                std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+                "_" + std::to_string(reinterpret_cast<std::uintptr_t>(this))))
+                  .string()) {
+    fs::remove_all(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// --- result codecs --------------------------------------------------------
+
+// The store's correctness rests on this: every kind's result must survive
+// JSON and come back bit-identical (canonical dump equality covers every
+// field, including the full time-resolved traces).
+TEST(ResultCodec, EveryKindRoundTripsBitIdentically) {
+  for (const ScenarioConfig& config : all_kind_configs()) {
+    const ScenarioResult original = run_scenario(config);
+    const analysis::JsonValue doc = scenario_result_to_json(original);
+
+    ScenarioResult decoded;
+    std::string error;
+    ASSERT_TRUE(scenario_result_from_json(config.kind(), doc, decoded, error))
+        << name(config.kind()) << ": " << error;
+    EXPECT_EQ(decoded.kind(), config.kind());
+    EXPECT_EQ(scenario_result_to_json(decoded).dump(), doc.dump())
+        << name(config.kind());
+
+    // ...and through a textual round trip (what the disk actually holds).
+    const auto reparsed = analysis::json_parse(doc.dump());
+    ASSERT_TRUE(reparsed.ok) << reparsed.error;
+    ScenarioResult redecoded;
+    ASSERT_TRUE(scenario_result_from_json(config.kind(), reparsed.value,
+                                          redecoded, error))
+        << error;
+    EXPECT_EQ(scenario_result_to_json(redecoded).dump(), doc.dump());
+  }
+}
+
+TEST(ResultCodec, RejectsWrongKindDocument) {
+  const ScenarioResult result =
+      run_scenario(ScenarioConfig(small_static_config()));
+  const analysis::JsonValue doc = scenario_result_to_json(result);
+  ScenarioResult decoded;
+  std::string error;
+  EXPECT_FALSE(
+      scenario_result_from_json(ScenarioKind::kFleet, doc, decoded, error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --- atomic_write_text ----------------------------------------------------
+
+TEST(AtomicWrite, WritesAndReplacesWithoutTempLeftovers) {
+  TempDir dir("atomic");
+  const std::string path = dir.path() + "/nested/out.json";
+
+  ASSERT_TRUE(atomic_write_text(path, "first\n"));  // creates parent dirs
+  ASSERT_TRUE(atomic_write_text(path, "second\n"));
+
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "second\n");
+
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path() + "/nested")) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);  // no .tmp litter
+}
+
+TEST(AtomicWrite, ReportsUnwritableTarget) {
+  std::string error;
+  EXPECT_FALSE(atomic_write_text("/proc/definitely/not/writable", "x",
+                                 &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --- ResultStore on-disk contract -----------------------------------------
+
+TEST(ResultStore, SaveLoadRoundTripsEveryKind) {
+  TempDir dir("roundtrip");
+  const ResultStore store(StoreOptions{dir.path()});
+  ASSERT_TRUE(store.enabled());
+
+  for (const ScenarioConfig& config : all_kind_configs()) {
+    const std::string key = canonical_scenario_key(config);
+    const ScenarioResult original = run_scenario(config);
+    ASSERT_TRUE(store.save(key, original)) << name(config.kind());
+
+    ScenarioResult loaded;
+    ASSERT_TRUE(store.load(key, config.kind(), loaded)) << name(config.kind());
+    EXPECT_EQ(scenario_result_to_json(loaded).dump(),
+              scenario_result_to_json(original).dump());
+  }
+}
+
+TEST(ResultStore, DisabledStoreMissesAndRefusesWrites) {
+  const ResultStore store;
+  EXPECT_FALSE(store.enabled());
+  const ScenarioConfig config(small_static_config());
+  EXPECT_FALSE(store.save(canonical_scenario_key(config),
+                          run_scenario(config)));
+  ScenarioResult out;
+  EXPECT_FALSE(store.load(canonical_scenario_key(config),
+                          ScenarioKind::kStatic, out));
+}
+
+TEST(ResultStore, MissingEntryIsAMiss) {
+  TempDir dir("missing");
+  const ResultStore store(StoreOptions{dir.path()});
+  ScenarioResult out;
+  EXPECT_FALSE(store.load("no such key", ScenarioKind::kStatic, out));
+}
+
+// A store directory shared with a hostile filesystem: truncated entries,
+// garbage, wrong schema, and key collisions must all degrade to a miss —
+// never to a crash or a wrong result.
+TEST(ResultStore, CorruptEntriesAreMissesNeverCrashes) {
+  TempDir dir("corrupt");
+  const ResultStore store(StoreOptions{dir.path()});
+  const ScenarioConfig config(small_static_config());
+  const std::string key = canonical_scenario_key(config);
+  ASSERT_TRUE(store.save(key, run_scenario(config)));
+  const std::string path = store.entry_path(key);
+
+  const auto overwrite = [&](const std::string& text) {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  };
+
+  // Truncated JSON.
+  {
+    std::ifstream in(path);
+    std::string full((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    overwrite(full.substr(0, full.size() / 2));
+  }
+  ScenarioResult out;
+  EXPECT_FALSE(store.load(key, ScenarioKind::kStatic, out));
+
+  overwrite("complete garbage, not even JSON");
+  EXPECT_FALSE(store.load(key, ScenarioKind::kStatic, out));
+
+  overwrite("{\"gpupower_store\": 999, \"kind\": \"static\", \"key\": \"" +
+            key + "\", \"result\": {}}");
+  EXPECT_FALSE(store.load(key, ScenarioKind::kStatic, out));
+
+  // An entry carrying a different canonical key (filename-hash collision).
+  overwrite(
+      "{\"gpupower_store\": 1, \"kind\": \"static\", \"key\": \"other\", "
+      "\"result\": {}}");
+  EXPECT_FALSE(store.load(key, ScenarioKind::kStatic, out));
+
+  // And a fresh save repairs the entry.
+  ASSERT_TRUE(store.save(key, run_scenario(config)));
+  EXPECT_TRUE(store.load(key, ScenarioKind::kStatic, out));
+}
+
+TEST(ResultStore, FilenameIsStableFnvHash) {
+  const ResultStore store(StoreOptions{"/some/dir"});
+  const std::string path = store.entry_path("key");
+  char expect[32];
+  std::snprintf(expect, sizeof expect, "%016llx",
+                static_cast<unsigned long long>(fnv1a64("key")));
+  EXPECT_EQ(path, std::string("/some/dir/") + expect + ".json");
+  // FNV-1a 64 of the empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+}
+
+// --- engine integration ---------------------------------------------------
+
+EngineOptions store_engine(const std::string& dir, int workers = 4) {
+  EngineOptions options;
+  options.workers = workers;
+  options.store = std::make_shared<ResultStore>(StoreOptions{dir});
+  return options;
+}
+
+// The tentpole acceptance: a second engine over the same directory replays
+// the whole batch from disk — zero replicas computed — and the results are
+// bit-identical to the originals.
+TEST(EngineStore, SecondEngineReplaysFromDiskBitIdentically) {
+  TempDir dir("replay");
+  const auto configs = all_kind_configs();
+
+  std::vector<std::string> cold_dumps;
+  {
+    ExperimentEngine cold(store_engine(dir.path()));
+    std::vector<ScenarioHandle> handles;
+    for (const auto& config : configs) handles.push_back(cold.submit(config));
+    cold.wait_all();
+    for (const auto& handle : handles) {
+      cold_dumps.push_back(scenario_result_to_json(handle.get()).dump());
+    }
+    const EngineStats stats = cold.stats();
+    EXPECT_EQ(stats.jobs_computed, configs.size());
+    EXPECT_EQ(stats.store_writes, configs.size());
+    EXPECT_EQ(stats.store_hits, 0u);
+  }
+
+  ExperimentEngine warm(store_engine(dir.path()));
+  std::vector<ScenarioHandle> handles;
+  for (const auto& config : configs) handles.push_back(warm.submit(config));
+  warm.wait_all();
+
+  const EngineStats stats = warm.stats();
+  EXPECT_EQ(stats.store_hits, configs.size());
+  EXPECT_EQ(stats.jobs_computed, 0u);
+  EXPECT_EQ(stats.replicas_run, 0u);
+  EXPECT_EQ(stats.store_writes, 0u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(scenario_result_to_json(handles[i].get()).dump(),
+              cold_dumps[i]);
+    const auto kind = configs[i].kind();
+    EXPECT_EQ(stats.of(kind).store_hits, 1u) << name(kind);
+  }
+}
+
+// Concurrent identical submissions from many threads dedup onto one
+// computation (and one store write) — the serve-mode cross-client
+// guarantee.
+TEST(EngineStore, ConcurrentIdenticalSubmitsComputeOnce) {
+  TempDir dir("concurrent");
+  ExperimentEngine engine(store_engine(dir.path()));
+  const ScenarioConfig config(small_static_config());
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&engine, &config] {
+      const ScenarioHandle handle = engine.submit(config);
+      (void)handle.get();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  engine.wait_all();
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.jobs_computed + stats.store_hits, 1u);
+  EXPECT_EQ(stats.replicas_run,
+            stats.jobs_computed * static_cast<std::uint64_t>(
+                                      small_static_config().seeds));
+  EXPECT_EQ(stats.cache_hits, 7u);
+}
+
+// Disabling the cache disables the store with it: a cache-less engine
+// recomputes by contract, so serving stale disk results would violate it.
+TEST(EngineStore, CachelessEngineBypassesTheStore) {
+  TempDir dir("cacheless");
+  {
+    ExperimentEngine seeder(store_engine(dir.path()));
+    (void)seeder.submit(ScenarioConfig(small_static_config())).get();
+  }
+
+  EngineOptions options = store_engine(dir.path());
+  options.cache_enabled = false;
+  ExperimentEngine engine(options);
+  (void)engine.submit(ScenarioConfig(small_static_config())).get();
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.store_hits, 0u);
+  EXPECT_EQ(stats.jobs_computed, 1u);
+  EXPECT_EQ(stats.store_writes, 0u);
+}
+
+// A poisoned entry under a live engine: the load fails, the engine
+// recomputes and rewrites a good entry.
+TEST(EngineStore, CorruptEntryRecomputesAndRepairs) {
+  TempDir dir("repair");
+  const ScenarioConfig config(small_static_config());
+  const std::string key = canonical_scenario_key(config);
+  const ResultStore store(StoreOptions{dir.path()});
+  {
+    ExperimentEngine seeder(store_engine(dir.path()));
+    (void)seeder.submit(config).get();
+  }
+  {
+    std::ofstream out(store.entry_path(key), std::ios::trunc);
+    out << "{\"gpupower_store\": 1, broken";
+  }
+
+  ExperimentEngine engine(store_engine(dir.path()));
+  (void)engine.submit(config).get();
+  engine.wait_all();  // wait_all implies the write-back is on disk
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.store_hits, 0u);
+  EXPECT_EQ(stats.jobs_computed, 1u);
+  EXPECT_EQ(stats.store_writes, 1u);
+
+  ScenarioResult repaired;
+  EXPECT_TRUE(store.load(key, ScenarioKind::kStatic, repaired));
+}
+
+// The stats line mentions store traffic only when it happened, so
+// store-less output is byte-stable for existing consumers.
+TEST(EngineStore, StatsLineAppendsStoreCountersOnlyWhenUsed) {
+  ExperimentEngine plain(EngineOptions{.workers = 2});
+  (void)plain.submit(ScenarioConfig(small_static_config())).get();
+  EXPECT_EQ(engine_stats_line(plain).find("store"), std::string::npos);
+
+  TempDir dir("statsline");
+  ExperimentEngine stored(store_engine(dir.path()));
+  (void)stored.submit(ScenarioConfig(small_static_config())).get();
+  stored.wait_all();
+  const std::string line = engine_stats_line(stored);
+  EXPECT_NE(line.find("1 store write(s)"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace gpupower::core

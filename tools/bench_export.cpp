@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "core/store/result_store.hpp"
+
 namespace gpupower::tools {
 
 analysis::JsonValue bench_document(const std::string& bench,
@@ -29,12 +31,9 @@ analysis::JsonValue bench_document(const std::string& bench,
 
 bool write_bench_json(const std::string& path,
                       const analysis::JsonValue& doc) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::string text = doc.dump(/*pretty=*/true);
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
-                  std::fputc('\n', f) != EOF;
-  return std::fclose(f) == 0 && ok;
+  // Atomic temp-file + rename: a crash or concurrent reader never sees a
+  // half-written trajectory document.
+  return core::atomic_write_text(path, doc.dump(/*pretty=*/true) + "\n");
 }
 
 bool read_bench_json(const std::string& path, analysis::JsonValue& doc,

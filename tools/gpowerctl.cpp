@@ -30,6 +30,16 @@
 //   gpowerctl run <spec.json> [--json] [--bench-out FILE]
 //       execute a spec: one scenario, or a whole campaign grid fanned
 //       through the engine as one deduplicated batch
+//   gpowerctl serve [--socket PATH] [--full]
+//       long-lived mode: read newline-delimited spec JSON from stdin (or
+//       accept concurrent clients on a Unix socket) and stream one NDJSON
+//       result line per scenario as it completes; all clients share one
+//       engine and one result store, so identical submissions dedup
+//
+// With GPUPOWER_STORE_DIR set, run/serve attach the persistent result
+// store (core/store/): results survive the process and warm replays skip
+// every replica computation (GPUPOWER_STORE=off disables it without
+// unsetting the directory).
 //
 // The dvfs/fleet verbs are spec-building shims: the flags assemble a spec
 // document (printable with --emit-spec for migration), which is parsed
@@ -61,6 +71,8 @@
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 #include "core/spec.hpp"
+#include "core/store/result_store.hpp"
+#include "core/store/serve.hpp"
 #include "telemetry/nvml.hpp"
 #include "telemetry/sampler.hpp"
 #include "tools/bench_export.hpp"
@@ -92,6 +104,9 @@ struct Options {
   std::string spec_path;  ///< positional <spec.json> of run/validate
   std::string bench_out;  ///< campaign bench-document output path
   bool emit_spec = false; ///< dvfs/fleet: print the spec document and exit
+  // serve command knobs
+  std::string socket_path;   ///< serve: Unix socket instead of stdin
+  bool full_results = false; ///< serve: attach full result docs to events
 };
 
 constexpr gpusim::GpuModel kGpuByIndex[] = {
@@ -101,9 +116,17 @@ constexpr gpusim::GpuModel kGpuByIndex[] = {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <discovery|dmon|sweep|features|predict|dvfs|fleet"
-               "|run|validate> [options]\n"
+               "|run|validate|serve> [options]\n"
                "  run <spec.json>      execute a scenario / campaign spec\n"
                "  validate <spec.json> parse + expand a spec without running\n"
+               "  serve                long-lived mode: newline-delimited "
+               "spec JSON on stdin,\n"
+               "                       NDJSON result events streamed as "
+               "scenarios complete\n"
+               "  --socket PATH    serve: accept concurrent clients on a "
+               "Unix socket\n"
+               "  --full           serve: attach full result documents to "
+               "result events\n"
                "  --bench-out FILE bench-document export of a campaign run\n"
                "  --emit-spec      dvfs/fleet: print the equivalent spec "
                "JSON and exit\n"
@@ -126,7 +149,17 @@ int usage(const char* argv0) {
                "greedy (default proportional)\n"
                "  --thermal on     thread the RC die-temperature model "
                "across slices\n"
-               "  --n SIZE --seeds K --tiles T --kfrac F --workers W --csv --json\n",
+               "  --n SIZE --seeds K --tiles T --kfrac F --workers W --csv --json\n"
+               "environment (strict; malformed values exit 2):\n"
+               "  GPUPOWER_STORE_DIR  persistent result store for run/serve: "
+               "completed\n"
+               "                      scenarios are written back and warm "
+               "replays skip\n"
+               "                      every replica computation\n"
+               "  GPUPOWER_STORE      'on' | 'off' — disable the store "
+               "without unsetting\n"
+               "                      the directory\n"
+               "  GPUPOWER_N/SEEDS/TILES/KFRAC/WORKERS/CSV  see README\n",
                argv0);
   return 2;
 }
@@ -287,6 +320,15 @@ bool parse_args(int argc, char** argv, Options& opts, std::string& error) {
       opts.bench_out = v;
     } else if (flag == "--emit-spec") {
       opts.emit_spec = true;
+    } else if (flag == "--socket") {
+      const char* v = next();
+      if (!v) {
+        error = "--socket needs a path";
+        return false;
+      }
+      opts.socket_path = v;
+    } else if (flag == "--full") {
+      opts.full_results = true;
     } else if (!flag.starts_with("--") && opts.spec_path.empty() &&
                (opts.command == "run" || opts.command == "validate")) {
       // Only run/validate take a positional (the spec path); a stray
@@ -345,6 +387,14 @@ core::ExperimentConfig make_config(const Options& opts,
 core::ExperimentEngine make_engine(const Options& opts) {
   core::EngineOptions options;
   options.workers = opts.env.workers;
+  // The persistent store rides on the env knobs so every engine-backed
+  // verb (run, serve, sweep, ...) shares one wiring: memory cache ->
+  // store -> compute, write-back on completion.
+  const core::StoreEnv store_env = core::read_store_env();
+  if (store_env.enabled) {
+    options.store = std::make_shared<core::ResultStore>(
+        core::StoreOptions{store_env.dir});
+  }
   return core::ExperimentEngine(options);
 }
 
@@ -576,30 +626,16 @@ std::vector<double> kind_metric_values(const core::ScenarioResult& result) {
 
 /// Bench-document metrics (names aligned with the committed BENCH_*.json
 /// documents so `bench_export --compare` gates campaign runs directly).
+/// One source of truth with serve's result events: both read
+/// scenario_summary_metrics, so CI can diff streamed results against
+/// --bench-out documents key by key.
 std::vector<tools::BenchMetric> kind_bench_metrics(
     const core::ScenarioResult& result) {
-  switch (result.kind()) {
-    case core::ScenarioKind::kStatic: {
-      const core::ExperimentResult& r = result.static_result();
-      return {{"power_w", r.power_w},
-              {"energy_per_iter_j", r.energy_per_iter_j}};
-    }
-    case core::ScenarioKind::kDvfs: {
-      const core::DvfsResult& r = result.dvfs();
-      return {{"energy_j", r.energy_j},
-              {"completion_s", r.completion_s},
-              {"backlog_mean_s", r.mean_backlog_s},
-              {"backlog_max_s", r.backlog_max_s}};
-    }
-    case core::ScenarioKind::kFleet: {
-      const core::FleetResult& r = result.fleet();
-      return {{"energy_j", r.energy_j},
-              {"completion_s", r.completion_s},
-              {"backlog_mean_s", r.mean_backlog_s},
-              {"backlog_max_s", r.backlog_max_s}};
-    }
+  std::vector<tools::BenchMetric> metrics;
+  for (const auto& [metric, value] : core::scenario_summary_metrics(result)) {
+    metrics.push_back({metric, value});
   }
-  return {};
+  return metrics;
 }
 
 void print_engine_stats(const core::ExperimentEngine& engine) {
@@ -741,6 +777,33 @@ int cmd_run(const Options& opts) {
     return 0;
   }
   print_scenario_summary(parsed.spec.config, result);
+  print_engine_stats(engine);
+  return 0;
+}
+
+/// Long-lived service mode: one engine + one store, any number of clients.
+int cmd_serve(const Options& opts) {
+  core::ExperimentEngine engine = make_engine(opts);
+  const core::StoreEnv store_env = core::read_store_env();
+  core::ServeOptions serve_options;
+  serve_options.full_results = opts.full_results;
+
+  std::fprintf(stderr, "gpowerctl serve: %d worker(s), store %s\n",
+               engine.workers(),
+               store_env.enabled ? store_env.dir.c_str() : "off");
+  if (!opts.socket_path.empty()) {
+    std::fprintf(stderr, "listening on %s\n", opts.socket_path.c_str());
+    std::string error;
+    (void)core::serve_unix_socket(engine, opts.socket_path, serve_options,
+                                  error);
+    std::fprintf(stderr, "gpowerctl serve: %s\n", error.c_str());
+    return 1;
+  }
+
+  const long requests =
+      core::serve_session(engine, std::cin, std::cout, serve_options);
+  std::fprintf(stderr, "served %ld request(s); engine: %s\n", requests,
+               core::engine_stats_line(engine).c_str());
   return 0;
 }
 
@@ -995,6 +1058,7 @@ int main(int argc, char** argv) {
   if (opts.command == "fleet") return cmd_fleet(opts);
   if (opts.command == "run") return cmd_run(opts);
   if (opts.command == "validate") return cmd_validate(opts);
+  if (opts.command == "serve") return cmd_serve(opts);
   std::fprintf(stderr, "error: unknown command '%s'\n", opts.command.c_str());
   return usage(argv[0]);
 }
