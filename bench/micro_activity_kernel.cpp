@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
   // sampled plan.  read_bench_env defaults N to 512 for CI speed, so only
   // honour it when explicitly set.
   const std::size_t n =
-      std::getenv("GPUPOWER_N") != nullptr ? env.n : std::size_t{1024};
+      core::env_is_set("GPUPOWER_N") ? env.n : std::size_t{1024};
   gpusim::SamplingPlan plan;
   plan.max_tiles = env.tiles;
   plan.k_fraction = env.k_fraction;

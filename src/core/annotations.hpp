@@ -1,0 +1,167 @@
+// Clang thread-safety annotations (-Wthread-safety) for the engine's
+// shared mutable state, wrapped so every other compiler sees plain
+// std::mutex semantics with zero overhead.
+//
+// The analysis is static and per-TU: fields declare which capability
+// (mutex) guards them (`GPUPOWER_GUARDED_BY`), functions declare which
+// capabilities they expect held (`GPUPOWER_REQUIRES`), and clang proves at
+// compile time that no annotated field is touched without its lock.  CI
+// compiles the tree with clang and `-Wthread-safety -Werror`, so a new
+// unsynchronized access to annotated state is a build break, not a latent
+// race for TSan to catch later.
+//
+// std::mutex itself carries no annotations, so this header provides the
+// standard annotated wrapper trio (the Abseil/LLVM idiom):
+//
+//   Mutex      an annotated capability over std::mutex
+//   MutexLock  scoped acquire/release (std::lock_guard shape)
+//   CondVar    condition variable whose wait keeps the capability held
+//              from the analysis's point of view, exactly like
+//              std::condition_variable with std::unique_lock
+//
+// Usage:
+//
+//   struct State {
+//     mutable Mutex mutex;
+//     mutable CondVar cv;
+//     bool done GPUPOWER_GUARDED_BY(mutex) = false;
+//   };
+//
+//   void wait_done(State& s) {
+//     MutexLock lock(s.mutex);
+//     while (!s.done) s.cv.wait(s.mutex);   // reads of `done` are proven
+//   }
+//
+// Annotate sparingly and truthfully: a field is GUARDED_BY a mutex only if
+// EVERY access holds it.  Deliberately unguarded fields (atomics,
+// publish-once immutable state, disjoint-slot arrays) stay unannotated
+// with a comment saying why — the analysis then ignores them, and TSan
+// remains the dynamic check for those protocols.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+// Attribute plumbing: real attributes under clang, no-ops elsewhere (gcc,
+// MSVC).  `__has_attribute` keeps ancient clangs working.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define GPUPOWER_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef GPUPOWER_THREAD_ANNOTATION
+#define GPUPOWER_THREAD_ANNOTATION(x)  // not clang: annotations vanish
+#endif
+
+/// Marks a type as a capability (lock) the analysis can track.
+#define GPUPOWER_CAPABILITY(x) GPUPOWER_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define GPUPOWER_SCOPED_CAPABILITY GPUPOWER_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field/variable is protected by the given capability: every read and
+/// write must hold it.
+#define GPUPOWER_GUARDED_BY(x) GPUPOWER_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define GPUPOWER_PT_GUARDED_BY(x) GPUPOWER_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (and keeps it held).
+#define GPUPOWER_REQUIRES(...) \
+  GPUPOWER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on return, not on entry).
+#define GPUPOWER_ACQUIRE(...) \
+  GPUPOWER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define GPUPOWER_RELEASE(...) \
+  GPUPOWER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning `ret`.
+#define GPUPOWER_TRY_ACQUIRE(ret, ...) \
+  GPUPOWER_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard
+/// for functions that acquire it themselves).
+#define GPUPOWER_EXCLUDES(...) \
+  GPUPOWER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for protocols the static analysis cannot express
+/// (lock-free publication, adopt-lock dances).  Every use carries a
+/// comment explaining the actual synchronisation.
+#define GPUPOWER_NO_THREAD_SAFETY_ANALYSIS \
+  GPUPOWER_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gpupower::core {
+
+class CondVar;
+
+/// std::mutex with the capability annotation the analysis needs.  Same
+/// size and cost; BasicLockable, so it still works with std:: lock
+/// utilities where needed.
+class GPUPOWER_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GPUPOWER_ACQUIRE() { mutex_.lock(); }
+  void unlock() GPUPOWER_RELEASE() { mutex_.unlock(); }
+  bool try_lock() GPUPOWER_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// Scoped lock over Mutex — std::lock_guard with annotations.
+class GPUPOWER_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GPUPOWER_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() GPUPOWER_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable for Mutex.  wait() must be called with the mutex
+/// held (enforced at call sites by GPUPOWER_REQUIRES); it atomically
+/// releases the native mutex while sleeping and reacquires it before
+/// returning, so from the caller's (and the analysis's) perspective the
+/// capability is held across the call — the std::condition_variable
+/// contract.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// One bare wait; callers loop on their predicate while holding `mutex`
+  /// so every predicate read is visible to the analysis.
+  void wait(Mutex& mutex) GPUPOWER_REQUIRES(mutex)
+      GPUPOWER_NO_THREAD_SAFETY_ANALYSIS {
+    // Adopt the already-held native mutex for the wait, then release the
+    // std::unique_lock wrapper so ownership stays with the caller's scoped
+    // lock.  The capability is held on entry and on exit, matching the
+    // REQUIRES contract above.
+    std::unique_lock<std::mutex> native(mutex.mutex_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gpupower::core

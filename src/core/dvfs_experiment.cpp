@@ -215,8 +215,11 @@ std::string canonical_timeline_key(const dvfs::WorkloadTimeline& timeline) {
     mix(phase.utilization);
     mix(static_cast<double>(phase.pattern));
   }
-  return "#" + std::to_string(timeline.phases().size()) + ":" +
-         std::to_string(hash);
+  std::string key = "#";
+  key += std::to_string(timeline.phases().size());
+  key += ':';
+  key += std::to_string(hash);
+  return key;
 }
 
 std::string canonical_dvfs_key(const DvfsConfig& config) {

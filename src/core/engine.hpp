@@ -64,6 +64,16 @@ struct EngineOptions {
   /// result is on disk.  Shareable between engines (and, through the
   /// directory, between processes).
   std::shared_ptr<ResultStore> store;
+
+  /// Options with an explicit pool size and everything else defaulted —
+  /// the common test/tool spelling that stays valid as fields are added
+  /// (brace-init with a partial field list trips
+  /// -Wmissing-field-initializers).
+  [[nodiscard]] static EngineOptions with_workers(int workers) {
+    EngineOptions options;
+    options.workers = workers;
+    return options;
+  }
 };
 
 /// One scenario kind's slice of the engine counters — how a campaign run

@@ -57,6 +57,11 @@ BenchEnv read_bench_env() {
   return env;
 }
 
+bool env_is_set(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr && *raw != '\0';
+}
+
 StoreEnv read_store_env() {
   StoreEnv env;
   const char* dir = std::getenv("GPUPOWER_STORE_DIR");

@@ -58,4 +58,10 @@ struct StoreEnv {
 /// and 'on' without a directory is rejected rather than silently ignored.
 [[nodiscard]] StoreEnv read_store_env();
 
+/// True when the variable is set to a non-empty value.  The one sanctioned
+/// presence check outside this module's readers — callers that need the
+/// value itself go through read_bench_env/read_store_env so validation
+/// stays centralised (and tools/lint_project.py enforces exactly that).
+[[nodiscard]] bool env_is_set(const char* name);
+
 }  // namespace gpupower::core

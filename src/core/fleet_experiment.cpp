@@ -281,9 +281,12 @@ std::string canonical_fleet_key(const FleetConfig& config) {
   for (const FleetDeviceConfig& device : config.devices) {
     key += "|dev=";
     key += gpupower::gpusim::name(device.gpu);
-    key += ":" + canonical_governor_key(device.governor) + ":" +
-           std::to_string(device.timeline) + ":" +
-           std::to_string(device.priority);
+    key += ':';
+    key += canonical_governor_key(device.governor);
+    key += ':';
+    key += std::to_string(device.timeline);
+    key += ':';
+    key += std::to_string(device.priority);
   }
   for (const PatternSpec& pattern : config.phase_patterns) {
     key += "|pp=" + pattern_raw_key(pattern);

@@ -538,8 +538,10 @@ bool parse_phase_patterns(const JsonValue* v, std::string_view path, Ctx& ctx,
   }
   for (std::size_t i = 0; i < v->size(); ++i) {
     std::string dsl;
-    if (!read_string(v->at(i), join_path(path, "[" + std::to_string(i) + "]"),
-                     ctx, dsl)) {
+    std::string index = "[";
+    index += std::to_string(i);
+    index += ']';
+    if (!read_string(v->at(i), join_path(path, index), ctx, dsl)) {
       return false;
     }
     out.push_back(std::move(dsl));

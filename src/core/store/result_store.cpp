@@ -106,7 +106,32 @@ bool atomic_write_text(const std::string& path, std::string_view text,
   return true;
 }
 
-ResultStore::ResultStore(StoreOptions options) : options_(std::move(options)) {}
+ResultStore::ResultStore(StoreOptions options) : options_(std::move(options)) {
+  // Opening a store adopts its directory, orphans and all: sweep temp
+  // files from writers that died mid-save so the litter cannot accumulate
+  // across crashed runs.  Age-gated, so concurrent writers are safe.
+  if (enabled()) (void)compact();
+}
+
+std::size_t ResultStore::compact(std::chrono::seconds min_age) const {
+  if (!enabled()) return 0;
+  std::error_code ec;
+  fs::directory_iterator it(options_.dir, ec);
+  if (ec) return 0;  // no directory yet — nothing to sweep
+  const auto cutoff = fs::file_time_type::clock::now() - min_age;
+  std::size_t removed = 0;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    // Writer temp names are `<entry>.json.tmp.<pid>.<counter>`; anything
+    // else in the directory is not ours to delete.
+    const std::string file_name = entry.path().filename().string();
+    if (file_name.find(".json.tmp.") == std::string::npos) continue;
+    const fs::file_time_type mtime = entry.last_write_time(ec);
+    if (ec || mtime > cutoff) continue;  // young enough to be in flight
+    if (fs::remove(entry.path(), ec) && !ec) ++removed;
+  }
+  return removed;
+}
 
 std::string ResultStore::entry_path(std::string_view canonical_key) const {
   char name[17];

@@ -29,6 +29,7 @@
 // wins harmlessly.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -65,6 +66,16 @@ class ResultStore {
   /// fsync'd).  Returns false when the store is disabled or the write
   /// fails; failures are non-fatal by design (the result stays in memory).
   bool save(std::string_view canonical_key, const ScenarioResult& result) const;
+
+  /// Sweeps orphaned writer temp files (`*.json.tmp.<pid>.<n>`) that a
+  /// crashed or killed writer left behind.  Only files older than
+  /// `min_age` go — a live writer's temp file exists for milliseconds
+  /// between create and rename, so the default margin can never race one.
+  /// Returns the number removed; never throws (sweep failures are
+  /// ignored, the litter is retried on the next open).  Runs
+  /// automatically when a store opens on an existing directory.
+  std::size_t compact(
+      std::chrono::seconds min_age = std::chrono::minutes(10)) const;
 
  private:
   StoreOptions options_;

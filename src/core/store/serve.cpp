@@ -4,6 +4,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -11,13 +12,14 @@
 #include <deque>
 #include <exception>
 #include <istream>
-#include <mutex>
+#include <memory>
 #include <ostream>
 #include <streambuf>
 #include <thread>
 #include <vector>
 
 #include "analysis/json.hpp"
+#include "core/annotations.hpp"
 #include "core/spec.hpp"
 
 namespace gpupower::core {
@@ -42,12 +44,16 @@ struct RequestProgress {
   bool done_sent = false;
 };
 
+/// Shared between a session's reader thread and its event streamer; every
+/// field below the mutex is written by both sides.
 struct SessionState {
-  std::mutex mutex;
-  std::deque<std::string> events;  ///< pre-formatted lines from the reader
-  std::vector<PendingPoint> pending;
-  std::vector<RequestProgress> requests;
-  bool reader_done = false;
+  Mutex mutex;
+  /// Pre-formatted lines from the reader.
+  std::deque<std::string> events GPUPOWER_GUARDED_BY(mutex);
+  std::vector<PendingPoint> pending GPUPOWER_GUARDED_BY(mutex);
+  std::vector<RequestProgress> requests GPUPOWER_GUARDED_BY(mutex);
+  bool reader_done GPUPOWER_GUARDED_BY(mutex) = false;
+  long request_count GPUPOWER_GUARDED_BY(mutex) = 0;
 };
 
 std::string error_event(long req, const std::string& message) {
@@ -121,7 +127,7 @@ void handle_request(ExperimentEngine& engine, SessionState& session, long req,
                     const std::string& line) {
   const SpecParseResult parsed = parse_scenario_spec_text(line);
   if (!parsed.ok) {
-    std::lock_guard lock(session.mutex);
+    MutexLock lock(session.mutex);
     session.events.push_back(error_event(req, parsed.error));
     return;
   }
@@ -132,7 +138,7 @@ void handle_request(ExperimentEngine& engine, SessionState& session, long req,
       CampaignRun run;
       std::string error;
       if (!submit_campaign(engine, parsed.spec, run, error)) {
-        std::lock_guard lock(session.mutex);
+        MutexLock lock(session.mutex);
         session.events.push_back(error_event(req, error));
         return;
       }
@@ -148,12 +154,12 @@ void handle_request(ExperimentEngine& engine, SessionState& session, long req,
     }
   } catch (const std::exception& e) {
     // Validator rejections (std::invalid_argument) arrive here.
-    std::lock_guard lock(session.mutex);
+    MutexLock lock(session.mutex);
     session.events.push_back(error_event(req, e.what()));
     return;
   }
 
-  std::lock_guard lock(session.mutex);
+  MutexLock lock(session.mutex);
   session.events.push_back(
       accepted_event(req, points.front().config.kind(), points.size()));
   session.requests.push_back({req, points.size(), 0, false});
@@ -162,7 +168,8 @@ void handle_request(ExperimentEngine& engine, SessionState& session, long req,
   }
 }
 
-RequestProgress* find_request(SessionState& session, long req) {
+RequestProgress* find_request(SessionState& session, long req)
+    GPUPOWER_REQUIRES(session.mutex) {
   for (RequestProgress& progress : session.requests) {
     if (progress.req == req) return &progress;
   }
@@ -200,12 +207,11 @@ std::vector<std::pair<std::string, double>> scenario_summary_metrics(
 long serve_session(ExperimentEngine& engine, std::istream& in,
                    std::ostream& out, const ServeOptions& options) {
   SessionState session;
-  long requests = 0;
 
   // The reader thread turns stdin/socket lines into submissions without
   // blocking the event stream: a client can pipeline many requests and
   // results of the first interleave with parsing of the rest.
-  std::thread reader([&engine, &session, &in, &requests] {
+  std::thread reader([&engine, &session, &in] {
     std::string raw;
     long req = 0;
     while (std::getline(in, raw)) {
@@ -213,15 +219,15 @@ long serve_session(ExperimentEngine& engine, std::istream& in,
       if (line.empty()) continue;
       ++req;
       if (line == "stats") {
-        std::lock_guard lock(session.mutex);
+        MutexLock lock(session.mutex);
         session.events.push_back(stats_event(engine));
         continue;
       }
       handle_request(engine, session, req, line);
     }
-    std::lock_guard lock(session.mutex);
+    MutexLock lock(session.mutex);
     session.reader_done = true;
-    requests = req;
+    session.request_count = req;
   });
 
   // Event streamer: drain reader events, then emit every completed point
@@ -229,7 +235,7 @@ long serve_session(ExperimentEngine& engine, std::istream& in,
   for (;;) {
     bool all_done = false;
     {
-      std::lock_guard lock(session.mutex);
+      MutexLock lock(session.mutex);
       while (!session.events.empty()) {
         out << session.events.front() << '\n';
         session.events.pop_front();
@@ -267,7 +273,10 @@ long serve_session(ExperimentEngine& engine, std::istream& in,
         std::chrono::milliseconds(options.poll_ms > 0 ? options.poll_ms : 1));
   }
   reader.join();
-  return requests;
+  // The reader has exited and is joined: request_count is frozen, but the
+  // analysis cannot see the join, so read it under the lock anyway (free).
+  MutexLock lock(session.mutex);
+  return session.request_count;
 }
 
 namespace {
@@ -310,9 +319,51 @@ class FdStreamBuf : public std::streambuf {
 
 }  // namespace
 
+void ServeSocketControl::request_stop() {
+  MutexLock lock(mutex_);
+  stop_requested_ = true;
+  if (listen_fd_ >= 0) {
+    // shutdown(2), not close(2): closing from another thread races fd
+    // reuse, while shutdown leaves the fd valid and makes the parked
+    // accept(2) return EINVAL immediately.
+    (void)::shutdown(listen_fd_, SHUT_RDWR);
+  }
+}
+
+bool ServeSocketControl::stop_requested() const {
+  MutexLock lock(mutex_);
+  return stop_requested_;
+}
+
+void ServeSocketControl::attach_listener(int fd) {
+  MutexLock lock(mutex_);
+  listen_fd_ = fd;
+  if (stop_requested_) {
+    // request_stop() already ran: poison the listener now so the first
+    // accept(2) returns instead of parking forever.
+    (void)::shutdown(listen_fd_, SHUT_RDWR);
+  }
+}
+
+void ServeSocketControl::detach_listener() {
+  MutexLock lock(mutex_);
+  listen_fd_ = -1;
+}
+
+std::size_t ServeSocketControl::tracked_sessions() const {
+  MutexLock lock(mutex_);
+  return tracked_sessions_;
+}
+
+void ServeSocketControl::set_tracked_sessions(std::size_t count) {
+  MutexLock lock(mutex_);
+  tracked_sessions_ = count;
+}
+
 bool serve_unix_socket(ExperimentEngine& engine,
                        const std::string& socket_path,
-                       const ServeOptions& options, std::string& error) {
+                       const ServeOptions& options, std::string& error,
+                       ServeSocketControl* control) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof(addr.sun_path)) {
@@ -335,26 +386,62 @@ bool serve_unix_socket(ExperimentEngine& engine,
     return false;
   }
 
-  std::vector<std::thread> sessions;
+  if (control != nullptr) control->attach_listener(listen_fd);
+
+  // One thread per live connection, reaped as clients disconnect.  A
+  // long-lived service must not accumulate a joinable thread (kernel
+  // stack + handle) per client forever, and detaching is banned project
+  // wide (no-detach lint): each session flips its `finished` latch as its
+  // last act, and the accept loop joins flagged threads — join is then
+  // immediate — before taking the next client.
+  struct SessionSlot {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> finished;
+  };
+  std::vector<SessionSlot> sessions;
+  const auto reap_finished = [&sessions] {
+    for (auto it = sessions.begin(); it != sessions.end();) {
+      if (it->finished->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = sessions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  bool clean_stop = false;
   for (;;) {
     const int client = ::accept(listen_fd, nullptr, nullptr);
     if (client < 0) {
-      error = std::string("accept: ") + std::strerror(errno);
+      if (control != nullptr && control->stop_requested()) {
+        clean_stop = true;  // request_stop() shut the listener down
+      } else {
+        error = std::string("accept: ") + std::strerror(errno);
+      }
       break;
     }
-    sessions.emplace_back([&engine, options, client] {
+    reap_finished();
+    auto finished = std::make_shared<std::atomic<bool>>(false);
+    SessionSlot slot;
+    slot.finished = finished;
+    slot.thread = std::thread([&engine, options, client, finished] {
       FdStreamBuf buffer(client);
       std::istream in(&buffer);
       std::ostream out(&buffer);
       (void)serve_session(engine, in, out, options);
       (void)::shutdown(client, SHUT_RDWR);
       (void)::close(client);
+      finished->store(true, std::memory_order_release);
     });
+    sessions.push_back(std::move(slot));
+    if (control != nullptr) control->set_tracked_sessions(sessions.size());
   }
-  for (std::thread& session : sessions) session.join();
+  for (SessionSlot& session : sessions) session.thread.join();
+  if (control != nullptr) control->detach_listener();
   (void)::close(listen_fd);
   (void)::unlink(socket_path.c_str());
-  return false;
+  return clean_stop;
 }
 
 }  // namespace gpupower::core

@@ -25,11 +25,13 @@
 // `gpowerctl run --bench-out` — CI does exactly that.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/engine.hpp"
 
 namespace gpupower::core {
@@ -59,12 +61,55 @@ long serve_session(ExperimentEngine& engine, std::istream& in,
 [[nodiscard]] std::vector<std::pair<std::string, double>>
 scenario_summary_metrics(const ScenarioResult& result);
 
+/// Cooperative shutdown handle for serve_unix_socket: another thread
+/// calls request_stop() and the accept loop unwinds cleanly — in-flight
+/// sessions finish, their threads are joined, and the socket file is
+/// removed.  Without one (the gpowerctl default) the server runs until
+/// the process dies, exactly as before.
+class ServeSocketControl {
+ public:
+  ServeSocketControl() = default;
+  ServeSocketControl(const ServeSocketControl&) = delete;
+  ServeSocketControl& operator=(const ServeSocketControl&) = delete;
+
+  /// Idempotent; safe from any thread (including signal-free contexts
+  /// only — it takes a lock, so do NOT call from a signal handler).
+  void request_stop();
+
+  [[nodiscard]] bool stop_requested() const;
+
+  /// Session threads the server currently tracks (live connections plus
+  /// at most a few just-finished ones awaiting their reap on the next
+  /// accept).  Bounded by concurrent clients, NOT total clients served —
+  /// the regression guard for the one-thread-per-client-forever leak.
+  [[nodiscard]] std::size_t tracked_sessions() const;
+
+ private:
+  friend bool serve_unix_socket(ExperimentEngine&, const std::string&,
+                                const ServeOptions&, std::string&,
+                                ServeSocketControl*);
+  /// The server parks its listening fd here so request_stop() can
+  /// shutdown(2) it — the one safe way to unblock a concurrent accept(2)
+  /// (close(2) from another thread races fd reuse).
+  void attach_listener(int fd);
+  void detach_listener();
+  void set_tracked_sessions(std::size_t count);
+
+  mutable Mutex mutex_;
+  int listen_fd_ GPUPOWER_GUARDED_BY(mutex_) = -1;
+  bool stop_requested_ GPUPOWER_GUARDED_BY(mutex_) = false;
+  std::size_t tracked_sessions_ GPUPOWER_GUARDED_BY(mutex_) = 0;
+};
+
 /// Blocking Unix-domain-socket server: binds `socket_path` (removing a
 /// stale socket file first), accepts clients forever, and runs one
-/// serve_session per connection on its own thread.  Only returns on a
-/// socket-layer failure, with the reason in `error`.
+/// serve_session per connection on its own thread.  Returns true after a
+/// clean stop through `control`; false on a socket-layer failure with
+/// the reason in `error`.  Pass control=nullptr to run until the process
+/// exits (the long-lived service default).
 bool serve_unix_socket(ExperimentEngine& engine,
                        const std::string& socket_path,
-                       const ServeOptions& options, std::string& error);
+                       const ServeOptions& options, std::string& error,
+                       ServeSocketControl* control = nullptr);
 
 }  // namespace gpupower::core

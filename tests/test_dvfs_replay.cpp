@@ -12,6 +12,7 @@
 #include "core/config_builder.hpp"
 #include "core/dvfs_experiment.hpp"
 #include "core/engine.hpp"
+#include "core/env.hpp"
 #include "core/pattern_dsl.hpp"
 #include "core/pattern_spec.hpp"
 #include "gpusim/dvfs/timeline.hpp"
@@ -233,9 +234,8 @@ TEST(DvfsReplay, EngineReplayIsDeterministicAcrossWorkerCounts) {
   // 1 worker, N workers, and (when set) the GPUPOWER_WORKERS count the
   // acceptance protocol sweeps — all bit-identical to the serial loop.
   std::vector<int> worker_counts{1, 4};
-  if (const char* env = std::getenv("GPUPOWER_WORKERS")) {
-    const int workers = std::atoi(env);
-    if (workers >= 1) worker_counts.push_back(workers);
+  if (const int workers = core::read_bench_env().workers; workers >= 1) {
+    worker_counts.push_back(workers);
   }
   for (const int workers : worker_counts) {
     core::EngineOptions options;
@@ -247,7 +247,7 @@ TEST(DvfsReplay, EngineReplayIsDeterministicAcrossWorkerCounts) {
 }
 
 TEST(DvfsReplay, EngineCachesIdenticalSubmissions) {
-  core::ExperimentEngine engine(core::EngineOptions{2, true});
+  core::ExperimentEngine engine(core::EngineOptions::with_workers(2));
   const DvfsConfig config = small_dvfs_config();
   const core::DvfsHandle first = engine.submit_dvfs(config);
   const core::DvfsHandle second = engine.submit_dvfs(config);
@@ -276,7 +276,7 @@ TEST(DvfsReplay, CacheKeySeparatesGovernorsBeyondDisplayPrecision) {
 }
 
 TEST(DvfsReplay, EngineRejectsDegenerateConfigs) {
-  core::ExperimentEngine engine(core::EngineOptions{1, true});
+  core::ExperimentEngine engine(core::EngineOptions::with_workers(1));
   DvfsConfig config = small_dvfs_config();
   config.experiment.seeds = 0;
   EXPECT_THROW((void)engine.submit_dvfs(config), std::invalid_argument);

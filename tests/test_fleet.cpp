@@ -15,6 +15,7 @@
 #include "core/config_builder.hpp"
 #include "core/dvfs_experiment.hpp"
 #include "core/engine.hpp"
+#include "core/env.hpp"
 #include "core/fleet_experiment.hpp"
 #include "gpusim/fleet/allocator.hpp"
 #include "gpusim/fleet/thermal.hpp"
@@ -57,7 +58,9 @@ TEST(FleetAllocator, EveryPolicyConservesTheCap) {
       double total = 0.0;
       for (std::size_t i = 0; i < demands.size(); ++i) {
         EXPECT_GE(budgets[i], 0.0);
-        if (!demands[i].active) EXPECT_EQ(budgets[i], 0.0);
+        if (!demands[i].active) {
+          EXPECT_EQ(budgets[i], 0.0);
+        }
         total += budgets[i];
       }
       EXPECT_LE(total, cap * (1.0 + 1e-12))
@@ -265,7 +268,7 @@ TEST(Fleet, SingleDeviceInfiniteCapThermalOffMatchesDvfsBitForBit) {
 
 TEST(Fleet, EngineSubmitFleetMatchesSubmitDvfsInTheDegenerateCase) {
   const DvfsConfig dvfs_config = small_dvfs_config();
-  core::ExperimentEngine engine(core::EngineOptions{2, true});
+  core::ExperimentEngine engine(core::EngineOptions::with_workers(2));
   const core::DvfsHandle dvfs_handle = engine.submit_dvfs(dvfs_config);
   const core::FleetHandle fleet_handle =
       engine.submit_fleet(fleet_of_one(dvfs_config));
@@ -285,9 +288,8 @@ TEST(Fleet, EngineReplayIsDeterministicAcrossWorkerCounts) {
   const FleetResult serial = core::run_fleet(config);
 
   std::vector<int> worker_counts{1, 4};
-  if (const char* env = std::getenv("GPUPOWER_WORKERS")) {
-    const int workers = std::atoi(env);
-    if (workers >= 1) worker_counts.push_back(workers);
+  if (const int workers = core::read_bench_env().workers; workers >= 1) {
+    worker_counts.push_back(workers);
   }
   for (const int workers : worker_counts) {
     core::EngineOptions options;
@@ -318,7 +320,7 @@ TEST(Fleet, EngineReplayIsDeterministicAcrossWorkerCounts) {
 }
 
 TEST(Fleet, EngineCachesIdenticalSubmissionsAndSeparatesAllocators) {
-  core::ExperimentEngine engine(core::EngineOptions{2, true});
+  core::ExperimentEngine engine(core::EngineOptions::with_workers(2));
   FleetConfig config = small_fleet_config();
   config.allocator.cap_w = 250.0;
   const core::FleetHandle first = engine.submit_fleet(config);
@@ -505,7 +507,7 @@ TEST(Fleet, SustainedLoadHeatsTheDieMonotonically) {
 // --- validation -----------------------------------------------------------
 
 TEST(Fleet, RejectsDegenerateConfigs) {
-  core::ExperimentEngine engine(core::EngineOptions{1, true});
+  core::ExperimentEngine engine(core::EngineOptions::with_workers(1));
   FleetConfig config = small_fleet_config();
   config.experiment.seeds = 0;
   EXPECT_THROW((void)engine.submit_fleet(config), std::invalid_argument);

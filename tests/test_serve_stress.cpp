@@ -1,0 +1,316 @@
+// Serve stress suite: many clients hammering ONE engine through the serve
+// layer at once — the concurrency surface the TSan CI job exists to watch.
+// Every session races the shared cache, the worker pool, and (over the
+// socket) the accept loop; the assertions pin the service contract under
+// that contention:
+//   - result events are byte-identical across every concurrent session
+//     (same engine, same cache entries, same JSON dump);
+//   - overlapping submissions dedup: unique configs are computed exactly
+//     once no matter how many clients ask;
+//   - the socket server shuts down cleanly through ServeSocketControl
+//     with all session threads joined and the socket file removed.
+#include "core/store/serve.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/json.hpp"
+#include "core/engine.hpp"
+#include "core/scenario.hpp"
+#include "core/spec.hpp"
+
+namespace gpupower::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Overlapping load: the campaign's n64 point and the single spec are the
+// SAME config (the axis value equals the base), so across both lines a
+// session submits 3 points but only 2 unique configs — the overlap the
+// dedup assertions below count on.
+const char kCampaignSpec[] =
+    R"json({"scenario": "campaign", "name": "stress_fixture",)json"
+    R"json( "base": {"scenario": "static", "experiment": {"gpu": "a100",)json"
+    R"json( "dtype": "fp16", "n": 64, "seeds": 1,)json"
+    R"json( "pattern": "gaussian(sigma=210)",)json"
+    R"json( "sampling": {"tiles": 4, "k_fraction": 0.5}}},)json"
+    R"json( "axes": [{"field": "experiment.n", "values": [)json"
+    R"json( {"value": 64, "label": "n64"}, {"value": 96, "label": "n96"}]}]})json";
+
+const char kSingleSpec[] =
+    R"json({"scenario": "static", "experiment": {"gpu": "a100",)json"
+    R"json( "dtype": "fp16", "n": 64, "seeds": 1,)json"
+    R"json( "pattern": "gaussian(sigma=210)",)json"
+    R"json( "sampling": {"tiles": 4, "k_fraction": 0.5}}})json";
+
+constexpr int kSessions = 8;
+constexpr std::size_t kPointsPerSession = 3;  // campaign(2) + single(1)
+
+std::string session_input() {
+  return std::string(kCampaignSpec) + "\n" + kSingleSpec + "\n";
+}
+
+/// Unique canonical keys across everything one session submits — the
+/// ground truth for the jobs_computed assertions, derived from the same
+/// spec machinery the server uses (no hard-coded counts to rot).
+std::size_t unique_config_count() {
+  std::set<std::string> keys;
+  const SpecParseResult campaign = parse_scenario_spec_text(kCampaignSpec);
+  EXPECT_TRUE(campaign.ok) << campaign.error;
+  std::vector<CampaignPoint> points;
+  std::string error;
+  EXPECT_TRUE(expand_campaign(campaign.spec, points, error)) << error;
+  for (const CampaignPoint& point : points) {
+    keys.insert(canonical_scenario_key(point.config));
+  }
+  const SpecParseResult single = parse_scenario_spec_text(kSingleSpec);
+  EXPECT_TRUE(single.ok) << single.error;
+  keys.insert(canonical_scenario_key(single.spec.config));
+  return keys.size();
+}
+
+/// The session's result lines, sorted — concurrent sessions emit points
+/// in completion order, so ordering is the one legitimate difference;
+/// the bytes themselves must match exactly.
+std::vector<std::string> sorted_result_lines(const std::string& output) {
+  std::vector<std::string> results;
+  std::istringstream lines(output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const auto parsed = analysis::json_parse(line);
+    EXPECT_TRUE(parsed.ok) << "unparseable event line: " << line;
+    if (!parsed.ok) continue;
+    const analysis::JsonValue* type = parsed.value.find("type");
+    if (type != nullptr && type->as_string() == "result") {
+      results.push_back(line);
+    }
+  }
+  std::sort(results.begin(), results.end());
+  return results;
+}
+
+std::size_t count_events(const std::string& output, const std::string& type) {
+  std::size_t count = 0;
+  std::istringstream lines(output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto parsed = analysis::json_parse(line);
+    if (!parsed.ok) continue;
+    const analysis::JsonValue* t = parsed.value.find("type");
+    if (t != nullptr && t->as_string() == type) ++count;
+  }
+  return count;
+}
+
+// N concurrent stream sessions against one engine: every session gets the
+// full event set, result bytes are identical everywhere, and the engine
+// computed each unique config exactly once.
+TEST(ServeStress, ConcurrentStreamSessionsAreByteIdenticalAndDedup) {
+  ExperimentEngine engine(EngineOptions::with_workers(4));
+  std::vector<std::string> outputs(kSessions);
+
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    clients.emplace_back([&engine, &outputs, i] {
+      std::istringstream in(session_input());
+      std::ostringstream out;
+      const long requests = serve_session(engine, in, out);
+      EXPECT_EQ(requests, 2);
+      outputs[static_cast<std::size_t>(i)] = out.str();
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  const std::vector<std::string> reference = sorted_result_lines(outputs[0]);
+  ASSERT_EQ(reference.size(), kPointsPerSession);
+  for (int i = 0; i < kSessions; ++i) {
+    const std::string& output = outputs[static_cast<std::size_t>(i)];
+    EXPECT_EQ(sorted_result_lines(output), reference) << "session " << i;
+    EXPECT_EQ(count_events(output, "accepted"), 2u) << "session " << i;
+    EXPECT_EQ(count_events(output, "done"), 2u) << "session " << i;
+    EXPECT_EQ(count_events(output, "error"), 0u) << "session " << i;
+  }
+
+  const EngineStats stats = engine.stats();
+  const std::size_t unique = unique_config_count();
+  EXPECT_EQ(stats.submitted, kSessions * kPointsPerSession);
+  EXPECT_EQ(stats.jobs_computed, unique);
+  EXPECT_EQ(stats.cache_hits, stats.submitted - unique);
+}
+
+// --- socket server under multi-client load --------------------------------
+
+int connect_with_retry(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  // The server thread may not have bound yet; retry briefly.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    (void)::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n <= 0) return false;
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string read_to_eof(int fd) {
+  std::string out;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n <= 0) break;
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+std::string stress_socket_path(const char* tag) {
+  return (fs::temp_directory_path() /
+          (std::string("gpupower_stress_") + tag + "_" +
+           std::to_string(static_cast<long>(::getpid())) + ".sock"))
+      .string();
+}
+
+// One socket server, many concurrent clients: every client sees the same
+// result bytes, the shared engine dedups across connections, and
+// request_stop() unwinds the accept loop cleanly (socket file removed,
+// true returned).
+TEST(ServeStress, SocketClientsShareOneEngineAndStopCleanly) {
+  ExperimentEngine engine(EngineOptions::with_workers(4));
+  const std::string socket_path = stress_socket_path("multi");
+
+  ServeSocketControl control;
+  std::string server_error;
+  bool server_ok = false;
+  std::thread server([&engine, &socket_path, &control, &server_error,
+                      &server_ok] {
+    server_ok = serve_unix_socket(engine, socket_path, ServeOptions{},
+                                  server_error, &control);
+  });
+
+  std::vector<std::string> outputs(kSessions);
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    clients.emplace_back([&socket_path, &outputs, i] {
+      const int fd = connect_with_retry(socket_path);
+      ASSERT_GE(fd, 0) << "client " << i << " could not connect";
+      ASSERT_TRUE(send_all(fd, session_input()));
+      // Half-close: the session's reader sees EOF, streams the remaining
+      // results, then the server closes the connection.
+      (void)::shutdown(fd, SHUT_WR);
+      outputs[static_cast<std::size_t>(i)] = read_to_eof(fd);
+      (void)::close(fd);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  control.request_stop();
+  server.join();
+  EXPECT_TRUE(server_ok) << server_error;
+  EXPECT_FALSE(fs::exists(socket_path));
+
+  const std::vector<std::string> reference = sorted_result_lines(outputs[0]);
+  ASSERT_EQ(reference.size(), kPointsPerSession);
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(sorted_result_lines(outputs[static_cast<std::size_t>(i)]),
+              reference)
+        << "client " << i;
+  }
+
+  const EngineStats stats = engine.stats();
+  const std::size_t unique = unique_config_count();
+  EXPECT_EQ(stats.submitted, kSessions * kPointsPerSession);
+  EXPECT_EQ(stats.jobs_computed, unique);
+}
+
+// Regression guard for the session-slot leak: the accept loop used to
+// push one joinable std::thread per client and only join at shutdown, so
+// a long-lived service accumulated a thread handle (and its unreclaimed
+// pthread stack) for every client it ever served.  Finished sessions are
+// now reaped on the next accept: after many sequential clients the
+// server must track a handful of slots, not one per client.
+TEST(ServeStress, FinishedSessionsAreReapedNotAccumulated) {
+  ExperimentEngine engine(EngineOptions::with_workers(2));
+  const std::string socket_path = stress_socket_path("reap");
+
+  ServeSocketControl control;
+  std::string server_error;
+  bool server_ok = false;
+  std::thread server([&engine, &socket_path, &control, &server_error,
+                      &server_ok] {
+    server_ok = serve_unix_socket(engine, socket_path, ServeOptions{},
+                                  server_error, &control);
+  });
+
+  constexpr int kSequentialClients = 12;
+  for (int i = 0; i < kSequentialClients; ++i) {
+    const int fd = connect_with_retry(socket_path);
+    ASSERT_GE(fd, 0) << "client " << i << " could not connect";
+    ASSERT_TRUE(send_all(fd, std::string(kSingleSpec) + "\n"));
+    (void)::shutdown(fd, SHUT_WR);
+    (void)read_to_eof(fd);  // session complete: server closed the socket
+    (void)::close(fd);
+  }
+
+  // Strictly sequential clients: when client i+1 is accepted, session i
+  // has streamed its results and can lag only in its last few statements
+  // (close + latch store), so the tracked count must stay near 1 — and
+  // nowhere near one-per-client.
+  EXPECT_LE(control.tracked_sessions(), 3u)
+      << "finished session threads are accumulating instead of being reaped";
+
+  control.request_stop();
+  server.join();
+  EXPECT_TRUE(server_ok) << server_error;
+}
+
+// A stop requested before the server even binds must not hang: the
+// listener is poisoned on attach and the first accept returns.
+TEST(ServeStress, StopRequestedBeforeServeReturnsImmediately) {
+  ExperimentEngine engine(EngineOptions::with_workers(1));
+  const std::string socket_path = stress_socket_path("prestop");
+
+  ServeSocketControl control;
+  control.request_stop();
+  EXPECT_TRUE(control.stop_requested());
+
+  std::string error;
+  EXPECT_TRUE(
+      serve_unix_socket(engine, socket_path, ServeOptions{}, error, &control));
+  EXPECT_FALSE(fs::exists(socket_path));
+}
+
+}  // namespace
+}  // namespace gpupower::core

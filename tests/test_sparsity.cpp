@@ -34,7 +34,9 @@ TEST(Sparsity, NonZeroedValuesUntouched) {
   const auto original = data;
   sparsify(data, 0.5, 7);
   for (std::size_t i = 0; i < data.size(); ++i) {
-    if (data[i] != 0.0f) EXPECT_EQ(data[i], original[i]);
+    if (data[i] != 0.0f) {
+      EXPECT_EQ(data[i], original[i]);
+    }
   }
 }
 

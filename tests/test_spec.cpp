@@ -270,7 +270,7 @@ void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
 }
 
 TEST(Scenario, TypeErasedSubmitMatchesSerialReference) {
-  ExperimentEngine engine(EngineOptions{4, true});
+  ExperimentEngine engine(EngineOptions::with_workers(4));
   const ExperimentConfig config = small_experiment();
   const ScenarioHandle handle = engine.submit(ScenarioConfig(config));
   EXPECT_EQ(handle.kind(), ScenarioKind::kStatic);
@@ -278,7 +278,7 @@ TEST(Scenario, TypeErasedSubmitMatchesSerialReference) {
 }
 
 TEST(Scenario, TypedAndTypeErasedSubmitsShareOneJob) {
-  ExperimentEngine engine(EngineOptions{4, true});
+  ExperimentEngine engine(EngineOptions::with_workers(4));
   const ExperimentConfig config = small_experiment();
   const ExperimentHandle typed = engine.submit(config);
   const ScenarioHandle erased = engine.submit(ScenarioConfig(config));
@@ -291,7 +291,7 @@ TEST(Scenario, TypedAndTypeErasedSubmitsShareOneJob) {
 }
 
 TEST(Scenario, SubmitRejectsInvalidConfigsViaRegistry) {
-  ExperimentEngine engine(EngineOptions{2, true});
+  ExperimentEngine engine(EngineOptions::with_workers(2));
   ExperimentConfig config = small_experiment();
   config.seeds = 0;
   EXPECT_THROW((void)engine.submit(ScenarioConfig(config)),
@@ -323,7 +323,7 @@ TEST(Scenario, FleetOfOneSpecMatchesSubmitDvfsBitwise) {
   ASSERT_TRUE(parsed.ok) << parsed.error;
   ASSERT_EQ(parsed.spec.config.kind(), ScenarioKind::kFleet);
 
-  ExperimentEngine engine(EngineOptions{4, true});
+  ExperimentEngine engine(EngineOptions::with_workers(4));
   const ScenarioHandle fleet_handle = engine.submit(parsed.spec.config);
   const DvfsHandle dvfs_handle = engine.submit_dvfs(small_dvfs());
   engine.wait_all();
@@ -357,7 +357,7 @@ TEST(Scenario, FleetOfOneSpecMatchesSubmitDvfsBitwise) {
 // engine cache (identical canonical keys mean the campaign's submissions
 // all attach to the sweep's jobs).
 TEST(Scenario, CampaignFigureSweepMatchesSubmitSweepBitwise) {
-  ExperimentEngine engine(EngineOptions{4, true});
+  ExperimentEngine engine(EngineOptions::with_workers(4));
   ExperimentConfig base = small_experiment();
   base.pattern = baseline_gaussian_spec();
   const SweepRun sweep = engine.submit_sweep(FigureId::kFig6aSparsity, base);
@@ -394,7 +394,7 @@ TEST(Scenario, CampaignFigureSweepMatchesSubmitSweepBitwise) {
 // --- per-kind engine stats --------------------------------------------------
 
 TEST(Engine, StatsBreakDownByScenarioKind) {
-  ExperimentEngine engine(EngineOptions{4, true});
+  ExperimentEngine engine(EngineOptions::with_workers(4));
   (void)engine.submit(small_experiment());
   (void)engine.submit_dvfs(small_dvfs());
   FleetConfig fleet = small_fleet();

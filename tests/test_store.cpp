@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -242,6 +243,60 @@ TEST(ResultStore, CorruptEntriesAreMissesNeverCrashes) {
   EXPECT_TRUE(store.load(key, ScenarioKind::kStatic, out));
 }
 
+// Orphaned writer temp files (a writer killed between create and rename)
+// are swept when a store opens on the directory — but only old ones; a
+// fresh temp file could be a live writer mid-save.
+TEST(ResultStore, CompactSweepsOnlyAgedOrphanTempFiles) {
+  TempDir dir("compact");
+  const ScenarioConfig config(small_static_config());
+  const std::string key = canonical_scenario_key(config);
+  {
+    const ResultStore store(StoreOptions{dir.path()});
+    ASSERT_TRUE(store.save(key, run_scenario(config)));
+  }
+
+  // Plant litter: two orphans from a "crashed writer", one fresh temp
+  // file (in-flight), and one unrelated file the sweep must not touch.
+  const std::string entry = dir.path() + "/deadbeefdeadbeef.json";
+  const auto plant = [](const std::string& path) {
+    std::ofstream out(path);
+    out << "partial";
+  };
+  const std::string old_orphan1 = entry + ".tmp.12345.0";
+  const std::string old_orphan2 = entry + ".tmp.12345.1";
+  const std::string fresh_tmp = entry + ".tmp.12345.2";
+  const std::string unrelated = dir.path() + "/README";
+  plant(old_orphan1);
+  plant(old_orphan2);
+  plant(fresh_tmp);
+  plant(unrelated);
+  const auto old_time =
+      fs::file_time_type::clock::now() - std::chrono::hours(1);
+  fs::last_write_time(old_orphan1, old_time);
+  fs::last_write_time(old_orphan2, old_time);
+
+  // Opening the store runs the sweep automatically.
+  const ResultStore reopened(StoreOptions{dir.path()});
+  EXPECT_FALSE(fs::exists(old_orphan1));
+  EXPECT_FALSE(fs::exists(old_orphan2));
+  EXPECT_TRUE(fs::exists(fresh_tmp));   // could be a live writer
+  EXPECT_TRUE(fs::exists(unrelated));   // not a temp file: not ours
+  EXPECT_TRUE(fs::exists(reopened.entry_path(key)));
+
+  // An explicit zero-age sweep takes the fresh temp file too.
+  EXPECT_EQ(reopened.compact(std::chrono::seconds(0)), 1u);
+  EXPECT_FALSE(fs::exists(fresh_tmp));
+
+  // The surviving entry still loads.
+  ScenarioResult out;
+  EXPECT_TRUE(reopened.load(key, ScenarioKind::kStatic, out));
+}
+
+TEST(ResultStore, CompactOnMissingDirectoryIsANoOp) {
+  const ResultStore store(StoreOptions{"/tmp/gpupower_never_created_dir_x"});
+  EXPECT_EQ(store.compact(std::chrono::seconds(0)), 0u);
+}
+
 TEST(ResultStore, FilenameIsStableFnvHash) {
   const ResultStore store(StoreOptions{"/some/dir"});
   const std::string path = store.entry_path("key");
@@ -380,7 +435,7 @@ TEST(EngineStore, CorruptEntryRecomputesAndRepairs) {
 // The stats line mentions store traffic only when it happened, so
 // store-less output is byte-stable for existing consumers.
 TEST(EngineStore, StatsLineAppendsStoreCountersOnlyWhenUsed) {
-  ExperimentEngine plain(EngineOptions{.workers = 2});
+  ExperimentEngine plain(EngineOptions::with_workers(2));
   (void)plain.submit(ScenarioConfig(small_static_config())).get();
   EXPECT_EQ(engine_stats_line(plain).find("store"), std::string::npos);
 

@@ -81,6 +81,17 @@ int main(int argc, char** argv) {
   }
   if (!compare) return usage(argv[0]);
 
+#ifdef GPUPOWER_SANITIZED
+  // A sanitized binary is 2-20x slower and its timings are meaningless as
+  // a perf gate; refusing loudly beats a CI matrix quietly gating noise.
+  std::fprintf(stderr,
+               "bench_export: --compare is disabled in sanitized builds "
+               "(GPUPOWER_SANITIZE was set): sanitizer instrumentation "
+               "distorts every timing this gate measures.  Run the perf "
+               "gate from a release build.\n");
+  return 2;
+#endif
+
   analysis::JsonValue fresh;
   analysis::JsonValue baseline;
   std::string error;

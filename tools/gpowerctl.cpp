@@ -13,13 +13,13 @@
 //   gpowerctl predict --dtype fp16 --pattern "<dsl>"
 //       train the input-dependent power model on the figure sweeps and
 //       predict the pattern's power without a kernel walk
-//   gpowerctl dvfs --dtype fp16t --timeline "burst(period=0.2, duty=30%)" \
-//       --governor "utilization(up=80%, down=30%)"
+//   gpowerctl dvfs --dtype fp16t --timeline "burst(period=0.2, duty=30%)"
+//       [--governor "utilization(up=80%, down=30%)"]
 //       replay a workload timeline through the P-state machine and print
 //       the time-resolved power/clock trace plus the energy/latency summary
 //       against the fixed-max-clock and oracle baselines
-//   gpowerctl fleet --devices 4 --cap 900 --allocator proportional \
-//       --thermal on
+//   gpowerctl fleet --devices 4 --cap 900 --allocator proportional
+//       [--thermal on]
 //       fan the timeline across N simulated devices (phase-shifted per
 //       device) under a shared power cap and print per-device and
 //       fleet-aggregate energy/backlog/temperature, against the uncapped
