@@ -2,13 +2,13 @@
 // walk against sampled plans across several input patterns and reports the
 // relative power error — the evidence behind the benches' default sampled
 // configuration.
-#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <string_view>
 
 #include "analysis/table.hpp"
+#include "core/obs/obs.hpp"
 #include "core/pattern_spec.hpp"
 #include "fig_harness.hpp"
 #include "gpusim/simulator.hpp"
@@ -25,12 +25,10 @@ double run_with_plan(const core::PatternSpec& spec, std::size_t n,
   const auto inputs = core::build_inputs<numeric::float16_t>(
       spec, numeric::DType::kFP16, n, 42);
   const auto problem = gemm::GemmProblem::square(n, spec.transpose_b);
-  const auto start = std::chrono::steady_clock::now();
+  const core::obs::StopWatch watch;
   const auto report =
       sim.run_gemm(problem, numeric::DType::kFP16, inputs.a, inputs.b);
-  seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start)
-                .count();
+  seconds = watch.seconds();
   return report.total_w;
 }
 

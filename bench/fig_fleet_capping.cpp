@@ -254,8 +254,13 @@ int main(int argc, char** argv) {
   }
   bench::print_engine_stats(engine);
 
+  // Non-gated observability context: --compare walks only the committed
+  // baseline's cases, so the extra top-level block never gates and the
+  // committed BENCH_fleet.json needs no regeneration to stay comparable.
+  const JsonValue engine_stats =
+      core::engine_stats_json(engine.stats(), engine.workers());
   const auto bench_doc = tools::bench_document("fleet_capping", protocol,
-                                               cases);
+                                               cases, &engine_stats);
   if (!tools::write_bench_json(out_path, bench_doc)) {
     std::fprintf(stderr, "fig_fleet_capping: cannot write %s\n",
                  out_path.c_str());

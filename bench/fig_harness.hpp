@@ -23,6 +23,7 @@
 #include "core/engine.hpp"
 #include "core/env.hpp"
 #include "core/figures.hpp"
+#include "core/obs/obs.hpp"
 
 namespace gpupower::bench {
 
@@ -43,6 +44,10 @@ inline void print_preamble(const core::BenchEnv& env, std::string_view title) {
 }
 
 inline core::ExperimentEngine make_engine(const core::BenchEnv& env) {
+  // Bench engines always run with the metrics registry armed: the timing
+  // breakdown (compute/queue-wait/store seconds) is part of what a bench
+  // exists to measure, and the armed cost is a relaxed atomic per event.
+  core::obs::set_metrics_enabled(true);
   core::EngineOptions options;
   options.workers = env.workers;
   return core::ExperimentEngine(options);
@@ -55,6 +60,9 @@ inline void print_engine_stats(const core::ExperimentEngine& engine) {
 /// Runs a figure's sweep for all four datatypes through the engine and
 /// prints the series table.  Returns the process exit code.
 inline int run_figure(core::FigureId id) {
+  // One span over the whole figure (submit fan-out through table print):
+  // with GPUPOWER_TRACE set the per-scenario engine spans nest under it.
+  core::obs::Span figure_span("bench.figure");
   const core::BenchEnv env = core::read_bench_env();
   print_preamble(env, core::figure_name(id));
 

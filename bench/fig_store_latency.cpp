@@ -20,7 +20,6 @@
 //        removed on exit).
 #include <unistd.h>
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -29,6 +28,7 @@
 
 #include "core/engine.hpp"
 #include "core/env.hpp"
+#include "core/obs/obs.hpp"
 #include "core/scenario.hpp"
 #include "core/spec.hpp"
 #include "core/store/result_store.hpp"
@@ -40,6 +40,7 @@ using namespace gpupower;
 
 struct PhaseOutcome {
   double wall_ms = 0.0;
+  int workers = 0;  ///< resolved engine pool size (not the env request)
   core::EngineStats stats;
   std::vector<std::string> dumps;  ///< canonical result JSON per point
   double energy_j = 0.0;           ///< sum over campaign points
@@ -68,14 +69,13 @@ bool run_phase(const core::ScenarioSpec& spec,
   options.store = std::move(store);
   core::ExperimentEngine engine(options);
 
-  const auto start = std::chrono::steady_clock::now();
+  const core::obs::StopWatch watch;
   core::CampaignRun run;
   if (!core::submit_campaign(engine, spec, run, error)) return false;
   engine.wait_all();
-  outcome.wall_ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+  outcome.wall_ms = watch.ms();
 
+  outcome.workers = engine.workers();
   outcome.stats = engine.stats();
   for (const core::ScenarioHandle& handle : run.handles) {
     const core::ScenarioResult& result = handle.get();
@@ -101,6 +101,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Arm the metrics registry so the per-kind timing breakdown in the
+  // embedded engine_stats block below is live, not all-zero.
+  core::obs::set_metrics_enabled(true);
   const core::BenchEnv env = core::read_bench_env();
   const bool temp_store = store_dir.empty();
   if (temp_store) {
@@ -212,7 +215,13 @@ int main(int argc, char** argv) {
   cases.push_back({"campaign",
                    {{"points", static_cast<double>(points)},
                     {"energy_j", cold.energy_j}}});
-  const auto doc = tools::bench_document("store_latency", protocol, cases);
+  // Observability context per phase (timing breakdown, hit ratios) rides
+  // along as a non-gated top-level block — --compare walks only cases.
+  analysis::JsonValue engine_stats = analysis::JsonValue::object();
+  engine_stats.set("cold", core::engine_stats_json(cold.stats, cold.workers));
+  engine_stats.set("warm", core::engine_stats_json(warm.stats, warm.workers));
+  const auto doc =
+      tools::bench_document("store_latency", protocol, cases, &engine_stats);
   if (!tools::write_bench_json(out_path, doc)) {
     std::fprintf(stderr, "fig_store_latency: cannot write %s\n",
                  out_path.c_str());

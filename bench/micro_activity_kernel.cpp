@@ -9,7 +9,6 @@
 // GPUPOWER_TILES / GPUPOWER_KFRAC (default 12 / 0.5, the bench-harness
 // sampled plan); --out <path> changes the JSON destination (default
 // BENCH_activity.json in the working directory).
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +19,7 @@
 
 #include "analysis/table.hpp"
 #include "core/env.hpp"
+#include "core/obs/obs.hpp"
 #include "gemm/matrix.hpp"
 #include "gpusim/activity.hpp"
 #include "patterns/distributions.hpp"
@@ -35,15 +35,13 @@ std::pair<double, gpusim::ActivityEstimate> time_backend(
     const gemm::Matrix<T>& b, const gemm::TileConfig& config,
     const gpusim::SamplingPlan& plan, gpusim::ActivityBackend backend,
     int reps) {
-  using clock = std::chrono::steady_clock;
   double best_s = 1e300;
   gpusim::ActivityEstimate est;
+  core::obs::StopWatch watch;
   for (int r = 0; r < reps; ++r) {
-    const auto t0 = clock::now();
+    watch.reset();
     est = gpusim::estimate_activity(problem, a, b, config, plan, backend);
-    const auto t1 = clock::now();
-    best_s = std::min(best_s,
-                      std::chrono::duration<double>(t1 - t0).count());
+    best_s = std::min(best_s, watch.seconds());
   }
   return {best_s, est};
 }

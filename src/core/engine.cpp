@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include "core/annotations.hpp"
+#include "core/obs/obs.hpp"
 #include "core/store/result_store.hpp"
 
 #include <algorithm>
@@ -67,6 +68,13 @@ struct EngineState {
   EngineStats stats GPUPOWER_GUARDED_BY(cache_mutex);
   std::atomic<std::uint64_t> replicas_run[kScenarioKindCount] = {};
   std::atomic<std::uint64_t> store_writes[kScenarioKindCount] = {};
+  /// Per-kind stage timings in ns, accumulated by workers only while the
+  /// obs metrics switch is on (relaxed — folded into stats() snapshots).
+  std::atomic<std::int64_t> compute_ns[kScenarioKindCount] = {};
+  std::atomic<std::int64_t> queue_wait_ns[kScenarioKindCount] = {};
+  std::atomic<std::int64_t> reduce_ns[kScenarioKindCount] = {};
+  std::atomic<std::int64_t> store_read_ns[kScenarioKindCount] = {};
+  std::atomic<std::int64_t> store_write_ns[kScenarioKindCount] = {};
 
   /// The persistent store, when one is attached AND the cache is enabled
   /// (a cache-less engine recomputes by contract, so it must not read
@@ -80,6 +88,37 @@ struct EngineState {
 
 namespace {
 
+/// Per-kind span names (indexed by ScenarioKind) — ring buffers store the
+/// pointer, so these must be static literals, one per kind.
+constexpr const char* kReplicaSpanName[kScenarioKindCount] = {
+    "replica.static", "replica.dvfs", "replica.fleet"};
+constexpr const char* kReduceSpanName[kScenarioKindCount] = {
+    "reduce.static", "reduce.dvfs", "reduce.fleet"};
+
+/// One timestamp serves both the trace span and the metrics sum; 0 means
+/// "everything off, take no clock reads" (obs::now_ns is never 0).
+std::int64_t obs_begin() {
+  return obs::tracing_enabled() || obs::metrics_enabled() ? obs::now_ns() : 0;
+}
+
+/// Closes an interval opened by obs_begin(): records the span (no-op when
+/// tracing is off) and accumulates the duration into `sink_ns` (when
+/// metrics are on).
+void obs_end(const char* span_name, std::int64_t start_ns,
+             std::atomic<std::int64_t>& sink_ns) {
+  if (start_ns == 0) return;
+  const std::int64_t end_ns = obs::now_ns();
+  obs::record_span(span_name, start_ns, end_ns);
+  if (obs::metrics_enabled()) {
+    sink_ns.fetch_add(end_ns - start_ns, std::memory_order_relaxed);
+  }
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& gauge = obs::gauge("engine.queue_depth");
+  return gauge;
+}
+
 /// Post-completion write-back to the persistent store.  Runs after
 /// `done` was published under the job mutex and every waiter was
 /// notified; no thread writes `result`/`error` past that point, so the
@@ -91,9 +130,18 @@ void persist_finished_job(EngineState& state, const ScenarioJob& job)
   if (const ResultStore* store = state.store();
       store != nullptr && !job.cache_key.empty() && !job.error &&
       job.result.valid()) {
+    const std::size_t kind_index =
+        static_cast<std::size_t>(job.config.kind());
+    // The store.write trace span is recorded inside ResultStore::save;
+    // here only the per-kind metrics sum is taken.
+    const std::int64_t t0 =
+        obs::metrics_enabled() ? obs::now_ns() : std::int64_t{0};
     if (store->save(job.cache_key, job.result)) {
-      state.store_writes[static_cast<std::size_t>(job.config.kind())]
-          .fetch_add(1, std::memory_order_relaxed);
+      state.store_writes[kind_index].fetch_add(1, std::memory_order_relaxed);
+    }
+    if (t0 != 0) {
+      state.store_write_ns[kind_index].fetch_add(
+          obs::now_ns() - t0, std::memory_order_relaxed);
     }
   }
 }
@@ -102,15 +150,18 @@ void persist_finished_job(EngineState& state, const ScenarioJob& job)
 /// outstanding count.  The registry reduce hook runs under the job lock
 /// exactly once and consumes the replica slots.
 void finish_job(EngineState& state, const std::shared_ptr<ScenarioJob>& job) {
+  const std::size_t kind_index = static_cast<std::size_t>(job->config.kind());
   {
     MutexLock lock(job->mutex);
     if (!job->error) {
+      const std::int64_t t0 = obs_begin();
       try {
         job->result = scenario_kind_info(job->config.kind())
                           .reduce(job->config, job->replicas);
       } catch (...) {
         job->error = std::current_exception();
       }
+      obs_end(kReduceSpanName[kind_index], t0, state.reduce_ns[kind_index]);
     }
     // All writers are done (remaining hit zero) and the reduction has
     // consumed the replicas; release them now — cached DVFS/fleet jobs
@@ -139,8 +190,13 @@ void finish_job(EngineState& state, const std::shared_ptr<ScenarioJob>& job) {
 /// zero.
 void run_replica_task(EngineState& state,
                       const std::shared_ptr<ScenarioJob>& job,
-                      int seed_index) {
+                      int seed_index, std::int64_t enqueue_ns) {
   const ScenarioKindInfo& info = scenario_kind_info(job->config.kind());
+  const std::size_t kind_index = static_cast<std::size_t>(info.kind);
+  // The queue-wait interval opened at enqueue time closes now that a
+  // worker picked the task up (0 = observability was off at submit).
+  obs_end("queue.wait", enqueue_ns, state.queue_wait_ns[kind_index]);
+  const std::int64_t t0 = obs_begin();
   try {
     // Disjoint slots: no lock needed for the write, the job's atomic
     // countdown orders it before the reduction.
@@ -149,6 +205,17 @@ void run_replica_task(EngineState& state,
   } catch (...) {
     MutexLock lock(job->mutex);
     if (!job->error) job->error = std::current_exception();
+  }
+  if (t0 != 0) {
+    const std::int64_t end_ns = obs::now_ns();
+    obs::record_span(kReplicaSpanName[kind_index], t0, end_ns);
+    if (obs::metrics_enabled()) {
+      state.compute_ns[kind_index].fetch_add(end_ns - t0,
+                                             std::memory_order_relaxed);
+      static obs::Histogram& latency =
+          obs::histogram("engine.replica_latency_ns");
+      latency.record(end_ns - t0);
+    }
   }
   state.replicas_run[static_cast<std::size_t>(info.kind)].fetch_add(
       1, std::memory_order_relaxed);
@@ -169,6 +236,10 @@ void worker_loop(const std::shared_ptr<EngineState>& state) {
       if (state->queue.empty()) return;  // stop requested, queue drained
       task = std::move(state->queue.front());
       state->queue.pop_front();
+      if (obs::metrics_enabled()) {
+        queue_depth_gauge().set(
+            static_cast<std::int64_t>(state->queue.size()));
+      }
     }
     task();
   }
@@ -281,6 +352,10 @@ analysis::JsonValue SweepRun::to_json() const {
 
 ExperimentEngine::ExperimentEngine(EngineOptions options)
     : state_(std::make_shared<detail::EngineState>()) {
+  // Every engine binary honours GPUPOWER_TRACE / GPUPOWER_METRICS without
+  // touching its main(); explicit gpowerctl flags were applied earlier
+  // and win (init_from_env is once-per-process and defers to them).
+  obs::init_from_env();
   state_->options = options;
   int workers = options.workers;
   if (workers <= 0) {
@@ -311,6 +386,7 @@ ExperimentEngine::~ExperimentEngine() {
 /// when the cache is (a cache-less engine recomputes by contract).
 std::shared_ptr<detail::ScenarioJob> ExperimentEngine::submit_job(
     ScenarioConfig config) {
+  obs::Span submit_span("engine.submit");
   const ScenarioKindInfo& info = scenario_kind_info(config.kind());
   const std::string problem = info.validate(config);
   if (!problem.empty()) {
@@ -354,7 +430,16 @@ std::shared_ptr<detail::ScenarioJob> ExperimentEngine::submit_job(
   // try_emplace below picks one winner.
   if (const ResultStore* store = state.store(); store != nullptr) {
     ScenarioResult loaded;
-    if (store->load(job->cache_key, info.kind, loaded)) {
+    // The store.read trace span is recorded inside ResultStore::load;
+    // here only the per-kind metrics sum is taken.
+    const std::int64_t read_t0 =
+        obs::metrics_enabled() ? obs::now_ns() : std::int64_t{0};
+    const bool loaded_ok = store->load(job->cache_key, info.kind, loaded);
+    if (read_t0 != 0) {
+      state.store_read_ns[kind_index].fetch_add(
+          obs::now_ns() - read_t0, std::memory_order_relaxed);
+    }
+    if (loaded_ok) {
       {
         // The job is unpublished (no other thread can see it yet), but
         // taking its uncontended lock is free and keeps the guarded-field
@@ -399,9 +484,17 @@ std::shared_ptr<detail::ScenarioJob> ExperimentEngine::submit_job(
   }
   {
     MutexLock lock(state.queue_mutex);
+    // One timestamp for the whole batch: each task's queue-wait span
+    // opens here and closes when a worker dequeues it (0 = obs off).
+    const std::int64_t enqueue_ns = detail::obs_begin();
     for (int s = 0; s < seeds; ++s) {
-      state.queue.push_back(
-          [&state, job, s] { detail::run_replica_task(state, job, s); });
+      state.queue.push_back([&state, job, s, enqueue_ns] {
+        detail::run_replica_task(state, job, s, enqueue_ns);
+      });
+    }
+    if (obs::metrics_enabled()) {
+      detail::queue_depth_gauge().set(
+          static_cast<std::int64_t>(state.queue.size()));
     }
   }
   state.queue_cv.notify_all();
@@ -487,22 +580,57 @@ void ExperimentEngine::wait_all() {
 }
 
 EngineStats ExperimentEngine::stats() const {
+  constexpr double kNsToSeconds = 1e-9;
   MutexLock lock(state_->cache_mutex);
   EngineStats stats = state_->stats;
   stats.replicas_run = 0;
   stats.store_writes = 0;
   for (std::size_t k = 0; k < kScenarioKindCount; ++k) {
-    stats.by_kind[k].replicas_run =
-        state_->replicas_run[k].load(std::memory_order_relaxed);
-    stats.replicas_run += stats.by_kind[k].replicas_run;
-    stats.by_kind[k].store_writes =
-        state_->store_writes[k].load(std::memory_order_relaxed);
-    stats.store_writes += stats.by_kind[k].store_writes;
+    EngineKindStats& kind = stats.by_kind[k];
+    kind.replicas_run = state_->replicas_run[k].load(std::memory_order_relaxed);
+    stats.replicas_run += kind.replicas_run;
+    kind.store_writes = state_->store_writes[k].load(std::memory_order_relaxed);
+    stats.store_writes += kind.store_writes;
+
+    kind.compute_seconds =
+        static_cast<double>(
+            state_->compute_ns[k].load(std::memory_order_relaxed)) *
+        kNsToSeconds;
+    kind.queue_wait_seconds =
+        static_cast<double>(
+            state_->queue_wait_ns[k].load(std::memory_order_relaxed)) *
+        kNsToSeconds;
+    kind.reduce_seconds =
+        static_cast<double>(
+            state_->reduce_ns[k].load(std::memory_order_relaxed)) *
+        kNsToSeconds;
+    kind.store_read_seconds =
+        static_cast<double>(
+            state_->store_read_ns[k].load(std::memory_order_relaxed)) *
+        kNsToSeconds;
+    kind.store_write_seconds =
+        static_cast<double>(
+            state_->store_write_ns[k].load(std::memory_order_relaxed)) *
+        kNsToSeconds;
+    stats.compute_seconds += kind.compute_seconds;
+    stats.queue_wait_seconds += kind.queue_wait_seconds;
+    stats.reduce_seconds += kind.reduce_seconds;
+    stats.store_read_seconds += kind.store_read_seconds;
+    stats.store_write_seconds += kind.store_write_seconds;
   }
   return stats;
 }
 
 int ExperimentEngine::workers() const noexcept { return state_->worker_count; }
+
+analysis::JsonValue ExperimentEngine::metrics_json() const {
+  using analysis::JsonValue;
+  JsonValue doc = JsonValue::object();
+  doc.set("gpupower_metrics", JsonValue::integer(1));
+  doc.set("engine", engine_stats_json(stats(), workers()));
+  doc.set("obs", obs::registry_json());
+  return doc;
+}
 
 void ExperimentEngine::clear_cache() {
   MutexLock lock(state_->cache_mutex);
@@ -535,6 +663,74 @@ std::string engine_stats_line(const ExperimentEngine& engine) {
     }
   }
   return line;
+}
+
+namespace {
+
+/// The counter + timing fields shared by the aggregate and per-kind
+/// objects; `fill` must mirror the EngineKindStats field list.
+analysis::JsonValue kind_stats_json(const EngineKindStats& k) {
+  using analysis::JsonValue;
+  JsonValue out = JsonValue::object();
+  out.set("submitted", JsonValue::integer(static_cast<long long>(k.submitted)));
+  out.set("cache_hits",
+          JsonValue::integer(static_cast<long long>(k.cache_hits)));
+  out.set("jobs_computed",
+          JsonValue::integer(static_cast<long long>(k.jobs_computed)));
+  out.set("replicas_run",
+          JsonValue::integer(static_cast<long long>(k.replicas_run)));
+  out.set("store_hits",
+          JsonValue::integer(static_cast<long long>(k.store_hits)));
+  out.set("store_writes",
+          JsonValue::integer(static_cast<long long>(k.store_writes)));
+  // Hit ratio of the lookups that reached the store: every store consult
+  // either hits or falls through to a compute.
+  const double lookups =
+      static_cast<double>(k.store_hits) + static_cast<double>(k.jobs_computed);
+  out.set("store_hit_ratio",
+          JsonValue::number(
+              lookups > 0.0 ? static_cast<double>(k.store_hits) / lookups
+                            : 0.0));
+  out.set("compute_seconds", JsonValue::number(k.compute_seconds));
+  out.set("queue_wait_seconds", JsonValue::number(k.queue_wait_seconds));
+  out.set("reduce_seconds", JsonValue::number(k.reduce_seconds));
+  out.set("store_read_seconds", JsonValue::number(k.store_read_seconds));
+  out.set("store_write_seconds", JsonValue::number(k.store_write_seconds));
+  return out;
+}
+
+}  // namespace
+
+analysis::JsonValue engine_stats_json(const EngineStats& stats, int workers) {
+  using analysis::JsonValue;
+  // The aggregate view reuses the per-kind schema (the aggregate fields
+  // are the sums by construction).
+  EngineKindStats total;
+  total.submitted = stats.submitted;
+  total.cache_hits = stats.cache_hits;
+  total.jobs_computed = stats.jobs_computed;
+  total.replicas_run = stats.replicas_run;
+  total.store_hits = stats.store_hits;
+  total.store_writes = stats.store_writes;
+  total.compute_seconds = stats.compute_seconds;
+  total.queue_wait_seconds = stats.queue_wait_seconds;
+  total.reduce_seconds = stats.reduce_seconds;
+  total.store_read_seconds = stats.store_read_seconds;
+  total.store_write_seconds = stats.store_write_seconds;
+
+  JsonValue out = kind_stats_json(total);
+  JsonValue by_kind = analysis::JsonValue::object();
+  for (const auto kind : kAllScenarioKinds) {
+    by_kind.set(name(kind), kind_stats_json(stats.of(kind)));
+  }
+  JsonValue doc = JsonValue::object();
+  doc.set("workers", JsonValue::integer(workers));
+  // Splice the aggregate fields after "workers", then the breakdown.
+  for (const std::string& key : out.keys()) {
+    doc.set(key, *out.find(key));
+  }
+  doc.set("by_kind", std::move(by_kind));
+  return doc;
 }
 
 }  // namespace gpupower::core

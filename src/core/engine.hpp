@@ -77,7 +77,10 @@ struct EngineOptions {
 };
 
 /// One scenario kind's slice of the engine counters — how a campaign run
-/// reports where the time went.
+/// reports where the time went.  The *_seconds fields are cumulative
+/// thread-time per pipeline stage, accumulated only while the obs metrics
+/// switch is on (core/obs/obs.hpp: gpowerctl --trace-out/--metrics-out,
+/// GPUPOWER_TRACE/GPUPOWER_METRICS, serve); they read 0.0 otherwise.
 struct EngineKindStats {
   std::uint64_t submitted = 0;
   std::uint64_t cache_hits = 0;
@@ -85,6 +88,12 @@ struct EngineKindStats {
   std::uint64_t replicas_run = 0;
   std::uint64_t store_hits = 0;    ///< submits served from the on-disk store
   std::uint64_t store_writes = 0;  ///< completed jobs persisted to the store
+
+  double compute_seconds = 0.0;      ///< replica hook time, summed per task
+  double queue_wait_seconds = 0.0;   ///< enqueue -> worker-pickup, per task
+  double reduce_seconds = 0.0;       ///< seed-order reduction time
+  double store_read_seconds = 0.0;   ///< store lookup time (hits and misses)
+  double store_write_seconds = 0.0;  ///< store write-back time
 };
 
 struct EngineStats {
@@ -94,6 +103,12 @@ struct EngineStats {
   std::uint64_t replicas_run = 0;  ///< seed-replica tasks executed
   std::uint64_t store_hits = 0;    ///< submits served from the on-disk store
   std::uint64_t store_writes = 0;  ///< completed jobs persisted to the store
+
+  double compute_seconds = 0.0;      ///< sums of the per-kind timings below
+  double queue_wait_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  double store_read_seconds = 0.0;
+  double store_write_seconds = 0.0;
 
   /// Per-kind breakdown; the aggregate fields above are the sums.
   EngineKindStats by_kind[kScenarioKindCount];
@@ -260,6 +275,13 @@ class ExperimentEngine {
   [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] int workers() const noexcept;
 
+  /// Stable JSON metrics document: `{"gpupower_metrics":1, "engine":
+  /// engine_stats_json(stats(), workers()), "obs": obs::registry_json()}`
+  /// — the one schema shared by `gpowerctl --metrics-out` and serve
+  /// `stats` events, so dashboards never see two spellings.  Timing
+  /// fields are zero unless the obs metrics switch is on.
+  [[nodiscard]] analysis::JsonValue metrics_json() const;
+
   /// Drops completed results from the cache (outstanding handles keep
   /// their jobs alive); resets no counters.
   void clear_cache();
@@ -277,5 +299,13 @@ class ExperimentEngine {
 /// appends as ", N store hit(s), M store write(s)" (aggregate and
 /// per-kind) only when it occurred, so store-less runs print unchanged.
 [[nodiscard]] std::string engine_stats_line(const ExperimentEngine& engine);
+
+/// EngineStats as a stable JSON object: the aggregate counters and timing
+/// fields plus a "by_kind" object keyed by kind name (every kind present,
+/// fixed key order), prefixed with "workers".  Embedded by the bench
+/// documents (tools/bench_export) and by metrics_json(), so the two
+/// exports can never drift apart.
+[[nodiscard]] analysis::JsonValue engine_stats_json(const EngineStats& stats,
+                                                    int workers);
 
 }  // namespace gpupower::core

@@ -88,4 +88,24 @@ StoreEnv read_store_env() {
   return env;
 }
 
+ObsEnv read_obs_env() {
+  ObsEnv env;
+  const char* trace = std::getenv("GPUPOWER_TRACE");
+  if (trace != nullptr) env.trace_path = trace;
+
+  const char* raw = std::getenv("GPUPOWER_METRICS");
+  if (raw != nullptr && *raw != '\0') {
+    const std::string value(raw);
+    if (value == "on") {
+      env.metrics = true;
+    } else if (value == "off") {
+      env.metrics = false;
+    } else {
+      die("GPUPOWER_METRICS", raw, "'on' or 'off'");
+    }
+    env.metrics_set = true;
+  }
+  return env;
+}
+
 }  // namespace gpupower::core

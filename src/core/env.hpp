@@ -13,6 +13,12 @@
 //   GPUPOWER_STORE_DIR  store directory; unset = store off
 //   GPUPOWER_STORE      'on' | 'off' override (default on when a dir is set)
 //
+// The observability layer (core/obs/) reads:
+//   GPUPOWER_TRACE    Chrome-trace output path; setting it turns tracing
+//                     (and metrics) on, and the trace is written at exit
+//   GPUPOWER_METRICS  'on' | 'off' — metric/timing accumulation without a
+//                     trace (default off, or on when GPUPOWER_TRACE is set)
+//
 // Malformed or out-of-range values are rejected with a one-line error on
 // stderr and exit code 2 — a typo'd knob must never silently misconfigure
 // a run.
@@ -57,6 +63,19 @@ struct StoreEnv {
 /// read_bench_env: GPUPOWER_STORE must be 'on' or 'off' (exit 2 otherwise),
 /// and 'on' without a directory is rejected rather than silently ignored.
 [[nodiscard]] StoreEnv read_store_env();
+
+/// Observability knobs (core/obs/obs.hpp).  obs::init_from_env() applies
+/// them; they are read here so validation stays centralised.
+struct ObsEnv {
+  std::string trace_path;    ///< GPUPOWER_TRACE; empty = tracing off
+  bool metrics = false;      ///< GPUPOWER_METRICS value when set
+  bool metrics_set = false;  ///< GPUPOWER_METRICS present (non-empty)
+};
+
+/// Reads GPUPOWER_TRACE / GPUPOWER_METRICS.  GPUPOWER_METRICS must be
+/// 'on' or 'off' (exit 2 otherwise); GPUPOWER_TRACE is a path and any
+/// non-empty value is accepted.
+[[nodiscard]] ObsEnv read_obs_env();
 
 /// True when the variable is set to a non-empty value.  The one sanctioned
 /// presence check outside this module's readers — callers that need the

@@ -1,0 +1,409 @@
+#include "core/obs/obs.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "analysis/json.hpp"
+#include "core/annotations.hpp"
+#include "core/env.hpp"
+#include "core/store/result_store.hpp"
+
+namespace gpupower::core::obs {
+namespace {
+
+// ------------------------------------------------------------------ clock
+
+std::int64_t raw_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t epoch_ns() noexcept {
+  // -1 keeps now_ns() strictly positive: callers use 0 as the
+  // "observability off" sentinel, and the very first now_ns() in the
+  // process would otherwise return exactly 0.
+  static const std::int64_t epoch = raw_ns() - 1;
+  return epoch;
+}
+
+// -------------------------------------------------------------- switches
+
+std::atomic<bool> g_tracing{false};
+std::atomic<bool> g_metrics{false};
+
+struct TraceConfig {
+  Mutex mutex;
+  std::string path GPUPOWER_GUARDED_BY(mutex);
+};
+
+TraceConfig& trace_config() {
+  // Immortal (deliberately leaked): the atexit flush and late span
+  // recorders must never observe a destroyed singleton, and static
+  // destruction order across TUs cannot guarantee that.
+  static TraceConfig* config = new TraceConfig;
+  return *config;
+}
+
+void flush_at_exit() {
+  std::string error;
+  if (!flush_trace(&error) && !error.empty()) {
+    std::fprintf(stderr, "gpupower: trace flush failed: %s\n", error.c_str());
+  }
+}
+
+// ------------------------------------------------------------ span rings
+
+constexpr std::size_t kRingCapacity = std::size_t{1} << 16;
+
+struct TraceEvent {
+  const char* name;
+  std::int64_t start_ns;
+  std::int64_t end_ns;
+};
+
+/// Fill-once ring: slots are written only by the owning thread, published
+/// by the release-store of `count`; the exporter acquire-loads `count`
+/// and reads the frozen prefix.  Nothing ever overwrites a published
+/// slot, so writer and exporter cannot race (TSan-clean by construction).
+/// A full ring drops (and counts) instead of wrapping.
+struct ThreadRing {
+  std::uint32_t tid = 0;
+  std::atomic<std::uint32_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::vector<TraceEvent> slots;  // sized once at registration
+};
+
+struct TraceRegistry {
+  Mutex mutex;
+  /// Rings are owned here and never freed, so they outlive their threads
+  /// (a worker may exit long before the final flush).
+  std::vector<std::unique_ptr<ThreadRing>> rings GPUPOWER_GUARDED_BY(mutex);
+};
+
+TraceRegistry& trace_registry() {
+  static TraceRegistry* registry = new TraceRegistry;  // immortal, see above
+  return *registry;
+}
+
+ThreadRing& local_ring() {
+  thread_local ThreadRing* ring = nullptr;
+  if (ring == nullptr) {
+    auto owned = std::make_unique<ThreadRing>();
+    owned->slots.resize(kRingCapacity);
+    TraceRegistry& registry = trace_registry();
+    MutexLock lock(registry.mutex);
+    owned->tid = static_cast<std::uint32_t>(registry.rings.size() + 1);
+    ring = owned.get();
+    registry.rings.push_back(std::move(owned));
+  }
+  return *ring;
+}
+
+void append_escaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+// --------------------------------------------------------------- metrics
+
+struct MetricsRegistry {
+  Mutex mutex;
+  // std::map: sorted iteration gives registry_json a stable key order.
+  // Values are pointer-stable (and immortal), so returned references
+  // survive any amount of later registration.
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      GPUPOWER_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges
+      GPUPOWER_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      GPUPOWER_GUARDED_BY(mutex);
+};
+
+MetricsRegistry& metrics_registry() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // immortal
+  return *registry;
+}
+
+/// Upper bound of histogram bucket `i` in ns (log2 scale; bucket 0 is the
+/// zero bucket).
+double bucket_upper_ns(int i) {
+  return i == 0 ? 0.0 : std::ldexp(1.0, i);
+}
+
+/// Smallest bucket upper bound with cumulative count >= q * total.
+double histogram_quantile_ns(const Histogram& h, double q) {
+  const std::uint64_t total = h.count();
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    cumulative += h.bucket(i);
+    if (static_cast<double>(cumulative) >= target) return bucket_upper_ns(i);
+  }
+  return static_cast<double>(h.max_ns());
+}
+
+}  // namespace
+
+std::int64_t now_ns() noexcept {
+  // Pin the epoch before reading the clock: on the very first call the
+  // static below initializes from raw_ns() too, and evaluating raw first
+  // would yield a negative difference.
+  const std::int64_t epoch = epoch_ns();
+  return raw_ns() - epoch;
+}
+
+bool tracing_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+bool metrics_enabled() noexcept {
+  return g_metrics.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_metrics.store(enabled, std::memory_order_relaxed);
+}
+
+void set_trace_path(std::string path) {
+  TraceConfig& config = trace_config();
+  bool enabled = false;
+  {
+    MutexLock lock(config.mutex);
+    config.path = std::move(path);
+    enabled = !config.path.empty();
+  }
+  g_tracing.store(enabled, std::memory_order_relaxed);
+  if (enabled) {
+    // A trace consumer always wants the timing fields filled in.
+    g_metrics.store(true, std::memory_order_relaxed);
+    static std::once_flag armed;
+    std::call_once(armed, [] { std::atexit(flush_at_exit); });
+  }
+}
+
+std::string trace_path() {
+  TraceConfig& config = trace_config();
+  MutexLock lock(config.mutex);
+  return config.path;
+}
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const ObsEnv env = read_obs_env();
+    // Programmatic configuration (gpowerctl flags) wins: the env only
+    // fills knobs that are still at their defaults.
+    if (!env.trace_path.empty() && trace_path().empty()) {
+      set_trace_path(env.trace_path);
+    }
+    if (env.metrics_set) set_metrics_enabled(env.metrics);
+  });
+}
+
+void record_span(const char* name, std::int64_t start_ns,
+                 std::int64_t end_ns) noexcept {
+  if (name == nullptr || !tracing_enabled()) return;
+  ThreadRing& ring = local_ring();
+  const std::uint32_t n = ring.count.load(std::memory_order_relaxed);
+  if (n >= ring.slots.size()) {
+    ring.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring.slots[n] = TraceEvent{name, start_ns, end_ns};
+  ring.count.store(n + 1, std::memory_order_release);
+}
+
+TraceCounts trace_counts() noexcept {
+  TraceCounts counts;
+  TraceRegistry& registry = trace_registry();
+  MutexLock lock(registry.mutex);
+  for (const auto& ring : registry.rings) {
+    counts.recorded += ring->count.load(std::memory_order_acquire);
+    counts.dropped += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+bool write_trace(const std::string& path, std::string* error) {
+  struct Snapshot {
+    const char* name;
+    std::int64_t start_ns;
+    std::int64_t end_ns;
+    std::uint32_t tid;
+  };
+  std::vector<Snapshot> events;
+  std::uint64_t dropped = 0;
+  {
+    TraceRegistry& registry = trace_registry();
+    MutexLock lock(registry.mutex);
+    for (const auto& ring : registry.rings) {
+      const std::uint32_t n = ring->count.load(std::memory_order_acquire);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const TraceEvent& e = ring->slots[i];
+        events.push_back(Snapshot{e.name, e.start_ns, e.end_ns, ring->tid});
+      }
+      dropped += ring->dropped.load(std::memory_order_relaxed);
+    }
+  }
+  // Start-ascending (timestamps monotonic for the checker); end-descending
+  // breaks ties so a parent span precedes the children it encloses.
+  std::sort(events.begin(), events.end(),
+            [](const Snapshot& a, const Snapshot& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.end_ns > b.end_ns;
+            });
+
+  std::string out;
+  out.reserve(events.size() * 96 + 128);
+  out += "{\"traceEvents\":[";
+  char buf[160];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Snapshot& e = events[i];
+    if (i != 0) out += ',';
+    out += "\n{\"name\":\"";
+    append_escaped(out, e.name);
+    const double ts_us = static_cast<double>(e.start_ns) / 1000.0;
+    const double dur_us =
+        static_cast<double>(std::max<std::int64_t>(e.end_ns - e.start_ns, 0)) /
+        1000.0;
+    std::snprintf(buf, sizeof buf,
+                  "\",\"cat\":\"gpupower\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  e.tid, ts_us, dur_us);
+    out += buf;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":";
+  out += std::to_string(dropped);
+  out += "}}\n";
+  return atomic_write_text(path, out, error);
+}
+
+bool flush_trace(std::string* error) {
+  const std::string path = trace_path();
+  if (path.empty()) return false;
+  return write_trace(path, error);
+}
+
+void reset_trace() {
+  // Test-only: callers must be quiescent (no concurrent recorders), since
+  // zeroing a count re-opens published slots for their owner threads.
+  TraceRegistry& registry = trace_registry();
+  MutexLock lock(registry.mutex);
+  for (const auto& ring : registry.rings) {
+    ring->count.store(0, std::memory_order_release);
+    ring->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::record(std::int64_t ns) noexcept {
+  if (!metrics_enabled()) return;
+  const std::uint64_t v =
+      ns > 0 ? static_cast<std::uint64_t>(ns) : std::uint64_t{0};
+  const int b = v == 0 ? 0 : std::bit_width(v);  // v in [2^(b-1), 2^b)
+  buckets_[b >= kBuckets ? kBuckets - 1 : b].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(static_cast<std::int64_t>(v),
+                      std::memory_order_relaxed);
+  std::int64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen && !max_ns_.compare_exchange_weak(
+                          seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+Counter& counter(const char* name) {
+  MetricsRegistry& registry = metrics_registry();
+  MutexLock lock(registry.mutex);
+  auto& slot = registry.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& gauge(const char* name) {
+  MetricsRegistry& registry = metrics_registry();
+  MutexLock lock(registry.mutex);
+  auto& slot = registry.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& histogram(const char* name) {
+  MetricsRegistry& registry = metrics_registry();
+  MutexLock lock(registry.mutex);
+  auto& slot = registry.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+analysis::JsonValue registry_json() {
+  using analysis::JsonValue;
+  JsonValue counters = JsonValue::object();
+  JsonValue gauges = JsonValue::object();
+  JsonValue histograms = JsonValue::object();
+  MetricsRegistry& registry = metrics_registry();
+  MutexLock lock(registry.mutex);
+  for (const auto& [name, metric] : registry.counters) {
+    counters.set(name,
+                 JsonValue::integer(static_cast<long long>(metric->value())));
+  }
+  for (const auto& [name, metric] : registry.gauges) {
+    gauges.set(name,
+               JsonValue::integer(static_cast<long long>(metric->value())));
+  }
+  for (const auto& [name, metric] : registry.histograms) {
+    JsonValue h = JsonValue::object();
+    h.set("count",
+          JsonValue::integer(static_cast<long long>(metric->count())));
+    h.set("total_ns",
+          JsonValue::integer(static_cast<long long>(metric->total_ns())));
+    h.set("max_ns",
+          JsonValue::integer(static_cast<long long>(metric->max_ns())));
+    h.set("p50_ns", JsonValue::number(histogram_quantile_ns(*metric, 0.50)));
+    h.set("p99_ns", JsonValue::number(histogram_quantile_ns(*metric, 0.99)));
+    histograms.set(name, std::move(h));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+void reset_metrics() {
+  MetricsRegistry& registry = metrics_registry();
+  MutexLock lock(registry.mutex);
+  for (const auto& [name, metric] : registry.counters) metric->reset();
+  for (const auto& [name, metric] : registry.gauges) metric->reset();
+  for (const auto& [name, metric] : registry.histograms) metric->reset();
+}
+
+}  // namespace gpupower::core::obs

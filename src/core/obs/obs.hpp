@@ -1,0 +1,241 @@
+// Observability layer: spans, counters, and Chrome-trace export — the
+// one place timing flows through, shared by the engine, the kernels, the
+// store, serve, and the bench harness.
+//
+// Two independent switches, each one relaxed atomic:
+//
+//   tracing  scoped `Span`s record (name, start, end) into lock-free
+//            per-thread ring buffers; `flush_trace()` (or the atexit hook
+//            armed by `set_trace_path`/`GPUPOWER_TRACE`) exports them as
+//            Chrome trace-event JSON loadable by chrome://tracing and
+//            Perfetto (ui.perfetto.dev).
+//   metrics  named Counter/Gauge/Histogram objects accumulate, and the
+//            engine's per-kind timing fields (compute/queue-wait/store
+//            seconds) fill in; `registry_json()` dumps the registry as a
+//            stable JSON document (`ExperimentEngine::metrics_json()`,
+//            `gpowerctl --metrics-out`, serve `stats` events).
+//
+// When both are off — the default — every instrumentation site compiles
+// down to one relaxed atomic load and a branch: no clock read, no
+// allocation, no store.  Tracing never perturbs results (enforced by
+// test: bit-identical outputs with tracing on vs. off) — it only ever
+// *observes* timestamps.
+//
+// Ring-buffer protocol (TSan-clean by construction): each thread owns a
+// fill-once buffer — slots are written only by the owning thread and
+// published by a release-store of the count; the exporter acquire-loads
+// the count and reads the frozen prefix.  A full buffer drops (and
+// counts) further events instead of wrapping, so no slot is ever written
+// twice and there is nothing for a reader to race.  Buffers live in an
+// immortal registry, so threads may exit before the flush.
+//
+// Span names must be string literals (static storage): rings store the
+// pointer, not a copy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace gpupower::analysis {
+class JsonValue;
+}
+
+namespace gpupower::core::obs {
+
+/// Nanoseconds since process start on the monotonic clock — the ONE
+/// sanctioned steady_clock site in the tree (tools/lint_project.py bans
+/// raw steady_clock::now() elsewhere), so bench timings and trace spans
+/// can never disagree about what "now" means.
+[[nodiscard]] std::int64_t now_ns() noexcept;
+
+// ---------------------------------------------------------------- switches
+
+[[nodiscard]] bool tracing_enabled() noexcept;
+[[nodiscard]] bool metrics_enabled() noexcept;
+
+/// Arms tracing and remembers where flush_trace() writes; also arms the
+/// metrics switch (a trace consumer always wants the timing fields) and
+/// registers an atexit flush the first time a non-empty path is set.
+/// An empty path disables tracing (the buffered events stay recorded).
+void set_trace_path(std::string path);
+[[nodiscard]] std::string trace_path();
+
+void set_metrics_enabled(bool enabled) noexcept;
+
+/// Applies GPUPOWER_TRACE / GPUPOWER_METRICS (core/env.hpp) exactly once
+/// per process; knobs already configured programmatically (gpowerctl
+/// flags) win over the environment.  The ExperimentEngine constructor
+/// calls this, so every engine binary honours the env without touching
+/// its main().
+void init_from_env();
+
+// ------------------------------------------------------------------ spans
+
+/// Records a span with explicit bounds on the calling thread's ring (no-op
+/// unless tracing is enabled).  `name` must be a string literal.  Used
+/// directly when the interval is not a scope — e.g. the engine's
+/// queue-wait span, whose start is captured at enqueue time.
+void record_span(const char* name, std::int64_t start_ns,
+                 std::int64_t end_ns) noexcept;
+
+/// Scoped RAII span: one relaxed load when tracing is off; one clock read
+/// at each end and one ring slot when it is on.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept
+      : name_(tracing_enabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? now_ns() : 0) {}
+  ~Span() {
+    if (name_ != nullptr) record_span(name_, start_ns_, now_ns());
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_;
+};
+
+/// Events currently buffered / dropped across all thread rings (for tests
+/// and the exporter's drop report).
+struct TraceCounts {
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+};
+[[nodiscard]] TraceCounts trace_counts() noexcept;
+
+/// Exports every buffered span as Chrome trace-event JSON to `path`
+/// (atomic temp+rename via core::atomic_write_text).  Events are sorted
+/// by start time, so timestamps are monotonic and parents precede their
+/// children.  Returns false with the reason in `error` on a write
+/// failure.  Does not clear the buffers: flushing twice writes a superset.
+bool write_trace(const std::string& path, std::string* error = nullptr);
+
+/// write_trace to the configured trace path; false (no error, no file)
+/// when no path is configured.  Idempotent — also runs at process exit
+/// once a path has been set.
+bool flush_trace(std::string* error = nullptr);
+
+/// Drops all buffered spans and resets the drop counters (tests).
+void reset_trace();
+
+// ---------------------------------------------------------------- metrics
+
+/// Monotonic counter.  add() is gated on the metrics switch internally,
+/// so call sites stay branch-free.  Registry-owned (see counter() below);
+/// safe from any thread, all updates relaxed.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    if (metrics_enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-writer-wins instantaneous value (e.g. queue depth).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept {
+    if (metrics_enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed latency histogram over nanoseconds: bucket i counts
+/// samples in [2^(i-1), 2^i) ns (bucket 0 holds 0 ns).  Fixed 64
+/// buckets, all updates relaxed atomics — safe from any thread.  max is
+/// a relaxed CAS loop (contended only by same-magnitude samples).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::int64_t ns) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max_ns() const noexcept {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(int i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> total_ns_{0};
+  std::atomic<std::int64_t> max_ns_{0};
+};
+
+/// Named metric lookup: returns a process-lifetime reference (metrics are
+/// never destroyed), creating the metric on first use.  Call sites cache
+/// the reference in a function-local static so the steady-state cost is
+/// the relaxed-atomic update, not a map lookup.  Names must be stable
+/// literals — they become the JSON keys.
+[[nodiscard]] Counter& counter(const char* name);
+[[nodiscard]] Gauge& gauge(const char* name);
+[[nodiscard]] Histogram& histogram(const char* name);
+
+/// The whole registry as one stable JSON object:
+///   { "counters": {name: n, ...}, "gauges": {...},
+///     "histograms": {name: {"count":n,"total_ns":n,"max_ns":n,
+///                           "p50_ns":n,"p99_ns":n}, ...} }
+/// Keys are sorted; quantiles are upper bucket bounds (log2 resolution).
+[[nodiscard]] analysis::JsonValue registry_json();
+
+/// Zeroes every registered metric (tests).
+void reset_metrics();
+
+// ------------------------------------------------------------- stopwatch
+
+/// The bench harness's wall-clock timer, on the same clock as every span
+/// — always on (benches need their timings regardless of the switches).
+class StopWatch {
+ public:
+  StopWatch() noexcept : start_ns_(now_ns()) {}
+  void reset() noexcept { start_ns_ = now_ns(); }
+  [[nodiscard]] std::int64_t elapsed_ns() const noexcept {
+    return now_ns() - start_ns_;
+  }
+  [[nodiscard]] double seconds() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+  [[nodiscard]] double ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-6;
+  }
+
+ private:
+  std::int64_t start_ns_;
+};
+
+}  // namespace gpupower::core::obs

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "analysis/json.hpp"
+#include "core/obs/obs.hpp"
 
 namespace gpupower::core {
 namespace {
@@ -115,6 +116,7 @@ ResultStore::ResultStore(StoreOptions options) : options_(std::move(options)) {
 
 std::size_t ResultStore::compact(std::chrono::seconds min_age) const {
   if (!enabled()) return 0;
+  obs::Span span("store.compact");
   std::error_code ec;
   fs::directory_iterator it(options_.dir, ec);
   if (ec) return 0;  // no directory yet — nothing to sweep
@@ -143,43 +145,58 @@ std::string ResultStore::entry_path(std::string_view canonical_key) const {
 bool ResultStore::load(std::string_view canonical_key, ScenarioKind kind,
                        ScenarioResult& out) const {
   if (!enabled()) return false;
-  std::string text;
-  if (!read_file_text(entry_path(canonical_key), text)) return false;
-  const analysis::JsonParseResult parsed = analysis::json_parse(text);
-  if (!parsed.ok || !parsed.value.is_object()) return false;
-  const analysis::JsonValue& doc = parsed.value;
-  const analysis::JsonValue* schema = doc.find("gpupower_store");
-  if (schema == nullptr || !schema->is_number() ||
-      schema->as_number() != static_cast<double>(kStoreSchema)) {
-    return false;
-  }
-  // The entry carries its full canonical key; verifying it turns a
-  // filename-hash collision (and any cross-kind mixup) into a miss.
-  const analysis::JsonValue* key = doc.find("key");
-  if (key == nullptr || !key->is_string() || key->as_string() != canonical_key) {
-    return false;
-  }
-  const analysis::JsonValue* kind_name = doc.find("kind");
-  if (kind_name == nullptr || !kind_name->is_string() ||
-      kind_name->as_string() != name(kind)) {
-    return false;
-  }
-  const analysis::JsonValue* result = doc.find("result");
-  if (result == nullptr) return false;
-  std::string error;
-  ScenarioResult loaded;
-  try {
-    if (!scenario_result_from_json(kind, *result, loaded, error)) return false;
-  } catch (...) {
-    return false;  // a bad entry is a miss, never a crash
-  }
-  out = std::move(loaded);
-  return true;
+  obs::Span span("store.read");
+  const bool hit = [&]() -> bool {
+    std::string text;
+    if (!read_file_text(entry_path(canonical_key), text)) return false;
+    const analysis::JsonParseResult parsed = analysis::json_parse(text);
+    if (!parsed.ok || !parsed.value.is_object()) return false;
+    const analysis::JsonValue& doc = parsed.value;
+    const analysis::JsonValue* schema = doc.find("gpupower_store");
+    if (schema == nullptr || !schema->is_number() ||
+        schema->as_number() != static_cast<double>(kStoreSchema)) {
+      return false;
+    }
+    // The entry carries its full canonical key; verifying it turns a
+    // filename-hash collision (and any cross-kind mixup) into a miss.
+    const analysis::JsonValue* key = doc.find("key");
+    if (key == nullptr || !key->is_string() ||
+        key->as_string() != canonical_key) {
+      return false;
+    }
+    const analysis::JsonValue* kind_name = doc.find("kind");
+    if (kind_name == nullptr || !kind_name->is_string() ||
+        kind_name->as_string() != name(kind)) {
+      return false;
+    }
+    const analysis::JsonValue* result = doc.find("result");
+    if (result == nullptr) return false;
+    std::string error;
+    ScenarioResult loaded;
+    try {
+      if (!scenario_result_from_json(kind, *result, loaded, error)) {
+        return false;
+      }
+    } catch (...) {
+      return false;  // a bad entry is a miss, never a crash
+    }
+    out = std::move(loaded);
+    return true;
+  }();
+  // Store-level hit/miss counters cover every consumer of the store, not
+  // just the engine's submit path (obs metrics; no-ops when off).
+  static obs::Counter& hits = obs::counter("store.read.hit");
+  static obs::Counter& misses = obs::counter("store.read.miss");
+  (hit ? hits : misses).add();
+  return hit;
 }
 
 bool ResultStore::save(std::string_view canonical_key,
                        const ScenarioResult& result) const {
   if (!enabled() || !result.valid()) return false;
+  obs::Span span("store.write");
+  static obs::Counter& writes = obs::counter("store.write.count");
+  writes.add();
   analysis::JsonValue doc = analysis::JsonValue::object();
   doc.set("gpupower_store", analysis::JsonValue::integer(kStoreSchema))
       .set("kind", analysis::JsonValue::string(name(result.kind())))

@@ -84,7 +84,11 @@ std::string done_event(long req, std::size_t points) {
 std::string stats_event(const ExperimentEngine& engine) {
   JsonValue doc = JsonValue::object();
   doc.set("type", JsonValue::string("stats"))
-      .set("engine", JsonValue::string(engine_stats_line(engine)));
+      .set("engine", JsonValue::string(engine_stats_line(engine)))
+      // The same document gpowerctl --metrics-out writes
+      // (ExperimentEngine::metrics_json), so a dashboard tailing a serve
+      // session and one reading metrics files parse one schema.
+      .set("metrics", engine.metrics_json());
   return doc.dump();
 }
 
@@ -223,6 +227,25 @@ long serve_session(ExperimentEngine& engine, std::istream& in,
         session.events.push_back(stats_event(engine));
         continue;
       }
+      // JSON command lines ({"cmd":"stats"}) share the request grammar
+      // with scenario specs; anything carrying a "cmd" key is a command,
+      // never a spec.
+      if (line.front() == '{') {
+        const analysis::JsonParseResult parsed = analysis::json_parse(line);
+        if (parsed.ok && parsed.value.is_object() &&
+            parsed.value.find("cmd") != nullptr) {
+          const analysis::JsonValue& cmd = *parsed.value.find("cmd");
+          MutexLock lock(session.mutex);
+          if (cmd.is_string() && cmd.as_string() == "stats") {
+            session.events.push_back(stats_event(engine));
+          } else {
+            session.events.push_back(error_event(
+                req, "unknown cmd (the one supported command is "
+                     "{\"cmd\":\"stats\"})"));
+          }
+          continue;
+        }
+      }
       handle_request(engine, session, req, line);
     }
     MutexLock lock(session.mutex);
@@ -232,6 +255,7 @@ long serve_session(ExperimentEngine& engine, std::istream& in,
 
   // Event streamer: drain reader events, then emit every completed point
   // the moment its handle is ready — the whole reason serve exists.
+  std::size_t results_since_stats = 0;  // streamer-thread local
   for (;;) {
     bool all_done = false;
     {
@@ -250,6 +274,17 @@ long serve_session(ExperimentEngine& engine, std::istream& in,
         }
         out << line << '\n';
         point.emitted = true;
+        // Periodic stats: a long-lived session reports engine health
+        // every N completed scenarios without being asked (off by
+        // default so the event stream of existing clients is unchanged).
+        // Counted per result, not per poll batch, so the cadence is
+        // deterministic however completions coalesce.
+        if (options.stats_every > 0 &&
+            ++results_since_stats >=
+                static_cast<std::size_t>(options.stats_every)) {
+          results_since_stats = 0;
+          out << stats_event(engine) << '\n';
+        }
         RequestProgress* progress = find_request(session, point.req);
         if (progress != nullptr && ++progress->emitted == progress->points &&
             !progress->done_sent) {

@@ -10,7 +10,9 @@
 // Request lines:
 //   {"scenario": "fleet", ...}      any single-scenario or campaign spec,
 //                                   on one line
-//   stats                           emit the engine counter line
+//   stats                           emit an engine stats event
+//   {"cmd":"stats"}                 same, as a JSON command (any line with
+//                                   a "cmd" key is a command, not a spec)
 //
 // Response events (one compact JSON object per line):
 //   {"type":"accepted","req":1,"scenario":"fleet","points":12}
@@ -18,7 +20,14 @@
 //    "metrics":{"energy_j":...,"completion_s":...,...}}
 //   {"type":"done","req":1,"points":12}
 //   {"type":"error","req":2,"error":"..."}
-//   {"type":"stats","engine":"4 worker(s), ..."}
+//   {"type":"stats","engine":"4 worker(s), ...",
+//    "metrics":{"gpupower_metrics":1,"engine":{...},"obs":{...}}}
+//
+// Stats events carry both the human counter line and the full
+// ExperimentEngine::metrics_json() document (one schema with gpowerctl
+// --metrics-out).  They are emitted on request and — with
+// ServeOptions::stats_every = N — automatically after every N completed
+// scenarios, so a long-lived session is inspectable without restart.
 //
 // Metric names match the bench documents (kind_bench_metrics in
 // gpowerctl / BENCH_*.json), so serve output can be cross-checked against
@@ -42,6 +51,9 @@ struct ServeOptions {
   bool full_results = false;
   /// Completion-poll interval for the event streamer.
   int poll_ms = 2;
+  /// Emit a stats event after every N completed scenarios; 0 (default)
+  /// emits only on request, keeping the historical event stream exact.
+  int stats_every = 0;
 };
 
 /// Serves one client: reads request lines from `in` until EOF, submits

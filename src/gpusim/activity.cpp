@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/obs/obs.hpp"
 #include "patterns/rng.hpp"
 
 namespace gpupower::gpusim {
@@ -678,12 +679,21 @@ ActivityEstimate estimate_activity(const gemm::GemmProblem& problem,
                                    const gemm::TileConfig& config,
                                    const SamplingPlan& plan,
                                    ActivityBackend backend) {
+  // One span per kernel call (per-tile would flood the rings); the walked
+  // tile count rides along as an obs counter.
+  core::obs::Span span("activity.estimate");
+  ActivityEstimate est;
   if (backend == ActivityBackend::kObserver) {
     ObserverWalker<T> walker(problem, a, b_storage, config);
-    return estimate_with<T>(problem, config, plan, walker);
+    est = estimate_with<T>(problem, config, plan, walker);
+  } else {
+    BitPlaneKernel<T> walker(problem, a, b_storage, config);
+    est = estimate_with<T>(problem, config, plan, walker);
   }
-  BitPlaneKernel<T> walker(problem, a, b_storage, config);
-  return estimate_with<T>(problem, config, plan, walker);
+  static core::obs::Counter& tiles_walked =
+      core::obs::counter("activity.tiles_walked");
+  tiles_walked.add(est.tiles_walked);
+  return est;
 }
 
 template ActivityEstimate estimate_activity<float>(

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/obs/obs.hpp"
+
 namespace gpupower::gpusim::dvfs {
 namespace {
 
@@ -69,9 +71,16 @@ ReplayResult TimelineReplayer::replay(const WorkloadTimeline& timeline,
                                       Governor& governor, double slice_s,
                                       bool drain_backlog) const {
   if (slice_s <= 0.0 || table_.size() == 0) return ReplayResult{};
+  // One span per replay; per-slice spans at the 10 ms default would
+  // record millions of events per replica.  The slice total rides along
+  // as an obs counter instead.
+  core::obs::Span span("dvfs.replay");
   DeviceCursor cursor(*this, timeline, governor, slice_s, drain_backlog);
   while (cursor.plan()) cursor.step();
-  return cursor.finish();
+  ReplayResult result = cursor.finish();
+  static core::obs::Counter& slices = core::obs::counter("dvfs.slices");
+  slices.add(result.slices.size());
+  return result;
 }
 
 DeviceCursor::DeviceCursor(const TimelineReplayer& replayer,

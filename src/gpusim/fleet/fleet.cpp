@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/obs/obs.hpp"
+
 namespace gpupower::gpusim::fleet {
 
 FleetRun FleetSimulator::run(std::span<const Device> devices, double slice_s,
                              bool drain_backlog) const {
+  core::obs::Span run_span("fleet.run");
   FleetRun run;
   run.slice_s = slice_s;
   run.cap_w = allocator_.cap_w;
@@ -72,7 +75,16 @@ FleetRun FleetSimulator::run(std::span<const Device> devices, double slice_s,
         demand.efficiency_s_per_j = cursors[i].efficiency_s_per_j();
         demand.priority = devices[i].priority;
       }
-      allocator->allocate(demands, allocator_.cap_w, budgets);
+      {
+        // One span per allocator pass (one pass per capped slice): the
+        // committed shapes run hundreds of slices, well inside the obs
+        // ring capacity; overlong replays drop-and-count instead.
+        core::obs::Span alloc_span("fleet.allocate");
+        allocator->allocate(demands, allocator_.cap_w, budgets);
+      }
+      static core::obs::Counter& passes =
+          core::obs::counter("fleet.allocate_passes");
+      passes.add();
     }
 
     // Phase 3 + 4: step each device in index order under its constraints,

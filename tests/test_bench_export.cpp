@@ -110,6 +110,41 @@ TEST(BenchCompare, IdenticalDocumentsPass) {
   ASSERT_EQ(result.deltas.size(), 3u);
 }
 
+// A fresh document carrying the observability block (engine_stats) stays
+// fully comparable against a committed baseline without one: the gate
+// walks only the baseline's cases, so the extra top-level key is inert
+// and committed BENCH files never need regeneration for it.
+TEST(BenchCompare, EngineStatsBlockNeverGates) {
+  const JsonValue baseline = bench_doc("N=256", 10.0, 8.0);
+
+  std::vector<tools::BenchCase> cases;
+  tools::BenchCase entry;
+  entry.name = "fp16";
+  entry.metrics = {{"observer_ms", 80.0},
+                   {"batched_ms", 10.0},
+                   {"speedup", 8.0}};
+  cases.push_back(entry);
+  JsonValue engine_stats = JsonValue::object();
+  engine_stats.set("workers", JsonValue::integer(4))
+      .set("compute_seconds", JsonValue::number(1.25));
+  const JsonValue fresh =
+      tools::bench_document("activity_kernel", "N=256", cases, &engine_stats);
+  ASSERT_NE(fresh.find("engine_stats"), nullptr);
+
+  const auto result = tools::compare_bench_documents(baseline, fresh);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.protocols_match);
+  EXPECT_FALSE(result.regressed);
+  ASSERT_EQ(result.deltas.size(), 3u);  // only the baseline's case metrics
+
+  // And symmetrically: a baseline that has the block compares cleanly
+  // against itself (the block's numbers never become deltas).
+  const auto self = tools::compare_bench_documents(fresh, fresh);
+  ASSERT_TRUE(self.ok) << self.error;
+  EXPECT_FALSE(self.regressed);
+  ASSERT_EQ(self.deltas.size(), 3u);
+}
+
 TEST(BenchCompare, WallTimesGateOnlyWhenOptedIn) {
   const JsonValue baseline = bench_doc("N=256", 10.0, 8.0);
   const JsonValue fresh = bench_doc("N=256", 14.0, 8.0);  // 40% slower

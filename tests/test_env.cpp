@@ -146,6 +146,50 @@ TEST(BenchEnvDeathTest, StoreOnWithoutDirDies) {
               "GPUPOWER_STORE_DIR");
 }
 
+// --- the observability knobs (GPUPOWER_TRACE / GPUPOWER_METRICS) ---------
+
+class ObsEnvGuard {
+ public:
+  ~ObsEnvGuard() {
+    unsetenv("GPUPOWER_TRACE");
+    unsetenv("GPUPOWER_METRICS");
+  }
+};
+
+TEST(ObsEnvTest, UnsetMeansNoTraceAndMetricsUntouched) {
+  ObsEnvGuard guard;
+  const ObsEnv env = read_obs_env();
+  EXPECT_TRUE(env.trace_path.empty());
+  EXPECT_FALSE(env.metrics_set);
+}
+
+TEST(ObsEnvTest, TracePathIsCopiedVerbatim) {
+  ObsEnvGuard guard;
+  setenv("GPUPOWER_TRACE", "/tmp/gpupower_trace_env_test.json", 1);
+  const ObsEnv env = read_obs_env();
+  EXPECT_EQ(env.trace_path, "/tmp/gpupower_trace_env_test.json");
+  EXPECT_FALSE(env.metrics_set);  // trace alone leaves the metrics knob
+}
+
+TEST(ObsEnvTest, MetricsOnAndOffAreBothExplicit) {
+  ObsEnvGuard guard;
+  setenv("GPUPOWER_METRICS", "on", 1);
+  ObsEnv env = read_obs_env();
+  EXPECT_TRUE(env.metrics_set);
+  EXPECT_TRUE(env.metrics);
+  setenv("GPUPOWER_METRICS", "off", 1);
+  env = read_obs_env();
+  EXPECT_TRUE(env.metrics_set);  // explicit off still counts as configured
+  EXPECT_FALSE(env.metrics);
+}
+
+TEST(BenchEnvDeathTest, MalformedMetricsDies) {
+  ObsEnvGuard guard;
+  setenv("GPUPOWER_METRICS", "verbose", 1);
+  EXPECT_EXIT((void)read_obs_env(), ::testing::ExitedWithCode(2),
+              "invalid GPUPOWER_METRICS='verbose'");
+}
+
 TEST(BenchEnvTest, ApplyConfiguresExperiment) {
   EnvGuard guard;
   setenv("GPUPOWER_N", "256", 1);

@@ -1,0 +1,324 @@
+// Observability suite: the trace exporter (valid Chrome-trace JSON,
+// correct parent-before-child ordering, drop accounting), the switch
+// semantics (no path -> no file; disabled -> instrumentation inert), the
+// metrics registry (counter/gauge/histogram gating, stable JSON schema),
+// and the layer's core contract — tracing never perturbs results
+// (bit-identical engine output with tracing on vs. off).
+#include "core/obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/json.hpp"
+#include "core/engine.hpp"
+#include "core/scenario.hpp"
+#include "core/spec.hpp"
+
+namespace gpupower::core::obs {
+namespace {
+
+using analysis::JsonValue;
+
+const char kSingleSpec[] =
+    R"json({"scenario": "static", "experiment": {"gpu": "a100",)json"
+    R"json( "dtype": "fp16", "n": 64, "seeds": 1,)json"
+    R"json( "pattern": "gaussian(sigma=210)",)json"
+    R"json( "sampling": {"tiles": 4, "k_fraction": 0.5}}})json";
+
+/// Every test starts from switched-off, empty observability state and
+/// leaves it that way: the switches and rings are process globals.
+class ObsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { quiesce(); }
+  void TearDown() override { quiesce(); }
+
+  static void quiesce() {
+    set_trace_path("");
+    set_metrics_enabled(false);
+    reset_trace();
+    reset_metrics();
+  }
+
+  static std::string temp_path(const char* name) {
+    return (std::filesystem::path(::testing::TempDir()) / name).string();
+  }
+
+  static JsonValue parse_trace_file(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto parsed = analysis::json_parse(text.str());
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    return parsed.value;
+  }
+};
+
+TEST_F(ObsFixture, NowNsIsPositiveAndMonotonic) {
+  // Strictly positive matters: 0 is the instrumentation sites' "switched
+  // off" sentinel, so the first reading of the process must not be 0.
+  const std::int64_t a = now_ns();
+  const std::int64_t b = now_ns();
+  EXPECT_GT(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST_F(ObsFixture, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(tracing_enabled());
+  { Span span("test.disabled"); }
+  record_span("test.disabled.explicit", 1, 2);
+  const TraceCounts counts = trace_counts();
+  EXPECT_EQ(counts.recorded, 0u);
+  EXPECT_EQ(counts.dropped, 0u);
+}
+
+TEST_F(ObsFixture, FlushWithoutPathWritesNoFile) {
+  EXPECT_FALSE(flush_trace());
+  // And a never-configured path must not appear on disk as a side effect.
+  const std::string path = temp_path("obs_never_configured.json");
+  std::filesystem::remove(path);
+  { Span span("test.unconfigured"); }
+  EXPECT_FALSE(flush_trace());
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(ObsFixture, ExportsValidNestedChromeTrace) {
+  const std::string path = temp_path("obs_trace_nested.json");
+  set_trace_path(path);
+  ASSERT_TRUE(tracing_enabled());
+  EXPECT_TRUE(metrics_enabled());  // a trace consumer wants timings too
+
+  {
+    Span outer("test.outer");
+    {
+      Span inner("test.inner");
+    }
+    {
+      Span inner("test.inner");
+    }
+  }
+  ASSERT_EQ(trace_counts().recorded, 3u);
+  std::string error;
+  ASSERT_TRUE(flush_trace(&error)) << error;
+
+  const JsonValue doc = parse_trace_file(path);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 3u);
+
+  // Sorted start-ascending: the outer span precedes the children it
+  // encloses, and timestamps are monotonic.
+  EXPECT_EQ(events->at(0).find("name")->as_string(), "test.outer");
+  double last_ts = -1.0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    EXPECT_EQ(event.find("ph")->as_string(), "X");
+    EXPECT_EQ(event.find("cat")->as_string(), "gpupower");
+    const double ts = event.find("ts")->as_number(-1.0);
+    const double dur = event.find("dur")->as_number(-1.0);
+    EXPECT_GE(ts, last_ts);
+    EXPECT_GE(dur, 0.0);
+    last_ts = ts;
+  }
+  // Same-thread nesting: each inner span lies within the outer interval.
+  const double outer_ts = events->at(0).find("ts")->as_number(0);
+  const double outer_end =
+      outer_ts + events->at(0).find("dur")->as_number(0);
+  for (std::size_t i = 1; i < events->size(); ++i) {
+    const double ts = events->at(i).find("ts")->as_number(0);
+    const double end = ts + events->at(i).find("dur")->as_number(0);
+    EXPECT_GE(ts, outer_ts);
+    EXPECT_LE(end, outer_end + 1e-9);
+  }
+  EXPECT_EQ(doc.find("otherData")->find("dropped")->as_number(-1), 0.0);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ObsFixture, FullRingDropsAndCountsInsteadOfWrapping) {
+  const std::string path = temp_path("obs_trace_overflow.json");
+  set_trace_path(path);
+  // Overfill one fresh ring from a dedicated thread (its first obs use
+  // creates its own ring, so the counts below are exact).
+  constexpr std::uint64_t kOverfill = (1u << 16) + 257;
+  const TraceCounts before = trace_counts();
+  std::thread writer([] {
+    for (std::uint64_t i = 0; i < kOverfill; ++i) {
+      record_span("test.overflow", static_cast<std::int64_t>(i + 1),
+                  static_cast<std::int64_t>(i + 2));
+    }
+  });
+  writer.join();
+  const TraceCounts counts = trace_counts();
+  EXPECT_EQ(counts.recorded - before.recorded, std::uint64_t{1} << 16);
+  EXPECT_EQ(counts.dropped - before.dropped, 257u);
+
+  // The exporter reports the loss instead of hiding it.
+  std::string error;
+  ASSERT_TRUE(flush_trace(&error)) << error;
+  const JsonValue doc = parse_trace_file(path);
+  EXPECT_GE(doc.find("otherData")->find("dropped")->as_number(0), 257.0);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ObsFixture, ConcurrentWritersLoseNoEvents) {
+  set_trace_path(temp_path("obs_trace_stress.json"));
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;  // inside one ring's capacity
+  const TraceCounts before = trace_counts();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        Span span("test.stress");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const TraceCounts counts = trace_counts();
+  EXPECT_EQ(counts.recorded - before.recorded, kThreads * kPerThread);
+  EXPECT_EQ(counts.dropped, before.dropped);
+  // Exporting the full set must stay well-formed (checker-level checks
+  // live in tools/check_trace.py; here: parseable + complete).
+  std::string error;
+  ASSERT_TRUE(flush_trace(&error)) << error;
+  const JsonValue doc = parse_trace_file(trace_path());
+  EXPECT_GE(doc.find("traceEvents")->size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  std::filesystem::remove(trace_path());
+}
+
+// The layer's core contract: tracing observes, never perturbs.  The same
+// scenario on fresh engines with tracing off vs. on must produce
+// bit-identical result documents.
+TEST_F(ObsFixture, TracingDoesNotPerturbResults) {
+  const SpecParseResult parsed = parse_scenario_spec_text(kSingleSpec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+
+  const auto run_once = [&parsed]() {
+    EngineOptions options;
+    options.workers = 2;
+    ExperimentEngine engine(options);
+    return scenario_result_to_json(engine.submit(parsed.spec.config).get())
+        .dump();
+  };
+
+  const std::string off = run_once();
+  set_trace_path(temp_path("obs_trace_perturb.json"));
+  const std::string on = run_once();
+  ASSERT_TRUE(tracing_enabled());
+  EXPECT_GT(trace_counts().recorded, 0u);  // the run really was traced
+  EXPECT_EQ(off, on);
+  std::filesystem::remove(trace_path());
+}
+
+TEST_F(ObsFixture, MetricsAreInertWhileDisabled) {
+  Counter& c = counter("test.gated_counter");
+  Gauge& g = gauge("test.gated_gauge");
+  Histogram& h = histogram("test.gated_histogram");
+  c.add(5);
+  g.set(42);
+  h.record(1000);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+
+  set_metrics_enabled(true);
+  c.add(5);
+  g.set(42);
+  h.record(1000);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(g.value(), 42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.total_ns(), 1000);
+  EXPECT_EQ(h.max_ns(), 1000);
+}
+
+TEST_F(ObsFixture, RegistryLookupsAreStableReferences) {
+  Counter& a = counter("test.same_name");
+  Counter& b = counter("test.same_name");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(ObsFixture, RegistryJsonHasTheDocumentedSchema) {
+  set_metrics_enabled(true);
+  counter("test.reg_counter").add(3);
+  gauge("test.reg_gauge").set(-7);
+  Histogram& h = histogram("test.reg_histogram");
+  h.record(1 << 10);
+  h.record(1 << 20);
+
+  const JsonValue doc = registry_json();
+  const JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("test.reg_counter")->as_number(0), 3.0);
+  EXPECT_EQ(doc.find("gauges")->find("test.reg_gauge")->as_number(0), -7.0);
+  const JsonValue* hist = doc.find("histograms")->find("test.reg_histogram");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->as_number(0), 2.0);
+  EXPECT_EQ(hist->find("max_ns")->as_number(0), double{1 << 20});
+  // Quantiles are upper log2-bucket bounds: p50 covers the smaller sample,
+  // p99 the larger.
+  EXPECT_GE(hist->find("p50_ns")->as_number(0), double{1 << 10});
+  EXPECT_GE(hist->find("p99_ns")->as_number(0), double{1 << 20});
+}
+
+// The one metrics schema every consumer shares (serve stats events,
+// gpowerctl --metrics-out): engine stats with per-kind timing fields plus
+// the obs registry dump.
+TEST_F(ObsFixture, EngineMetricsJsonHasTheSharedSchema) {
+  set_metrics_enabled(true);
+  const SpecParseResult parsed = parse_scenario_spec_text(kSingleSpec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EngineOptions options;
+  options.workers = 2;
+  ExperimentEngine engine(options);
+  (void)engine.submit(parsed.spec.config).get();
+
+  const JsonValue doc = engine.metrics_json();
+  EXPECT_EQ(doc.find("gpupower_metrics")->as_number(0), 1.0);
+  const JsonValue* engine_block = doc.find("engine");
+  ASSERT_NE(engine_block, nullptr);
+  EXPECT_EQ(engine_block->find("workers")->as_number(0), 2.0);
+  EXPECT_EQ(engine_block->find("submitted")->as_number(0), 1.0);
+  const JsonValue* by_kind = engine_block->find("by_kind");
+  ASSERT_NE(by_kind, nullptr);
+  for (const char* kind : {"static", "dvfs", "fleet"}) {
+    const JsonValue* kind_block = by_kind->find(kind);
+    ASSERT_NE(kind_block, nullptr) << kind;
+    for (const char* field :
+         {"submitted", "jobs_computed", "replicas_run", "store_hit_ratio",
+          "compute_seconds", "queue_wait_seconds", "reduce_seconds",
+          "store_read_seconds", "store_write_seconds"}) {
+      EXPECT_NE(kind_block->find(field), nullptr) << kind << "." << field;
+    }
+  }
+  // The static scenario actually computed, so its compute time is real.
+  EXPECT_GT(by_kind->find("static")->find("compute_seconds")->as_number(-1),
+            0.0);
+  const JsonValue* obs_block = doc.find("obs");
+  ASSERT_NE(obs_block, nullptr);
+  const JsonValue* latency =
+      obs_block->find("histograms")->find("engine.replica_latency_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->find("count")->as_number(0), 1.0);
+}
+
+TEST_F(ObsFixture, StopWatchMeasuresOnTheSpanClock) {
+  const StopWatch watch;
+  const std::int64_t begin = now_ns();
+  while (now_ns() - begin < 1000000) {
+  }
+  EXPECT_GE(watch.elapsed_ns(), 1000000);
+  EXPECT_GE(watch.ms(), 1.0);
+  EXPECT_GE(watch.seconds(), 1e-3);
+}
+
+}  // namespace
+}  // namespace gpupower::core::obs

@@ -174,6 +174,88 @@ TEST(ServeSession, StatsKeywordEmitsEngineCounters) {
             std::string::npos);
 }
 
+// {"cmd":"stats"} is the JSON spelling of the same request — a line with a
+// "cmd" key is a command, never a spec.
+TEST(ServeSession, JsonCmdStatsEmitsStatsEvent) {
+  ExperimentEngine engine = make_engine();
+  const auto events = run_session(engine, "{\"cmd\":\"stats\"}\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(event_type(events.front()), "stats");
+}
+
+// An unknown command stays an error event (naming the supported command),
+// not a spec-parse error and not a dead session.
+TEST(ServeSession, UnknownCmdEmitsErrorAndSessionContinues) {
+  ExperimentEngine engine = make_engine();
+  const auto events = run_session(
+      engine, "{\"cmd\":\"selfdestruct\"}\n" + std::string(kSingleSpec) + "\n");
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(event_type(events.front()), "error");
+  EXPECT_NE(str_field(events.front(), "error").find("cmd"),
+            std::string::npos);
+  std::size_t results = 0;
+  for (const JsonValue& event : events) {
+    if (event_type(event) == "result") ++results;
+  }
+  EXPECT_EQ(results, 1u);
+}
+
+// Pins the stats-event schema to ExperimentEngine::metrics_json(): one
+// schema shared by serve and `gpowerctl --metrics-out`, so consumers of
+// either never see them drift apart.
+TEST(ServeSession, StatsEventEmbedsTheMetricsJsonSchema) {
+  ExperimentEngine engine = make_engine();
+  const auto events =
+      run_session(engine, std::string(kSingleSpec) + "\nstats\n");
+  const JsonValue* stats_event = nullptr;
+  for (const JsonValue& event : events) {
+    if (event_type(event) == "stats") stats_event = &event;
+  }
+  ASSERT_NE(stats_event, nullptr);
+  const JsonValue& stats = *stats_event;
+
+  const JsonValue* metrics = stats.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* schema = metrics->find("gpupower_metrics");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_number(0), 1.0);
+
+  // Same top-level keys as a direct metrics_json() call.
+  const JsonValue direct = engine.metrics_json();
+  EXPECT_EQ(metrics->keys(), direct.keys());
+
+  const JsonValue* engine_block = metrics->find("engine");
+  ASSERT_NE(engine_block, nullptr);
+  EXPECT_NE(engine_block->find("workers"), nullptr);
+  EXPECT_NE(engine_block->find("by_kind"), nullptr);
+  const JsonValue* obs_block = metrics->find("obs");
+  ASSERT_NE(obs_block, nullptr);
+  EXPECT_NE(obs_block->find("counters"), nullptr);
+  EXPECT_NE(obs_block->find("histograms"), nullptr);
+}
+
+// stats_every=N streams a stats event after every N completed scenarios —
+// the long-lived-session health feed — without disturbing the
+// accepted/result/done framing.
+TEST(ServeSession, PeriodicStatsFollowEveryCompletedScenario) {
+  ExperimentEngine engine = make_engine();
+  ServeOptions options;
+  options.stats_every = 1;
+  const auto events =
+      run_session(engine, std::string(kCampaignSpec) + "\n", options);
+
+  // accepted + (result + stats) x 2 + done.
+  ASSERT_EQ(events.size(), 6u);
+  std::size_t stats_events = 0;
+  for (const JsonValue& event : events) {
+    if (event_type(event) != "stats") continue;
+    ++stats_events;
+    EXPECT_NE(event.find("metrics"), nullptr);
+  }
+  EXPECT_EQ(stats_events, 2u);
+  EXPECT_EQ(event_type(events.back()), "done");
+}
+
 // Two sessions against one engine: the second client's identical campaign
 // is served entirely from the shared cache — the multi-client dedup the
 // serve mode exists for.

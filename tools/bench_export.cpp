@@ -9,7 +9,8 @@ namespace gpupower::tools {
 
 analysis::JsonValue bench_document(const std::string& bench,
                                    const std::string& protocol,
-                                   const std::vector<BenchCase>& cases) {
+                                   const std::vector<BenchCase>& cases,
+                                   const analysis::JsonValue* engine_stats) {
   analysis::JsonValue doc = analysis::JsonValue::object();
   doc.set("bench", analysis::JsonValue::string(bench));
   doc.set("schema", analysis::JsonValue::integer(1));
@@ -26,6 +27,12 @@ analysis::JsonValue bench_document(const std::string& bench,
     case_array.push(std::move(entry));
   }
   doc.set("cases", std::move(case_array));
+  if (engine_stats != nullptr) {
+    // Observability context, not trajectory data: the comparison gate
+    // walks only the baseline's cases, so this block is inert to
+    // --compare by construction.
+    doc.set("engine_stats", *engine_stats);
+  }
   return doc;
 }
 

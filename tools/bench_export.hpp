@@ -36,10 +36,16 @@ struct BenchCase {
 };
 
 /// Assembles the document above.  Metrics keep insertion order so committed
-/// output diffs cleanly between runs.
+/// output diffs cleanly between runs.  A non-null `engine_stats` (e.g.
+/// core::engine_stats_json) is embedded verbatim as a top-level
+/// "engine_stats" block — machine-dependent observability context, NOT a
+/// gated trajectory metric: compare_bench_documents walks only the
+/// baseline's cases, so the block never participates in the perf gate and
+/// committed baselines need no regeneration to stay comparable.
 [[nodiscard]] analysis::JsonValue bench_document(
     const std::string& bench, const std::string& protocol,
-    const std::vector<BenchCase>& cases);
+    const std::vector<BenchCase>& cases,
+    const analysis::JsonValue* engine_stats = nullptr);
 
 /// Pretty-prints `doc` to `path` (with a trailing newline).  Returns false
 /// when the file cannot be written.

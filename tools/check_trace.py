@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Validates a gpupower Chrome-trace JSON file (GPUPOWER_TRACE /
+`gpowerctl --trace-out`).
+
+Checks, in order:
+  1. the file is valid JSON with a `traceEvents` list and
+     `otherData.dropped` counter;
+  2. every event is a complete-span record: ph == "X", string `name`,
+     numeric `ts`/`dur` (dur >= 0), integer `pid`/`tid`;
+  3. events are sorted by start timestamp (monotonic `ts`), the order the
+     exporter guarantees so parents precede their children;
+  4. per-tid spans nest properly: any two spans on one thread are either
+     disjoint or one contains the other — overlapping-but-not-nested
+     spans mean a broken recorder, not a real timeline.  Spans in
+     CROSS_THREAD_SPANS are exempt: their start is stamped on a different
+     thread than their ring (queue.wait opens at enqueue time on the
+     submitter), so they overlap the owning worker's other spans by
+     design;
+  5. every `--require NAME` span name appears at least once.
+
+Usage:
+  tools/check_trace.py TRACE.json [--require engine.submit] ...
+  tools/check_trace.py --selftest
+
+Exit codes: 0 ok, 1 validation failure, 2 usage / unreadable input.
+The CI gcc-release job runs this over a traced
+`gpowerctl run examples/specs/fleet_capping.json`; the --selftest mode
+(synthetic good and bad traces) runs as an ordinary ctest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Spans shorter than the clock quantum collapse to equal float
+# microsecond stamps; containment checks get this much slack (µs).
+EPSILON_US = 1e-3
+
+# Spans whose start timestamp is captured on a different thread than the
+# ring they land on (see src/core/engine.cpp): checked for shape and
+# monotonicity, exempt from the per-tid nesting stack.
+CROSS_THREAD_SPANS = {"queue.wait"}
+
+
+def fail(path: str, message: str) -> None:
+    print(f"check_trace: {path}: {message}", file=sys.stderr)
+
+
+def validate(doc: object, path: str, required: list[str]) -> bool:
+    if not isinstance(doc, dict):
+        fail(path, "top level is not a JSON object")
+        return False
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "missing traceEvents list")
+        return False
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or not isinstance(other.get("dropped"), int):
+        fail(path, "missing otherData.dropped counter")
+        return False
+
+    names = set()
+    last_ts = None
+    # Per-tid stack of (start, end): events arrive start-sorted, so proper
+    # nesting means each new span either starts after the innermost open
+    # span ends (pop it) or lies fully inside it (push).
+    stacks: dict[int, list[tuple[float, float]]] = {}
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            fail(path, f"{where}: not an object")
+            return False
+        if event.get("ph") != "X":
+            fail(path, f"{where}: ph is not 'X' (complete span)")
+            return False
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            fail(path, f"{where}: missing span name")
+            return False
+        ts = event.get("ts")
+        dur = event.get("dur")
+        if not isinstance(ts, (int, float)) or not isinstance(
+            dur, (int, float)
+        ):
+            fail(path, f"{where} ({name}): non-numeric ts/dur")
+            return False
+        if dur < 0:
+            fail(path, f"{where} ({name}): negative duration {dur}")
+            return False
+        tid = event.get("tid")
+        if not isinstance(event.get("pid"), int) or not isinstance(tid, int):
+            fail(path, f"{where} ({name}): non-integer pid/tid")
+            return False
+        if last_ts is not None and ts < last_ts:
+            fail(
+                path,
+                f"{where} ({name}): timestamps not monotonic "
+                f"({ts} after {last_ts})",
+            )
+            return False
+        last_ts = ts
+        names.add(name)
+
+        if name in CROSS_THREAD_SPANS:
+            continue
+        end = ts + dur
+        stack = stacks.setdefault(tid, [])
+        while stack and ts >= stack[-1][1] - EPSILON_US:
+            stack.pop()
+        if stack and end > stack[-1][1] + EPSILON_US:
+            fail(
+                path,
+                f"{where} ({name}): span [{ts}, {end}] overlaps but does "
+                f"not nest inside the open span ending at {stack[-1][1]} "
+                f"on tid {tid}",
+            )
+            return False
+        stack.append((ts, end))
+
+    missing = [name for name in required if name not in names]
+    if missing:
+        fail(
+            path,
+            f"required span(s) never recorded: {', '.join(missing)} "
+            f"({len(events)} event(s) present)",
+        )
+        return False
+
+    dropped = other["dropped"]
+    print(
+        f"check_trace: {path}: OK — {len(events)} event(s), "
+        f"{len(names)} distinct span name(s), {dropped} dropped"
+    )
+    return True
+
+
+def check_file(path: str, required: list[str]) -> int:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(path, f"cannot read: {e}")
+        return 2
+    except json.JSONDecodeError as e:
+        fail(path, f"invalid JSON: {e}")
+        return 1
+    return 0 if validate(doc, path, required) else 1
+
+
+def selftest() -> int:
+    def span(name, ts, dur, tid=1):
+        return {
+            "name": name,
+            "cat": "gpupower",
+            "ph": "X",
+            "pid": 1,
+            "tid": tid,
+            "ts": ts,
+            "dur": dur,
+        }
+
+    def doc(events, dropped=0):
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped": dropped},
+        }
+
+    good = [
+        # Parent with two sequential children, plus a disjoint span on
+        # another thread.
+        doc(
+            [
+                span("engine.submit", 0.0, 100.0),
+                span("store.read", 1.0, 10.0),
+                span("replica.fleet", 20.0, 70.0, tid=2),
+                span("reduce.fleet", 95.0, 4.0),
+            ]
+        ),
+        doc([], dropped=3),
+        # Zero-length spans at the same stamp (sub-quantum work).
+        doc([span("a", 5.0, 0.0), span("a", 5.0, 0.0)]),
+        # A queue.wait span opens at enqueue time (stamped on the
+        # submitter) and so overlaps the worker's previous compute span
+        # without nesting — exempt by design.
+        doc(
+            [
+                span("replica.fleet", 0.0, 10.0),
+                span("queue.wait", 4.0, 8.0),
+                span("replica.fleet", 12.0, 5.0),
+            ]
+        ),
+    ]
+    bad = [
+        ({"traceEvents": {}}, "traceEvents not a list"),
+        (doc([{"ph": "X"}]), "missing span name"),
+        (doc([span("a", 0.0, -1.0)]), "negative duration"),
+        (doc([span("b", 10.0, 1.0), span("a", 0.0, 1.0)]), "unsorted ts"),
+        (
+            doc([span("a", 0.0, 10.0), span("b", 5.0, 10.0)]),
+            "overlap without nesting",
+        ),
+        (doc([span("a", 0.0, 1.0)], dropped="lots"), "non-integer dropped"),
+    ]
+
+    ok = True
+    for i, document in enumerate(good):
+        if not validate(document, f"<selftest good {i}>", []):
+            print(f"check_trace: selftest: good case {i} rejected")
+            ok = False
+    for i, (document, label) in enumerate(bad):
+        if validate(document, f"<selftest bad {i}>", []):
+            print(f"check_trace: selftest: bad case {i} ({label}) accepted")
+            ok = False
+    if validate(doc([span("a", 0.0, 1.0)]), "<selftest require>", ["zzz"]):
+        print("check_trace: selftest: missing required span accepted")
+        ok = False
+    print(f"check_trace: selftest {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a gpupower Chrome-trace JSON file."
+    )
+    parser.add_argument("trace", nargs="?", help="trace file to validate")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="span name that must appear (repeatable)",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="validate synthetic good/bad traces and exit",
+    )
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.trace:
+        parser.error("a trace file (or --selftest) is required")
+    return check_file(args.trace, args.require)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,7 @@
 #include "core/env.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
+#include "core/obs/obs.hpp"
 #include "core/pattern_dsl.hpp"
 #include "core/power_model.hpp"
 #include "core/report.hpp"
@@ -107,6 +108,10 @@ struct Options {
   // serve command knobs
   std::string socket_path;   ///< serve: Unix socket instead of stdin
   bool full_results = false; ///< serve: attach full result docs to events
+  int stats_every = 0;       ///< serve: stats event every N results (0 = off)
+  // observability (flags win over GPUPOWER_TRACE / GPUPOWER_METRICS)
+  std::string trace_out;     ///< Chrome-trace JSON output path
+  std::string metrics_out;   ///< metrics_json() output path (run commands)
 };
 
 constexpr gpusim::GpuModel kGpuByIndex[] = {
@@ -127,7 +132,14 @@ int usage(const char* argv0) {
                "Unix socket\n"
                "  --full           serve: attach full result documents to "
                "result events\n"
+               "  --stats-every N  serve: emit a stats event after every N "
+               "completed\n"
+               "                   scenarios (default 0 = on request only)\n"
                "  --bench-out FILE bench-document export of a campaign run\n"
+               "  --trace-out FILE Chrome-trace JSON (chrome://tracing / "
+               "Perfetto) of the run\n"
+               "  --metrics-out FILE  run: engine + obs metrics JSON after "
+               "the spec completes\n"
                "  --emit-spec      dvfs/fleet: print the equivalent spec "
                "JSON and exit\n"
                "  --gpu N          device index (see 'discovery'; default 0)\n"
@@ -159,6 +171,12 @@ int usage(const char* argv0) {
                "  GPUPOWER_STORE      'on' | 'off' — disable the store "
                "without unsetting\n"
                "                      the directory\n"
+               "  GPUPOWER_TRACE      Chrome-trace output path (same as "
+               "--trace-out;\n"
+               "                      the flag wins when both are set)\n"
+               "  GPUPOWER_METRICS    'on' | 'off' — arm the metrics "
+               "registry without\n"
+               "                      tracing\n"
                "  GPUPOWER_N/SEEDS/TILES/KFRAC/WORKERS/CSV  see README\n",
                argv0);
   return 2;
@@ -329,6 +347,31 @@ bool parse_args(int argc, char** argv, Options& opts, std::string& error) {
       opts.socket_path = v;
     } else if (flag == "--full") {
       opts.full_results = true;
+    } else if (flag == "--stats-every") {
+      const char* v = next();
+      if (!v) {
+        error = "--stats-every needs a scenario count";
+        return false;
+      }
+      opts.stats_every = static_cast<int>(std::strtol(v, nullptr, 10));
+      if (opts.stats_every < 0) {
+        error = "--stats-every needs a count >= 0";
+        return false;
+      }
+    } else if (flag == "--trace-out") {
+      const char* v = next();
+      if (!v) {
+        error = "--trace-out needs a path";
+        return false;
+      }
+      opts.trace_out = v;
+    } else if (flag == "--metrics-out") {
+      const char* v = next();
+      if (!v) {
+        error = "--metrics-out needs a path";
+        return false;
+      }
+      opts.metrics_out = v;
     } else if (!flag.starts_with("--") && opts.spec_path.empty() &&
                (opts.command == "run" || opts.command == "validate")) {
       // Only run/validate take a positional (the spec path); a stray
@@ -656,6 +699,30 @@ int write_bench_out(const Options& opts, const std::string& bench_name,
   return 0;
 }
 
+/// Flushes the run's observability artifacts: the metrics document when
+/// --metrics-out was given, and the Chrome trace eagerly (instead of at
+/// exit) so the "wrote ..." message and any write failure land while the
+/// user is still watching.  Call after the engine has gone idle.
+int write_obs_outputs(const Options& opts, core::ExperimentEngine& engine) {
+  if (!opts.metrics_out.empty()) {
+    const std::string text =
+        engine.metrics_json().dump(/*pretty=*/true) + "\n";
+    std::string error;
+    if (!core::atomic_write_text(opts.metrics_out, text, &error)) {
+      return spec_error("cannot write " + opts.metrics_out + ": " + error);
+    }
+    std::fprintf(stderr, "wrote %s\n", opts.metrics_out.c_str());
+  }
+  if (core::obs::tracing_enabled()) {
+    std::string error;
+    if (!core::obs::flush_trace(&error)) {
+      return spec_error("cannot write trace: " + error);
+    }
+    std::fprintf(stderr, "wrote %s\n", core::obs::trace_path().c_str());
+  }
+  return 0;
+}
+
 void print_scenario_summary(const core::ScenarioConfig& config,
                             const core::ScenarioResult& result) {
   const std::vector<std::string> headers = kind_metric_headers(config.kind());
@@ -718,6 +785,9 @@ int run_campaign(const Options& opts, const core::ScenarioSpec& spec) {
         cases);
     if (status != 0) return status;
   }
+  if (const int status = write_obs_outputs(opts, engine); status != 0) {
+    return status;
+  }
 
   if (opts.json) {
     analysis::JsonValue doc = analysis::JsonValue::object();
@@ -770,6 +840,9 @@ int cmd_run(const Options& opts) {
     const int status = write_bench_out(opts, "scenario", "", {bench_case});
     if (status != 0) return status;
   }
+  if (const int status = write_obs_outputs(opts, engine); status != 0) {
+    return status;
+  }
   if (opts.json) {
     std::printf("%s\n", core::scenario_to_json(parsed.spec.config, result)
                             .dump(/*pretty=*/true)
@@ -787,6 +860,10 @@ int cmd_serve(const Options& opts) {
   const core::StoreEnv store_env = core::read_store_env();
   core::ServeOptions serve_options;
   serve_options.full_results = opts.full_results;
+  serve_options.stats_every = opts.stats_every;
+  // Stats events embed metrics_json(); arm the registry so the per-kind
+  // timings in those events are live even without GPUPOWER_METRICS=on.
+  core::obs::set_metrics_enabled(true);
 
   std::fprintf(stderr, "gpowerctl serve: %d worker(s), store %s\n",
                engine.workers(),
@@ -1049,6 +1126,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return usage(argv[0]);
   }
+  // Flags win over the GPUPOWER_TRACE / GPUPOWER_METRICS environment:
+  // apply them before any engine construction runs obs::init_from_env(),
+  // which only fills still-default knobs.
+  if (!opts.trace_out.empty()) core::obs::set_trace_path(opts.trace_out);
+  if (!opts.metrics_out.empty()) core::obs::set_metrics_enabled(true);
   if (opts.command == "discovery") return cmd_discovery();
   if (opts.command == "dmon") return cmd_dmon(opts);
   if (opts.command == "sweep") return cmd_sweep(opts);

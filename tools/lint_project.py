@@ -30,6 +30,10 @@ a documented contract of this codebase:
   no-detach        Detached threads outlive scope with no join point —
                    they race process teardown and poison TSan runs.  All
                    threads in src/ are joined.
+  one-clock        Raw std::chrono::steady_clock reads outside core/obs
+                   fork the time base: spans, metrics and bench timings
+                   must agree about "now".  Time through core::obs
+                   (now_ns / Span / StopWatch) only.
   cmake-complete   Every src/**/*.cpp must be listed in CMakeLists.txt;
                    an unregistered TU "builds" green while dead.
 
@@ -60,6 +64,8 @@ EXEMPT = {
     # Tests write deliberately torn/corrupt fixtures to prove the store
     # treats them as misses.
     "artifact-write-tests": set(),
+    # The one sanctioned steady_clock site (obs::now_ns).
+    "one-clock": {"src/core/obs/obs.cpp"},
 }
 
 
@@ -203,6 +209,14 @@ def lint_file(path: pathlib.Path, root: pathlib.Path) -> list[Finding]:
             add("no-detach", lineno,
                 "detached thread races process teardown (and poisons TSan) "
                 "— keep a handle and join")
+
+    # one-clock: all timing flows through core/obs so traces, metrics and
+    # bench numbers share a single time base.
+    if rpath not in EXEMPT["one-clock"]:
+        for lineno, _ in grep(code, r"\bsteady_clock\b"):
+            add("one-clock", lineno,
+                "raw steady_clock outside core/obs — use core::obs::now_ns"
+                "/Span/StopWatch so all timings share one clock")
 
     # artifact-write: bench/tools/examples write artifacts only through
     # atomic_write_text.  (Tests may write deliberately corrupt fixtures.)
