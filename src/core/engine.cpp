@@ -35,6 +35,10 @@ struct ScenarioJob {
   /// Kind-prefixed canonical key; empty when the cache is disabled (no
   /// key is ever computed).  Doubles as the store key for the write-back.
   std::string cache_key;
+  /// Interned canonical key for span args (obs::intern — outlives the
+  /// job, so late trace flushes never dangle); nullptr when tracing was
+  /// off at submit time.  Written once before publish, unguarded.
+  const char* trace_key = nullptr;
   std::vector<ScenarioReplica> replicas;
   std::atomic<int> remaining{0};
 
@@ -94,6 +98,10 @@ constexpr const char* kReplicaSpanName[kScenarioKindCount] = {
     "replica.static", "replica.dvfs", "replica.fleet"};
 constexpr const char* kReduceSpanName[kScenarioKindCount] = {
     "reduce.static", "reduce.dvfs", "reduce.fleet"};
+/// Kind names as guaranteed-null-terminated literals for span args (the
+/// registry's string_view spelling is not contractually terminated).
+constexpr const char* kKindArgName[kScenarioKindCount] = {"static", "dvfs",
+                                                          "fleet"};
 
 /// One timestamp serves both the trace span and the metrics sum; 0 means
 /// "everything off, take no clock reads" (obs::now_ns is never 0).
@@ -102,13 +110,14 @@ std::int64_t obs_begin() {
 }
 
 /// Closes an interval opened by obs_begin(): records the span (no-op when
-/// tracing is off) and accumulates the duration into `sink_ns` (when
-/// metrics are on).
+/// tracing is off, args attached when given) and accumulates the duration
+/// into `sink_ns` (when metrics are on).
 void obs_end(const char* span_name, std::int64_t start_ns,
-             std::atomic<std::int64_t>& sink_ns) {
+             std::atomic<std::int64_t>& sink_ns,
+             const obs::SpanArgs& args = obs::SpanArgs()) {
   if (start_ns == 0) return;
   const std::int64_t end_ns = obs::now_ns();
-  obs::record_span(span_name, start_ns, end_ns);
+  obs::record_span(span_name, start_ns, end_ns, args);
   if (obs::metrics_enabled()) {
     sink_ns.fetch_add(end_ns - start_ns, std::memory_order_relaxed);
   }
@@ -161,7 +170,13 @@ void finish_job(EngineState& state, const std::shared_ptr<ScenarioJob>& job) {
       } catch (...) {
         job->error = std::current_exception();
       }
-      obs_end(kReduceSpanName[kind_index], t0, state.reduce_ns[kind_index]);
+      obs::SpanArgs reduce_args;
+      if (job->trace_key != nullptr) {
+        reduce_args.arg("key", job->trace_key)
+            .arg("replicas", static_cast<std::int64_t>(job->replicas.size()));
+      }
+      obs_end(kReduceSpanName[kind_index], t0, state.reduce_ns[kind_index],
+              reduce_args);
     }
     // All writers are done (remaining hit zero) and the reduction has
     // consumed the replicas; release them now — cached DVFS/fleet jobs
@@ -208,7 +223,11 @@ void run_replica_task(EngineState& state,
   }
   if (t0 != 0) {
     const std::int64_t end_ns = obs::now_ns();
-    obs::record_span(kReplicaSpanName[kind_index], t0, end_ns);
+    obs::SpanArgs replica_args;
+    if (job->trace_key != nullptr) {
+      replica_args.arg("key", job->trace_key).arg("seed", seed_index);
+    }
+    obs::record_span(kReplicaSpanName[kind_index], t0, end_ns, replica_args);
     if (obs::metrics_enabled()) {
       state.compute_ns[kind_index].fetch_add(end_ns - t0,
                                              std::memory_order_relaxed);
@@ -385,8 +404,9 @@ ExperimentEngine::~ExperimentEngine() {
 /// DVFS key spells out every timeline phase); the store is only consulted
 /// when the cache is (a cache-less engine recomputes by contract).
 std::shared_ptr<detail::ScenarioJob> ExperimentEngine::submit_job(
-    ScenarioConfig config) {
+    ScenarioConfig config, SubmitOutcome* outcome) {
   obs::Span submit_span("engine.submit");
+  if (outcome != nullptr) *outcome = SubmitOutcome::kComputed;
   const ScenarioKindInfo& info = scenario_kind_info(config.kind());
   const std::string problem = info.validate(config);
   if (!problem.empty()) {
@@ -407,6 +427,16 @@ std::shared_ptr<detail::ScenarioJob> ExperimentEngine::submit_job(
   if (state.options.cache_enabled) {
     job->cache_key = canonical_scenario_key(job->config);
   }
+  if (obs::tracing_enabled()) {
+    // Attribution survives the job (interned), and is computed even for a
+    // cache-less engine — a trace without scenario identity is useless.
+    job->trace_key = obs::intern(state.options.cache_enabled
+                                     ? job->cache_key
+                                     : canonical_scenario_key(job->config));
+    submit_span.args(obs::SpanArgs()
+                         .arg("key", job->trace_key)
+                         .arg("kind", detail::kKindArgName[kind_index]));
+  }
   job->replicas.resize(static_cast<std::size_t>(seeds));
   job->remaining.store(seeds, std::memory_order_relaxed);
 
@@ -419,6 +449,7 @@ std::shared_ptr<detail::ScenarioJob> ExperimentEngine::submit_job(
       if (it != state.cache.end()) {
         ++state.stats.cache_hits;
         ++state.stats.by_kind[kind_index].cache_hits;
+        if (outcome != nullptr) *outcome = SubmitOutcome::kCacheHit;
         return it->second;
       }
     }
@@ -456,10 +487,12 @@ std::shared_ptr<detail::ScenarioJob> ExperimentEngine::submit_job(
       if (!inserted) {
         ++state.stats.cache_hits;
         ++state.stats.by_kind[kind_index].cache_hits;
+        if (outcome != nullptr) *outcome = SubmitOutcome::kCacheHit;
         return it->second;
       }
       ++state.stats.store_hits;
       ++state.stats.by_kind[kind_index].store_hits;
+      if (outcome != nullptr) *outcome = SubmitOutcome::kStoreHit;
       return job;
     }
   }
@@ -471,6 +504,7 @@ std::shared_ptr<detail::ScenarioJob> ExperimentEngine::submit_job(
       if (!inserted) {
         ++state.stats.cache_hits;
         ++state.stats.by_kind[kind_index].cache_hits;
+        if (outcome != nullptr) *outcome = SubmitOutcome::kCacheHit;
         return it->second;
       }
     }
@@ -502,7 +536,12 @@ std::shared_ptr<detail::ScenarioJob> ExperimentEngine::submit_job(
 }
 
 ScenarioHandle ExperimentEngine::submit(ScenarioConfig config) {
-  return ScenarioHandle(submit_job(std::move(config)));
+  return ScenarioHandle(submit_job(std::move(config), nullptr));
+}
+
+ScenarioHandle ExperimentEngine::submit(ScenarioConfig config,
+                                        SubmitOutcome* outcome) {
+  return ScenarioHandle(submit_job(std::move(config), outcome));
 }
 
 std::vector<ScenarioHandle> ExperimentEngine::submit_batch(
@@ -516,7 +555,7 @@ std::vector<ScenarioHandle> ExperimentEngine::submit_batch(
 }
 
 ExperimentHandle ExperimentEngine::submit(const ExperimentConfig& config) {
-  return ExperimentHandle(submit_job(ScenarioConfig(config)));
+  return ExperimentHandle(submit_job(ScenarioConfig(config), nullptr));
 }
 
 std::vector<ExperimentHandle> ExperimentEngine::submit_batch(
@@ -545,7 +584,7 @@ SweepRun ExperimentEngine::submit_sweep(FigureId id,
 }
 
 DvfsHandle ExperimentEngine::submit_dvfs(const DvfsConfig& config) {
-  return DvfsHandle(submit_job(ScenarioConfig(config)));
+  return DvfsHandle(submit_job(ScenarioConfig(config), nullptr));
 }
 
 std::vector<DvfsHandle> ExperimentEngine::submit_dvfs_batch(
@@ -559,7 +598,7 @@ std::vector<DvfsHandle> ExperimentEngine::submit_dvfs_batch(
 }
 
 FleetHandle ExperimentEngine::submit_fleet(const FleetConfig& config) {
-  return FleetHandle(submit_job(ScenarioConfig(config)));
+  return FleetHandle(submit_job(ScenarioConfig(config), nullptr));
 }
 
 std::vector<FleetHandle> ExperimentEngine::submit_fleet_batch(

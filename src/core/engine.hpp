@@ -231,12 +231,26 @@ class ExperimentEngine {
   ExperimentEngine(const ExperimentEngine&) = delete;
   ExperimentEngine& operator=(const ExperimentEngine&) = delete;
 
+  /// How a submit was satisfied — reported through the out-param overload
+  /// below so a caller (serve's per-session accounting) can attribute
+  /// dedup/store traffic per client without diffing racy engine-wide
+  /// stats snapshots.
+  enum class SubmitOutcome {
+    kComputed,  ///< scheduled fresh replica work (or joined its in-flight job)
+    kCacheHit,  ///< served by an already-cached job, nothing scheduled
+    kStoreHit,  ///< loaded from the persistent store, nothing scheduled
+  };
+
   /// The one submission entry point: enqueues any scenario kind (never
   /// blocks).  Identical configs — by canonical_scenario_key — share one
   /// computation and one result.  Throws std::invalid_argument when the
   /// kind's validator rejects the config (zero seeds, empty timeline,
   /// dangling cross-references, ...).
   ScenarioHandle submit(ScenarioConfig config);
+
+  /// As above, reporting how the submit was satisfied (outcome may be
+  /// nullptr).
+  ScenarioHandle submit(ScenarioConfig config, SubmitOutcome* outcome);
 
   /// Enqueues a batch of scenarios; handles are in input order.
   std::vector<ScenarioHandle> submit_batch(
@@ -287,7 +301,8 @@ class ExperimentEngine {
   void clear_cache();
 
  private:
-  std::shared_ptr<detail::ScenarioJob> submit_job(ScenarioConfig config);
+  std::shared_ptr<detail::ScenarioJob> submit_job(ScenarioConfig config,
+                                                  SubmitOutcome* outcome);
 
   std::shared_ptr<detail::EngineState> state_;
 };

@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -65,10 +66,15 @@ void flush_at_exit() {
 
 constexpr std::size_t kRingCapacity = std::size_t{1} << 16;
 
+// The inline SpanArgs grows a slot from 24 B to ~168 B (~11 MB per
+// recording thread, allocated lazily on that thread's first span).
+// Tracing is an opt-in diagnostic mode; paying the fixed footprint keeps
+// the record path allocation-free and the ring fill-once.
 struct TraceEvent {
   const char* name;
   std::int64_t start_ns;
   std::int64_t end_ns;
+  SpanArgs args;
 };
 
 /// Fill-once ring: slots are written only by the owning thread, published
@@ -222,8 +228,28 @@ void init_from_env() {
   });
 }
 
+const char* intern(std::string_view text) {
+  struct InternTable {
+    Mutex mutex;
+    // std::set: node-based, so c_str() pointers are stable forever.
+    std::set<std::string, std::less<>> entries GPUPOWER_GUARDED_BY(mutex);
+  };
+  static InternTable* table = new InternTable;  // immortal, see above
+  MutexLock lock(table->mutex);
+  auto it = table->entries.find(text);
+  if (it == table->entries.end()) {
+    it = table->entries.emplace(text).first;
+  }
+  return it->c_str();
+}
+
 void record_span(const char* name, std::int64_t start_ns,
                  std::int64_t end_ns) noexcept {
+  record_span(name, start_ns, end_ns, SpanArgs());
+}
+
+void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns,
+                 const SpanArgs& args) noexcept {
   if (name == nullptr || !tracing_enabled()) return;
   ThreadRing& ring = local_ring();
   const std::uint32_t n = ring.count.load(std::memory_order_relaxed);
@@ -231,7 +257,7 @@ void record_span(const char* name, std::int64_t start_ns,
     ring.dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  ring.slots[n] = TraceEvent{name, start_ns, end_ns};
+  ring.slots[n] = TraceEvent{name, start_ns, end_ns, args};
   ring.count.store(n + 1, std::memory_order_release);
 }
 
@@ -252,6 +278,7 @@ bool write_trace(const std::string& path, std::string* error) {
     std::int64_t start_ns;
     std::int64_t end_ns;
     std::uint32_t tid;
+    SpanArgs args;
   };
   std::vector<Snapshot> events;
   std::uint64_t dropped = 0;
@@ -262,7 +289,8 @@ bool write_trace(const std::string& path, std::string* error) {
       const std::uint32_t n = ring->count.load(std::memory_order_acquire);
       for (std::uint32_t i = 0; i < n; ++i) {
         const TraceEvent& e = ring->slots[i];
-        events.push_back(Snapshot{e.name, e.start_ns, e.end_ns, ring->tid});
+        events.push_back(
+            Snapshot{e.name, e.start_ns, e.end_ns, ring->tid, e.args});
       }
       dropped += ring->dropped.load(std::memory_order_relaxed);
     }
@@ -290,9 +318,28 @@ bool write_trace(const std::string& path, std::string* error) {
         1000.0;
     std::snprintf(buf, sizeof buf,
                   "\",\"cat\":\"gpupower\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
-                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  "\"ts\":%.3f,\"dur\":%.3f",
                   e.tid, ts_us, dur_us);
     out += buf;
+    if (e.args.size() > 0) {
+      out += ",\"args\":{";
+      for (int a = 0; a < e.args.size(); ++a) {
+        const SpanArgs::Arg& kv = e.args.at(a);
+        if (a != 0) out += ',';
+        out += '"';
+        append_escaped(out, kv.key);
+        out += "\":";
+        if (kv.str != nullptr) {
+          out += '"';
+          append_escaped(out, kv.str);
+          out += '"';
+        } else {
+          out += std::to_string(static_cast<long long>(kv.num));
+        }
+      }
+      out += '}';
+    }
+    out += '}';
   }
   out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":";
   out += std::to_string(dropped);
@@ -366,6 +413,20 @@ Histogram& histogram(const char* name) {
 
 analysis::JsonValue registry_json() {
   using analysis::JsonValue;
+  // Snapshot the rings' drop counts first: the trace and metrics mutexes
+  // are never nested elsewhere, and taking them sequentially (not nested)
+  // keeps it that way.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> ring_drops;
+  std::uint64_t drops_total = 0;
+  {
+    TraceRegistry& traces = trace_registry();
+    MutexLock lock(traces.mutex);
+    for (const auto& ring : traces.rings) {
+      const std::uint64_t d = ring->dropped.load(std::memory_order_relaxed);
+      drops_total += d;
+      if (d != 0) ring_drops.emplace_back(ring->tid, d);
+    }
+  }
   JsonValue counters = JsonValue::object();
   JsonValue gauges = JsonValue::object();
   JsonValue histograms = JsonValue::object();
@@ -379,6 +440,15 @@ analysis::JsonValue registry_json() {
     gauges.set(name,
                JsonValue::integer(static_cast<long long>(metric->value())));
   }
+  // Ring drops ride in the gauges block (they are instantaneous facts
+  // about the trace buffers, not gated metrics) so trace loss is visible
+  // to every metrics consumer.
+  gauges.set("obs.ring_dropped_total",
+             JsonValue::integer(static_cast<long long>(drops_total)));
+  for (const auto& [tid, d] : ring_drops) {
+    gauges.set("obs.ring_dropped.tid" + std::to_string(tid),
+               JsonValue::integer(static_cast<long long>(d)));
+  }
   for (const auto& [name, metric] : registry.histograms) {
     JsonValue h = JsonValue::object();
     h.set("count",
@@ -388,7 +458,18 @@ analysis::JsonValue registry_json() {
     h.set("max_ns",
           JsonValue::integer(static_cast<long long>(metric->max_ns())));
     h.set("p50_ns", JsonValue::number(histogram_quantile_ns(*metric, 0.50)));
+    h.set("p95_ns", JsonValue::number(histogram_quantile_ns(*metric, 0.95)));
     h.set("p99_ns", JsonValue::number(histogram_quantile_ns(*metric, 0.99)));
+    JsonValue buckets = JsonValue::array();
+    int top = -1;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (metric->bucket(i) != 0) top = i;
+    }
+    for (int i = 0; i <= top; ++i) {
+      buckets.push(
+          JsonValue::integer(static_cast<long long>(metric->bucket(i))));
+    }
+    h.set("buckets", std::move(buckets));
     histograms.set(name, std::move(h));
   }
   JsonValue out = JsonValue::object();

@@ -36,6 +36,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace gpupower::analysis {
 class JsonValue;
@@ -72,6 +73,59 @@ void init_from_env();
 
 // ------------------------------------------------------------------ spans
 
+/// Interns a runtime string into an immortal deduplicating table and
+/// returns a stable process-lifetime `const char*`.  This is how dynamic
+/// values (canonical scenario keys, campaign point labels) become span
+/// arguments: rings store pointers, never copies, and the span may be
+/// exported long after the object that produced the string is gone.
+/// Identical strings intern to one allocation, so per-job keys cost one
+/// table hit per submit, not per span.  Guard call sites on
+/// tracing_enabled() — interning when tracing is off wastes a mutex hop.
+[[nodiscard]] const char* intern(std::string_view text);
+
+/// Bounded, allocation-free key/value argument list for a span, exported
+/// as the `"args":{...}` object of the Chrome trace event.  At most
+/// kMaxArgs entries; extras are silently ignored (arg() stays chainable).
+/// Keys must be string literals; string values must be literals or
+/// intern()ed — the ring stores the pointers.
+class SpanArgs {
+ public:
+  static constexpr int kMaxArgs = 4;
+
+  struct Arg {
+    const char* key = nullptr;
+    const char* str = nullptr;  // nullptr => numeric value in `num`
+    std::int64_t num = 0;
+  };
+
+  SpanArgs() = default;
+
+  SpanArgs& arg(const char* key, const char* value) noexcept {
+    if (count_ < kMaxArgs && key != nullptr && value != nullptr) {
+      args_[count_++] = Arg{key, value, 0};
+    }
+    return *this;
+  }
+  SpanArgs& arg(const char* key, std::int64_t value) noexcept {
+    if (count_ < kMaxArgs && key != nullptr) {
+      args_[count_++] = Arg{key, nullptr, value};
+    }
+    return *this;
+  }
+  // Disambiguates integer literals (0 would otherwise convert to both
+  // const char* and int64_t).
+  SpanArgs& arg(const char* key, int value) noexcept {
+    return arg(key, static_cast<std::int64_t>(value));
+  }
+
+  [[nodiscard]] int size() const noexcept { return count_; }
+  [[nodiscard]] const Arg& at(int i) const noexcept { return args_[i]; }
+
+ private:
+  Arg args_[kMaxArgs] = {};
+  int count_ = 0;
+};
+
 /// Records a span with explicit bounds on the calling thread's ring (no-op
 /// unless tracing is enabled).  `name` must be a string literal.  Used
 /// directly when the interval is not a scope — e.g. the engine's
@@ -79,15 +133,29 @@ void init_from_env();
 void record_span(const char* name, std::int64_t start_ns,
                  std::int64_t end_ns) noexcept;
 
+/// As above, with arguments attached to the exported event.
+void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns,
+                 const SpanArgs& args) noexcept;
+
 /// Scoped RAII span: one relaxed load when tracing is off; one clock read
-/// at each end and one ring slot when it is on.
+/// at each end and one ring slot when it is on.  Arguments can be given
+/// at construction or attached later via args() — the setter no-ops when
+/// tracing was off at construction, so building the SpanArgs should be
+/// guarded on tracing_enabled() when it involves intern().
 class Span {
  public:
   explicit Span(const char* name) noexcept
       : name_(tracing_enabled() ? name : nullptr),
         start_ns_(name_ != nullptr ? now_ns() : 0) {}
+  Span(const char* name, const SpanArgs& args) noexcept : Span(name) {
+    if (name_ != nullptr) args_ = args;
+  }
   ~Span() {
-    if (name_ != nullptr) record_span(name_, start_ns_, now_ns());
+    if (name_ != nullptr) record_span(name_, start_ns_, now_ns(), args_);
+  }
+
+  void args(const SpanArgs& args) noexcept {
+    if (name_ != nullptr) args_ = args;
   }
 
   Span(const Span&) = delete;
@@ -96,6 +164,7 @@ class Span {
  private:
   const char* name_;
   std::int64_t start_ns_;
+  SpanArgs args_;
 };
 
 /// Events currently buffered / dropped across all thread rings (for tests
@@ -209,8 +278,16 @@ class Histogram {
 /// The whole registry as one stable JSON object:
 ///   { "counters": {name: n, ...}, "gauges": {...},
 ///     "histograms": {name: {"count":n,"total_ns":n,"max_ns":n,
-///                           "p50_ns":n,"p99_ns":n}, ...} }
-/// Keys are sorted; quantiles are upper bucket bounds (log2 resolution).
+///                           "p50_ns":n,"p95_ns":n,"p99_ns":n,
+///                           "buckets":[n,...]}, ...} }
+/// Keys are sorted; quantiles are upper bucket bounds (log2 resolution),
+/// derived here so consumers (gpowerctl top, CI) never re-implement the
+/// bucket math; "buckets" is the raw log2 histogram trimmed at the
+/// highest non-empty bucket (bucket i counts samples in [2^(i-1), 2^i)
+/// ns).  The gauges block also surfaces the trace rings' drop counts —
+/// "obs.ring_dropped_total" plus one "obs.ring_dropped.tid<N>" entry per
+/// thread that dropped — so a metrics consumer sees trace loss without
+/// parsing the trace file's otherData.
 [[nodiscard]] analysis::JsonValue registry_json();
 
 /// Zeroes every registered metric (tests).

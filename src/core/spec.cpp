@@ -12,6 +12,7 @@
 #include "core/config_builder.hpp"
 #include "core/engine.hpp"
 #include "core/figures.hpp"
+#include "core/obs/obs.hpp"
 #include "core/pattern_dsl.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/dvfs/dsl_util.hpp"
@@ -1180,6 +1181,7 @@ analysis::JsonValue spec_to_json(const ScenarioConfig& config) {
 
 bool expand_campaign(const ScenarioSpec& spec, std::vector<CampaignPoint>& out,
                      std::string& error) {
+  obs::Span span("campaign.expand");
   out.clear();
   if (!spec.campaign) {
     error = "not a campaign spec";
@@ -1219,6 +1221,11 @@ bool expand_campaign(const ScenarioSpec& spec, std::vector<CampaignPoint>& out,
       index[a] = 0;
     }
   }
+  if (obs::tracing_enabled()) {
+    span.args(obs::SpanArgs()
+                  .arg("campaign", obs::intern(spec.name))
+                  .arg("points", static_cast<std::int64_t>(out.size())));
+  }
   return true;
 }
 
@@ -1227,8 +1234,19 @@ bool submit_campaign(ExperimentEngine& engine, const ScenarioSpec& spec,
   if (!expand_campaign(spec, out.points, error)) return false;
   out.handles.clear();
   out.handles.reserve(out.points.size());
+  out.outcomes.clear();
+  out.outcomes.reserve(out.points.size());
   for (const CampaignPoint& point : out.points) {
-    out.handles.push_back(engine.submit(point.config));
+    // The point label rides on a wrapper span (the submit span inside
+    // carries the canonical key), tying grid coordinates to scenario
+    // identity in one trace query.
+    obs::Span span("campaign.point");
+    if (obs::tracing_enabled()) {
+      span.args(obs::SpanArgs().arg("point", obs::intern(point.label)));
+    }
+    ExperimentEngine::SubmitOutcome outcome;
+    out.handles.push_back(engine.submit(point.config, &outcome));
+    out.outcomes.push_back(outcome);
   }
   return true;
 }

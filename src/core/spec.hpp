@@ -119,10 +119,14 @@ struct CampaignPoint {
                                    std::vector<CampaignPoint>& out,
                                    std::string& error);
 
-/// An expanded campaign in flight: handles are index-aligned with points.
+/// An expanded campaign in flight: handles are index-aligned with points,
+/// and so are outcomes — how each point's submit was satisfied (computed /
+/// cache hit / store hit), for callers doing per-client attribution
+/// (serve's per-session counters).
 struct CampaignRun {
   std::vector<CampaignPoint> points;
   std::vector<ScenarioHandle> handles;
+  std::vector<ExperimentEngine::SubmitOutcome> outcomes;
 };
 
 /// expand_campaign + one engine submission per point (duplicates attach to

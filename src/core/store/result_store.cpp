@@ -146,6 +146,9 @@ bool ResultStore::load(std::string_view canonical_key, ScenarioKind kind,
                        ScenarioResult& out) const {
   if (!enabled()) return false;
   obs::Span span("store.read");
+  if (obs::tracing_enabled()) {
+    span.args(obs::SpanArgs().arg("key", obs::intern(canonical_key)));
+  }
   const bool hit = [&]() -> bool {
     std::string text;
     if (!read_file_text(entry_path(canonical_key), text)) return false;
@@ -195,6 +198,9 @@ bool ResultStore::save(std::string_view canonical_key,
                        const ScenarioResult& result) const {
   if (!enabled() || !result.valid()) return false;
   obs::Span span("store.write");
+  if (obs::tracing_enabled()) {
+    span.args(obs::SpanArgs().arg("key", obs::intern(canonical_key)));
+  }
   static obs::Counter& writes = obs::counter("store.write.count");
   writes.add();
   analysis::JsonValue doc = analysis::JsonValue::object();

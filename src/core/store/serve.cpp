@@ -8,6 +8,7 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <deque>
 #include <exception>
@@ -20,12 +21,83 @@
 
 #include "analysis/json.hpp"
 #include "core/annotations.hpp"
+#include "core/obs/obs.hpp"
 #include "core/spec.hpp"
 
 namespace gpupower::core {
 namespace {
 
 using analysis::JsonValue;
+
+/// One live session's counters.  The owning session updates them from its
+/// reader and streamer threads (atomics — the two sides share no lock),
+/// and any session's reader may snapshot them for a sessions listing.
+/// Per-session counts are unconditional (the `sessions` command must be
+/// accurate with metrics off); the mirrored process-wide obs `serve.*`
+/// counters gate themselves on the metrics switch as every metric does.
+struct SessionMetrics {
+  std::uint64_t id = 0;
+  std::int64_t start_ns = 0;
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> points{0};
+  std::atomic<std::uint64_t> results{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> dedup_hits{0};
+  std::atomic<std::uint64_t> store_hits{0};
+  std::atomic<std::uint64_t> bytes_streamed{0};
+};
+
+struct SessionRegistry {
+  Mutex mutex;
+  std::uint64_t next_id GPUPOWER_GUARDED_BY(mutex) = 1;
+  /// Insertion order == id order (ids are monotonic), so listings are
+  /// sorted without a sort.
+  std::vector<std::shared_ptr<SessionMetrics>> live
+      GPUPOWER_GUARDED_BY(mutex);
+};
+
+SessionRegistry& session_registry() {
+  // Immortal (deliberately leaked): sessions on late-exiting threads must
+  // never observe a destroyed registry.
+  static SessionRegistry* registry = new SessionRegistry;
+  return *registry;
+}
+
+std::shared_ptr<SessionMetrics> register_session() {
+  auto metrics = std::make_shared<SessionMetrics>();
+  metrics->start_ns = obs::now_ns();
+  SessionRegistry& registry = session_registry();
+  MutexLock lock(registry.mutex);
+  metrics->id = registry.next_id++;
+  registry.live.push_back(metrics);
+  obs::counter("serve.sessions").add();
+  obs::gauge("serve.active_sessions")
+      .set(static_cast<std::int64_t>(registry.live.size()));
+  return metrics;
+}
+
+void unregister_session(const std::shared_ptr<SessionMetrics>& metrics) {
+  SessionRegistry& registry = session_registry();
+  MutexLock lock(registry.mutex);
+  for (auto it = registry.live.begin(); it != registry.live.end(); ++it) {
+    if (it->get() == metrics.get()) {
+      registry.live.erase(it);
+      break;
+    }
+  }
+  obs::gauge("serve.active_sessions")
+      .set(static_cast<std::int64_t>(registry.live.size()));
+}
+
+/// RAII registration so a session leaves the registry however its scope
+/// unwinds.
+struct SessionRegistration {
+  std::shared_ptr<SessionMetrics> metrics = register_session();
+  SessionRegistration() = default;
+  SessionRegistration(const SessionRegistration&) = delete;
+  SessionRegistration& operator=(const SessionRegistration&) = delete;
+  ~SessionRegistration() { unregister_session(metrics); }
+};
 
 /// One submitted scenario awaiting emission.
 struct PendingPoint {
@@ -88,7 +160,17 @@ std::string stats_event(const ExperimentEngine& engine) {
       // The same document gpowerctl --metrics-out writes
       // (ExperimentEngine::metrics_json), so a dashboard tailing a serve
       // session and one reading metrics files parse one schema.
-      .set("metrics", engine.metrics_json());
+      .set("metrics", engine.metrics_json())
+      // Every live session's counters ride along, so one stats poll
+      // (gpowerctl top) sees engine health AND who is driving it.
+      .set("sessions", serve_sessions_json());
+  return doc.dump();
+}
+
+std::string sessions_event() {
+  JsonValue doc = JsonValue::object();
+  doc.set("type", JsonValue::string("sessions"))
+      .set("sessions", serve_sessions_json());
   return doc.dump();
 }
 
@@ -125,12 +207,32 @@ std::string trimmed(const std::string& line) {
   return line.substr(begin, end - begin);
 }
 
+/// Folds one submit outcome into a session's dedup/store attribution and
+/// the process-wide mirrors.
+void count_outcome(SessionMetrics& metrics,
+                   ExperimentEngine::SubmitOutcome outcome) {
+  switch (outcome) {
+    case ExperimentEngine::SubmitOutcome::kComputed:
+      break;
+    case ExperimentEngine::SubmitOutcome::kCacheHit:
+      metrics.dedup_hits.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("serve.dedup_hits").add();
+      break;
+    case ExperimentEngine::SubmitOutcome::kStoreHit:
+      metrics.store_hits.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("serve.store_hits").add();
+      break;
+  }
+}
+
 /// Parses and submits one request line; records pending points and the
 /// accepted (or error) event under the session lock.
-void handle_request(ExperimentEngine& engine, SessionState& session, long req,
+void handle_request(ExperimentEngine& engine, SessionState& session,
+                    SessionMetrics& metrics, long req,
                     const std::string& line) {
   const SpecParseResult parsed = parse_scenario_spec_text(line);
   if (!parsed.ok) {
+    metrics.errors.fetch_add(1, std::memory_order_relaxed);
     MutexLock lock(session.mutex);
     session.events.push_back(error_event(req, parsed.error));
     return;
@@ -142,6 +244,7 @@ void handle_request(ExperimentEngine& engine, SessionState& session, long req,
       CampaignRun run;
       std::string error;
       if (!submit_campaign(engine, parsed.spec, run, error)) {
+        metrics.errors.fetch_add(1, std::memory_order_relaxed);
         MutexLock lock(session.mutex);
         session.events.push_back(error_event(req, error));
         return;
@@ -150,19 +253,25 @@ void handle_request(ExperimentEngine& engine, SessionState& session, long req,
       for (std::size_t i = 0; i < run.points.size(); ++i) {
         points.push_back({req, run.points[i].label, run.points[i].config,
                           run.handles[i], false});
+        count_outcome(metrics, run.outcomes[i]);
       }
     } else {
-      const ScenarioHandle handle = engine.submit(parsed.spec.config);
+      ExperimentEngine::SubmitOutcome outcome;
+      const ScenarioHandle handle = engine.submit(parsed.spec.config, &outcome);
       points.push_back({req, std::string(name(parsed.spec.config.kind())),
                         parsed.spec.config, handle, false});
+      count_outcome(metrics, outcome);
     }
   } catch (const std::exception& e) {
     // Validator rejections (std::invalid_argument) arrive here.
+    metrics.errors.fetch_add(1, std::memory_order_relaxed);
     MutexLock lock(session.mutex);
     session.events.push_back(error_event(req, e.what()));
     return;
   }
 
+  metrics.points.fetch_add(points.size(), std::memory_order_relaxed);
+  obs::counter("serve.points").add(points.size());
   MutexLock lock(session.mutex);
   session.events.push_back(
       accepted_event(req, points.front().config.kind(), points.size()));
@@ -181,6 +290,32 @@ RequestProgress* find_request(SessionState& session, long req)
 }
 
 }  // namespace
+
+analysis::JsonValue serve_sessions_json() {
+  JsonValue sessions = JsonValue::array();
+  const std::int64_t now = obs::now_ns();
+  SessionRegistry& registry = session_registry();
+  MutexLock lock(registry.mutex);
+  for (const auto& m : registry.live) {
+    const auto count = [](const std::atomic<std::uint64_t>& v) {
+      return JsonValue::integer(
+          static_cast<long long>(v.load(std::memory_order_relaxed)));
+    };
+    JsonValue entry = JsonValue::object();
+    entry.set("id", JsonValue::integer(static_cast<long long>(m->id)))
+        .set("age_s",
+             JsonValue::number(static_cast<double>(now - m->start_ns) * 1e-9))
+        .set("requests", count(m->requests))
+        .set("points", count(m->points))
+        .set("results", count(m->results))
+        .set("errors", count(m->errors))
+        .set("dedup_hits", count(m->dedup_hits))
+        .set("store_hits", count(m->store_hits))
+        .set("bytes_streamed", count(m->bytes_streamed));
+    sessions.push(std::move(entry));
+  }
+  return sessions;
+}
 
 std::vector<std::pair<std::string, double>> scenario_summary_metrics(
     const ScenarioResult& result) {
@@ -211,20 +346,29 @@ std::vector<std::pair<std::string, double>> scenario_summary_metrics(
 long serve_session(ExperimentEngine& engine, std::istream& in,
                    std::ostream& out, const ServeOptions& options) {
   SessionState session;
+  const SessionRegistration registration;
+  SessionMetrics& metrics = *registration.metrics;
 
   // The reader thread turns stdin/socket lines into submissions without
   // blocking the event stream: a client can pipeline many requests and
   // results of the first interleave with parsing of the rest.
-  std::thread reader([&engine, &session, &in] {
+  std::thread reader([&engine, &session, &metrics, &in] {
     std::string raw;
     long req = 0;
     while (std::getline(in, raw)) {
       const std::string line = trimmed(raw);
       if (line.empty()) continue;
       ++req;
+      metrics.requests.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("serve.requests").add();
       if (line == "stats") {
         MutexLock lock(session.mutex);
         session.events.push_back(stats_event(engine));
+        continue;
+      }
+      if (line == "sessions") {
+        MutexLock lock(session.mutex);
+        session.events.push_back(sessions_event());
         continue;
       }
       // JSON command lines ({"cmd":"stats"}) share the request grammar
@@ -235,18 +379,26 @@ long serve_session(ExperimentEngine& engine, std::istream& in,
         if (parsed.ok && parsed.value.is_object() &&
             parsed.value.find("cmd") != nullptr) {
           const analysis::JsonValue& cmd = *parsed.value.find("cmd");
+          const bool is_stats = cmd.is_string() && cmd.as_string() == "stats";
+          const bool is_sessions =
+              cmd.is_string() && cmd.as_string() == "sessions";
+          if (!is_stats && !is_sessions) {
+            metrics.errors.fetch_add(1, std::memory_order_relaxed);
+          }
           MutexLock lock(session.mutex);
-          if (cmd.is_string() && cmd.as_string() == "stats") {
+          if (is_stats) {
             session.events.push_back(stats_event(engine));
+          } else if (is_sessions) {
+            session.events.push_back(sessions_event());
           } else {
             session.events.push_back(error_event(
-                req, "unknown cmd (the one supported command is "
-                     "{\"cmd\":\"stats\"})"));
+                req, "unknown cmd (supported commands are {\"cmd\":\"stats\"} "
+                     "and {\"cmd\":\"sessions\"})"));
           }
           continue;
         }
       }
-      handle_request(engine, session, req, line);
+      handle_request(engine, session, metrics, req, line);
     }
     MutexLock lock(session.mutex);
     session.reader_done = true;
@@ -255,24 +407,37 @@ long serve_session(ExperimentEngine& engine, std::istream& in,
 
   // Event streamer: drain reader events, then emit every completed point
   // the moment its handle is ready — the whole reason serve exists.
+  // Every line to the client flows through emit(), so bytes_streamed is
+  // exact (payload + newline).
+  const auto emit = [&out, &metrics](const std::string& line) {
+    out << line << '\n';
+    metrics.bytes_streamed.fetch_add(line.size() + 1,
+                                     std::memory_order_relaxed);
+    obs::counter("serve.bytes_streamed").add(line.size() + 1);
+  };
   std::size_t results_since_stats = 0;  // streamer-thread local
   for (;;) {
     bool all_done = false;
     {
       MutexLock lock(session.mutex);
       while (!session.events.empty()) {
-        out << session.events.front() << '\n';
+        emit(session.events.front());
         session.events.pop_front();
       }
       for (PendingPoint& point : session.pending) {
         if (point.emitted || !point.handle.ready()) continue;
         std::string line;
+        bool ok = true;
         try {
           line = result_event(point, point.handle.get(), options);
         } catch (const std::exception& e) {
           line = error_event(point.req, point.label + ": " + e.what());
+          ok = false;
         }
-        out << line << '\n';
+        emit(line);
+        (ok ? metrics.results : metrics.errors)
+            .fetch_add(1, std::memory_order_relaxed);
+        if (ok) obs::counter("serve.results").add();
         point.emitted = true;
         // Periodic stats: a long-lived session reports engine health
         // every N completed scenarios without being asked (off by
@@ -283,13 +448,13 @@ long serve_session(ExperimentEngine& engine, std::istream& in,
             ++results_since_stats >=
                 static_cast<std::size_t>(options.stats_every)) {
           results_since_stats = 0;
-          out << stats_event(engine) << '\n';
+          emit(stats_event(engine));
         }
         RequestProgress* progress = find_request(session, point.req);
         if (progress != nullptr && ++progress->emitted == progress->points &&
             !progress->done_sent) {
           progress->done_sent = true;
-          out << done_event(progress->req, progress->points) << '\n';
+          emit(done_event(progress->req, progress->points));
         }
       }
       out.flush();

@@ -13,6 +13,8 @@
 //   stats                           emit an engine stats event
 //   {"cmd":"stats"}                 same, as a JSON command (any line with
 //                                   a "cmd" key is a command, not a spec)
+//   sessions / {"cmd":"sessions"}   emit a sessions event listing every
+//                                   live session's counters
 //
 // Response events (one compact JSON object per line):
 //   {"type":"accepted","req":1,"scenario":"fleet","points":12}
@@ -21,13 +23,26 @@
 //   {"type":"done","req":1,"points":12}
 //   {"type":"error","req":2,"error":"..."}
 //   {"type":"stats","engine":"4 worker(s), ...",
-//    "metrics":{"gpupower_metrics":1,"engine":{...},"obs":{...}}}
+//    "metrics":{"gpupower_metrics":1,"engine":{...},"obs":{...}},
+//    "sessions":[{"id":1,...},...]}
+//   {"type":"sessions","sessions":[{"id":1,"age_s":0.8,"requests":2,
+//    "points":12,"results":9,"errors":0,"dedup_hits":3,"store_hits":1,
+//    "bytes_streamed":20480},...]}
 //
 // Stats events carry both the human counter line and the full
 // ExperimentEngine::metrics_json() document (one schema with gpowerctl
 // --metrics-out).  They are emitted on request and — with
 // ServeOptions::stats_every = N — automatically after every N completed
 // scenarios, so a long-lived session is inspectable without restart.
+//
+// Per-session accounting: every session (stdin or socket) registers in a
+// process-wide registry and counts its own requests, accepted points,
+// emitted results/errors, engine dedup / store hits (attributed through
+// ExperimentEngine::SubmitOutcome, not racy stats diffs), and bytes
+// streamed.  The live listing is embedded in every stats event and
+// queryable via `sessions`; session totals also feed process-wide
+// `serve.*` counters and a `serve.active_sessions` gauge in the obs
+// registry (visible in metrics_json() when metrics are on).
 //
 // Metric names match the bench documents (kind_bench_metrics in
 // gpowerctl / BENCH_*.json), so serve output can be cross-checked against
@@ -64,6 +79,15 @@ struct ServeOptions {
 /// engine: run any number of sessions against one engine concurrently.
 long serve_session(ExperimentEngine& engine, std::istream& in,
                    std::ostream& out, const ServeOptions& options = {});
+
+/// Live-session registry snapshot as a JSON array, one object per active
+/// serve session:
+///   {"id":n,"age_s":x,"requests":n,"points":n,"results":n,"errors":n,
+///    "dedup_hits":n,"store_hits":n,"bytes_streamed":n}
+/// Sessions appear for their lifetime only (counters are cumulative
+/// within a session; process-wide cumulative totals live in the obs
+/// `serve.*` counters).  Sorted by id; safe from any thread.
+[[nodiscard]] analysis::JsonValue serve_sessions_json();
 
 /// Summary metrics for one result in emission order, named exactly like
 /// the bench-document metrics ("power_w"/"energy_per_iter_j" for static,

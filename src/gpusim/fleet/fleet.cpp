@@ -10,12 +10,15 @@ namespace gpupower::gpusim::fleet {
 FleetRun FleetSimulator::run(std::span<const Device> devices, double slice_s,
                              bool drain_backlog) const {
   core::obs::Span run_span("fleet.run");
+  run_span.args(core::obs::SpanArgs().arg(
+      "devices", static_cast<std::int64_t>(devices.size())));
   FleetRun run;
   run.slice_s = slice_s;
   run.cap_w = allocator_.cap_w;
   if (devices.empty() || slice_s <= 0.0) return run;
 
   const std::size_t n = devices.size();
+  std::int64_t allocate_pass = 0;
   std::vector<dvfs::DeviceCursor> cursors;
   cursors.reserve(n);
   std::vector<ThermalState> thermal;
@@ -79,9 +82,14 @@ FleetRun FleetSimulator::run(std::span<const Device> devices, double slice_s,
         // One span per allocator pass (one pass per capped slice): the
         // committed shapes run hundreds of slices, well inside the obs
         // ring capacity; overlong replays drop-and-count instead.
-        core::obs::Span alloc_span("fleet.allocate");
+        core::obs::Span alloc_span(
+            "fleet.allocate",
+            core::obs::SpanArgs()
+                .arg("devices", static_cast<std::int64_t>(n))
+                .arg("pass", allocate_pass));
         allocator->allocate(demands, allocator_.cap_w, budgets);
       }
+      ++allocate_pass;
       static core::obs::Counter& passes =
           core::obs::counter("fleet.allocate_passes");
       passes.add();

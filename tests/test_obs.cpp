@@ -196,7 +196,8 @@ TEST_F(ObsFixture, ConcurrentWritersLoseNoEvents) {
 
 // The layer's core contract: tracing observes, never perturbs.  The same
 // scenario on fresh engines with tracing off vs. on must produce
-// bit-identical result documents.
+// bit-identical result documents — including now that the traced run
+// attributes spans (interns canonical keys, fills SpanArgs).
 TEST_F(ObsFixture, TracingDoesNotPerturbResults) {
   const SpecParseResult parsed = parse_scenario_spec_text(kSingleSpec);
   ASSERT_TRUE(parsed.ok) << parsed.error;
@@ -215,7 +216,143 @@ TEST_F(ObsFixture, TracingDoesNotPerturbResults) {
   ASSERT_TRUE(tracing_enabled());
   EXPECT_GT(trace_counts().recorded, 0u);  // the run really was traced
   EXPECT_EQ(off, on);
+  // The traced run was the attributed kind: its exported replica span
+  // carries the scenario canonical key, pinning that bit-identity holds
+  // WITH argument capture on, not just with bare spans.
+  std::string error;
+  ASSERT_TRUE(flush_trace(&error)) << error;
+  const JsonValue doc = parse_trace_file(trace_path());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool attributed = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    if (event.find("name")->as_string() != "replica.static") continue;
+    const JsonValue* args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->find("key")->as_string(),
+              canonical_scenario_key(parsed.spec.config));
+    attributed = true;
+  }
+  EXPECT_TRUE(attributed);
   std::filesystem::remove(trace_path());
+}
+
+// Span arguments: bounded key/value capture, exported as the Chrome
+// trace-event "args" object; spans without args stay argument-free.
+TEST_F(ObsFixture, SpanArgsExportWithTheDocumentedSchema) {
+  const std::string path = temp_path("obs_trace_args.json");
+  set_trace_path(path);
+
+  {
+    Span bare("test.bare");
+  }
+  {
+    Span tagged("test.tagged", SpanArgs()
+                                   .arg("key", "static\x1fgpu=a100")
+                                   .arg("seed", std::int64_t{7}));
+  }
+  {
+    Span late("test.late");
+    late.args(SpanArgs().arg("point", "uniform@0.50").arg("n", 0));
+  }
+  {
+    // Capacity is a hard bound: the 5th arg is dropped, not overflowed.
+    SpanArgs overfull;
+    for (int i = 0; i < SpanArgs::kMaxArgs + 1; ++i) {
+      overfull.arg("extra", i);
+    }
+    EXPECT_EQ(overfull.size(), SpanArgs::kMaxArgs);
+    Span span("test.overfull", overfull);
+  }
+  std::string error;
+  ASSERT_TRUE(flush_trace(&error)) << error;
+
+  const JsonValue doc = parse_trace_file(path);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 4u);
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    const std::string name = event.find("name")->as_string();
+    const JsonValue* args = event.find("args");
+    if (name == "test.bare") {
+      EXPECT_EQ(args, nullptr);
+    } else if (name == "test.tagged") {
+      ASSERT_NE(args, nullptr);
+      // The \x1f kind separator must round-trip through JSON escaping.
+      EXPECT_EQ(args->find("key")->as_string(), "static\x1fgpu=a100");
+      EXPECT_EQ(args->find("seed")->as_number(-1), 7.0);
+    } else if (name == "test.late") {
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->find("point")->as_string(), "uniform@0.50");
+      EXPECT_EQ(args->find("n")->as_number(-1), 0.0);
+    } else if (name == "test.overfull") {
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->size(), static_cast<std::size_t>(SpanArgs::kMaxArgs));
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(ObsFixture, InternReturnsStableImmortalPointers) {
+  set_trace_path(temp_path("obs_trace_intern.json"));  // interning is live
+  const std::string key = "fleet\x1fgpu=h100;cap=400";
+  const char* a = intern(key);
+  const char* b = intern(std::string(key));  // distinct source buffer
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);  // deduplicated: one immortal entry per distinct string
+  EXPECT_EQ(std::string(a), key);
+  const char* other = intern("fleet\x1fgpu=h100;cap=401");
+  EXPECT_NE(a, other);
+  std::filesystem::remove(trace_path());
+}
+
+// Engine spans carry scenario attribution: submit/replica/reduce all tag
+// the canonical key, submit also names the kind.
+TEST_F(ObsFixture, EngineSpansCarryTheScenarioKey) {
+  const std::string path = temp_path("obs_trace_attributed.json");
+  set_trace_path(path);
+  const SpecParseResult parsed = parse_scenario_spec_text(kSingleSpec);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EngineOptions options;
+  options.workers = 2;
+  ExperimentEngine engine(options);
+  (void)engine.submit(parsed.spec.config).get();
+  engine.wait_all();
+  std::string error;
+  ASSERT_TRUE(flush_trace(&error)) << error;
+
+  const std::string key = canonical_scenario_key(parsed.spec.config);
+  const JsonValue doc = parse_trace_file(path);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int submit = 0, replica = 0, reduce = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    const std::string name = event.find("name")->as_string();
+    const JsonValue* args = event.find("args");
+    if (name == "engine.submit") {
+      ++submit;
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->find("key")->as_string(), key);
+      EXPECT_EQ(args->find("kind")->as_string(), "static");
+    } else if (name == "replica.static") {
+      ++replica;
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->find("key")->as_string(), key);
+      EXPECT_NE(args->find("seed"), nullptr);
+    } else if (name == "reduce.static") {
+      ++reduce;
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->find("key")->as_string(), key);
+      EXPECT_EQ(args->find("replicas")->as_number(0), 1.0);
+    }
+  }
+  EXPECT_EQ(submit, 1);
+  EXPECT_EQ(replica, 1);  // one seed
+  EXPECT_EQ(reduce, 1);
+  std::filesystem::remove(path);
 }
 
 TEST_F(ObsFixture, MetricsAreInertWhileDisabled) {
@@ -264,9 +401,55 @@ TEST_F(ObsFixture, RegistryJsonHasTheDocumentedSchema) {
   EXPECT_EQ(hist->find("count")->as_number(0), 2.0);
   EXPECT_EQ(hist->find("max_ns")->as_number(0), double{1 << 20});
   // Quantiles are upper log2-bucket bounds: p50 covers the smaller sample,
-  // p99 the larger.
+  // p95/p99 the larger.
   EXPECT_GE(hist->find("p50_ns")->as_number(0), double{1 << 10});
+  EXPECT_GE(hist->find("p95_ns")->as_number(0), double{1 << 20});
   EXPECT_GE(hist->find("p99_ns")->as_number(0), double{1 << 20});
+  // Raw log2 bucket counts ride alongside the quantiles, trimmed at the
+  // highest non-empty bucket; their sum is the sample count.
+  const JsonValue* buckets = hist->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  EXPECT_GT(buckets->size(), 0u);
+  double bucket_sum = 0.0;
+  for (std::size_t i = 0; i < buckets->size(); ++i) {
+    bucket_sum += buckets->at(i).as_number(0);
+  }
+  EXPECT_EQ(bucket_sum, 2.0);
+  EXPECT_GT(buckets->at(buckets->size() - 1).as_number(0), 0.0);
+}
+
+// Trace-ring drop counts surface as gauges: a total that is always
+// present, plus per-thread entries only for rings that actually dropped.
+TEST_F(ObsFixture, RingDropCountsSurfaceAsGauges) {
+  set_metrics_enabled(true);
+  const JsonValue clean = registry_json();
+  ASSERT_NE(clean.find("gauges")->find("obs.ring_dropped_total"), nullptr);
+  EXPECT_EQ(
+      clean.find("gauges")->find("obs.ring_dropped_total")->as_number(-1),
+      0.0);
+
+  // Overfill one fresh ring (dedicated thread => its own ring) and the
+  // loss becomes visible without waiting for an export.
+  set_trace_path(temp_path("obs_trace_drop_gauge.json"));
+  constexpr std::uint64_t kOverfill = (1u << 16) + 99;
+  std::thread writer([] {
+    for (std::uint64_t i = 0; i < kOverfill; ++i) {
+      record_span("test.overflow", static_cast<std::int64_t>(i + 1),
+                  static_cast<std::int64_t>(i + 2));
+    }
+  });
+  writer.join();
+  const JsonValue doc = registry_json();
+  EXPECT_GE(doc.find("gauges")->find("obs.ring_dropped_total")->as_number(0),
+            99.0);
+  // At least one per-tid gauge names the dropping ring.
+  bool per_tid = false;
+  for (const std::string& name : doc.find("gauges")->keys()) {
+    if (name.rfind("obs.ring_dropped.tid", 0) == 0) per_tid = true;
+  }
+  EXPECT_TRUE(per_tid);
+  std::filesystem::remove(trace_path());
 }
 
 // The one metrics schema every consumer shares (serve stats events,

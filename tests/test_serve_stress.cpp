@@ -29,6 +29,7 @@
 
 #include "analysis/json.hpp"
 #include "core/engine.hpp"
+#include "core/obs/obs.hpp"
 #include "core/scenario.hpp"
 #include "core/spec.hpp"
 
@@ -294,6 +295,89 @@ TEST(ServeStress, FinishedSessionsAreReapedNotAccumulated) {
   control.request_stop();
   server.join();
   EXPECT_TRUE(server_ok) << server_error;
+}
+
+// Per-session accounting under the full concurrent workload: every
+// session's atomics fold into the process-wide serve.* obs counters, and
+// because dedup attribution flows through ExperimentEngine::SubmitOutcome
+// (first submit computes, every racing duplicate reports kCacheHit) the
+// totals are EXACT even with 8 sessions racing the shared cache — not
+// a stats diff that could double-count.
+TEST(ServeStress, ServeCountersAreExactUnderConcurrentSessions) {
+  obs::set_metrics_enabled(true);
+  obs::reset_metrics();
+  {
+    ExperimentEngine engine(EngineOptions::with_workers(4));
+    std::vector<std::thread> clients;
+    clients.reserve(kSessions);
+    for (int i = 0; i < kSessions; ++i) {
+      clients.emplace_back([&engine] {
+        std::istringstream in(session_input());
+        std::ostringstream out;
+        (void)serve_session(engine, in, out);
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+
+  const auto sessions = static_cast<std::uint64_t>(kSessions);
+  const std::uint64_t points = sessions * kPointsPerSession;
+  const std::uint64_t unique = unique_config_count();
+  EXPECT_EQ(obs::counter("serve.sessions").value(), sessions);
+  EXPECT_EQ(obs::counter("serve.requests").value(), sessions * 2);
+  EXPECT_EQ(obs::counter("serve.points").value(), points);
+  EXPECT_EQ(obs::counter("serve.results").value(), points);
+  EXPECT_EQ(obs::counter("serve.dedup_hits").value(), points - unique);
+  EXPECT_EQ(obs::counter("serve.store_hits").value(), 0u);  // no store
+  EXPECT_GT(obs::counter("serve.bytes_streamed").value(), 0u);
+  // Every session unwound its RAII registration.
+  EXPECT_EQ(obs::gauge("serve.active_sessions").value(), 0);
+  obs::set_metrics_enabled(false);
+  obs::reset_metrics();
+}
+
+// The sessions command: a session's own row carries its deterministic
+// counters as of the command line — requests/points/dedup are counted
+// synchronously in the reader, so after two spec lines the values are
+// pinned (results stream asynchronously and are deliberately not
+// asserted from the event).  Works with metrics OFF: per-session atomics
+// are unconditional, only the process-wide mirrors gate on the switch.
+TEST(ServeStress, SessionsCommandReportsOwnExactCounters) {
+  ExperimentEngine engine(EngineOptions::with_workers(2));
+  std::istringstream in(session_input() + "sessions\n");
+  std::ostringstream out;
+  const long requests = serve_session(engine, in, out);
+  EXPECT_EQ(requests, 3);
+
+  const analysis::JsonValue* row = nullptr;
+  analysis::JsonValue event;
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t sessions_events = 0;
+  while (std::getline(lines, line)) {
+    const auto parsed = analysis::json_parse(line);
+    ASSERT_TRUE(parsed.ok) << line;
+    const analysis::JsonValue* type = parsed.value.find("type");
+    if (type == nullptr || type->as_string() != "sessions") continue;
+    ++sessions_events;
+    event = parsed.value;
+  }
+  EXPECT_EQ(sessions_events, 1u);
+  const analysis::JsonValue* listing = event.find("sessions");
+  ASSERT_NE(listing, nullptr);
+  ASSERT_TRUE(listing->is_array());
+  ASSERT_EQ(listing->size(), 1u);  // exactly this session is live
+  row = &listing->at(0);
+  EXPECT_GE(row->find("id")->as_number(0), 1.0);
+  EXPECT_GE(row->find("age_s")->as_number(-1.0), 0.0);
+  // The sessions line itself is request 3; both spec lines were fully
+  // handled (submission counting is synchronous) before it was read.
+  EXPECT_EQ(row->find("requests")->as_number(0), 3.0);
+  EXPECT_EQ(row->find("points")->as_number(0), 3.0);
+  EXPECT_EQ(row->find("errors")->as_number(0), 0.0);
+  // campaign(n64 computed, n96 computed) then single(n64) dedups: one hit.
+  EXPECT_EQ(row->find("dedup_hits")->as_number(0), 1.0);
+  EXPECT_EQ(row->find("store_hits")->as_number(0), 0.0);
 }
 
 // A stop requested before the server even binds must not hang: the

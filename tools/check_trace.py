@@ -16,10 +16,18 @@ Checks, in order:
      thread than their ring (queue.wait opens at enqueue time on the
      submitter), so they overlap the owning worker's other spans by
      design;
-  5. every `--require NAME` span name appears at least once.
+  5. an `args` member, when present, is a JSON object of scalar values
+     (strings and numbers — the obs::SpanArgs export surface; nested
+     containers or nulls mean a hand-rolled emitter);
+  6. every `--require NAME` span name appears at least once;
+  7. every span whose name matches a `--require-args PATTERN` glob
+     carries an args object with a string "key" member — the scenario
+     canonical key the attribution pipeline (tools/trace_report.py)
+     groups by.
 
 Usage:
-  tools/check_trace.py TRACE.json [--require engine.submit] ...
+  tools/check_trace.py TRACE.json [--require engine.submit]
+                       [--require-args 'replica.*'] ...
   tools/check_trace.py --selftest
 
 Exit codes: 0 ok, 1 validation failure, 2 usage / unreadable input.
@@ -31,6 +39,7 @@ The CI gcc-release job runs this over a traced
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -48,7 +57,39 @@ def fail(path: str, message: str) -> None:
     print(f"check_trace: {path}: {message}", file=sys.stderr)
 
 
-def validate(doc: object, path: str, required: list[str]) -> bool:
+def validate_args(event: dict, where: str, name: str, path: str,
+                  require_args: list[str]) -> bool:
+    """Rule 5 + 7: args shape, and key presence on --require-args spans."""
+    args = event.get("args")
+    if args is not None:
+        if not isinstance(args, dict):
+            fail(path, f"{where} ({name}): args is not an object")
+            return False
+        for k, v in args.items():
+            # bool is an int subclass; reject it explicitly — the
+            # exporter emits only strings and numbers.
+            if isinstance(v, bool) or not isinstance(v, (str, int, float)):
+                fail(
+                    path,
+                    f"{where} ({name}): args[{k!r}] is not a scalar "
+                    f"(got {type(v).__name__})",
+                )
+                return False
+    if any(fnmatch.fnmatchcase(name, pattern) for pattern in require_args):
+        key = args.get("key") if isinstance(args, dict) else None
+        if not isinstance(key, str) or not key:
+            fail(
+                path,
+                f"{where} ({name}): matches --require-args but carries "
+                f"no string args.key (scenario attribution missing)",
+            )
+            return False
+    return True
+
+
+def validate(doc: object, path: str, required: list[str],
+             require_args: list[str] | None = None) -> bool:
+    require_args = require_args or []
     if not isinstance(doc, dict):
         fail(path, "top level is not a JSON object")
         return False
@@ -102,6 +143,8 @@ def validate(doc: object, path: str, required: list[str]) -> bool:
             return False
         last_ts = ts
         names.add(name)
+        if not validate_args(event, where, name, path, require_args):
+            return False
 
         if name in CROSS_THREAD_SPANS:
             continue
@@ -136,7 +179,8 @@ def validate(doc: object, path: str, required: list[str]) -> bool:
     return True
 
 
-def check_file(path: str, required: list[str]) -> int:
+def check_file(path: str, required: list[str],
+               require_args: list[str]) -> int:
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -146,7 +190,7 @@ def check_file(path: str, required: list[str]) -> int:
     except json.JSONDecodeError as e:
         fail(path, f"invalid JSON: {e}")
         return 1
-    return 0 if validate(doc, path, required) else 1
+    return 0 if validate(doc, path, required, require_args) else 1
 
 
 def selftest() -> int:
@@ -217,6 +261,44 @@ def selftest() -> int:
     if validate(doc([span("a", 0.0, 1.0)]), "<selftest require>", ["zzz"]):
         print("check_trace: selftest: missing required span accepted")
         ok = False
+
+    # Attributed spans: scalar args pass, containers and bools fail, and
+    # --require-args demands a string key on matching names.
+    def attributed(name, args):
+        event = span(name, 0.0, 1.0)
+        event["args"] = args
+        return event
+
+    good_args = doc(
+        [attributed("replica.fleet", {"key": "fleet\x1fgpu=a100", "seed": 3})]
+    )
+    if not validate(good_args, "<selftest args good>", [],
+                    ["replica.*", "engine.submit"]):
+        print("check_trace: selftest: scalar args rejected")
+        ok = False
+    bad_args = [
+        (attributed("a", {"key": ["nested"]}), "list-valued arg"),
+        (attributed("a", {"flag": True}), "bool-valued arg"),
+        (attributed("a", {"key": None}), "null-valued arg"),
+    ]
+    for i, (event, label) in enumerate(bad_args):
+        if validate(doc([event]), f"<selftest args bad {i}>", []):
+            print(f"check_trace: selftest: args case {i} ({label}) accepted")
+            ok = False
+    for i, (event, label) in enumerate(
+        [
+            (span("replica.fleet", 0.0, 1.0), "span without args"),
+            (attributed("replica.fleet", {"seed": 1}), "args without key"),
+            (attributed("replica.fleet", {"key": 7}), "numeric key"),
+        ]
+    ):
+        if validate(doc([event]), f"<selftest require-args {i}>", [],
+                    ["replica.*"]):
+            print(
+                f"check_trace: selftest: require-args case {i} ({label}) "
+                f"accepted"
+            )
+            ok = False
     print(f"check_trace: selftest {'OK' if ok else 'FAILED'}")
     return 0 if ok else 1
 
@@ -234,6 +316,14 @@ def main() -> int:
         help="span name that must appear (repeatable)",
     )
     parser.add_argument(
+        "--require-args",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="glob of span names that must carry a string args.key "
+        "(repeatable)",
+    )
+    parser.add_argument(
         "--selftest",
         action="store_true",
         help="validate synthetic good/bad traces and exit",
@@ -244,7 +334,7 @@ def main() -> int:
         return selftest()
     if not args.trace:
         parser.error("a trace file (or --selftest) is required")
-    return check_file(args.trace, args.require)
+    return check_file(args.trace, args.require, args.require_args)
 
 
 if __name__ == "__main__":

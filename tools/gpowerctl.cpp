@@ -35,6 +35,11 @@
 //       accept concurrent clients on a Unix socket) and stream one NDJSON
 //       result line per scenario as it completes; all clients share one
 //       engine and one result store, so identical submissions dedup
+//   gpowerctl top --socket PATH | --metrics-file FILE
+//       live operational view: poll a serve socket's stats events (or
+//       re-read a --metrics-out / GPUPOWER_METRICS document) and render
+//       engine throughput with per-poll deltas, replica-latency quantiles,
+//       the per-kind breakdown, and the live per-session rows
 //
 // With GPUPOWER_STORE_DIR set, run/serve attach the persistent result
 // store (core/store/): results survive the process and warm replays skip
@@ -50,14 +55,25 @@
 // training run batched on the ExperimentEngine: every point fans out across
 // the worker pool and repeated configurations are served from the engine
 // cache.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <iterator>
 #include <limits>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "analysis/json.hpp"
 
 #include "analysis/table.hpp"
 #include "core/config_builder.hpp"
@@ -109,6 +125,11 @@ struct Options {
   std::string socket_path;   ///< serve: Unix socket instead of stdin
   bool full_results = false; ///< serve: attach full result docs to events
   int stats_every = 0;       ///< serve: stats event every N results (0 = off)
+  // top command knobs (--socket doubles as the poll target)
+  std::string metrics_file;  ///< top: re-read a metrics JSON document
+  int top_interval_ms = 1000;///< top: poll interval
+  int top_count = 0;         ///< top: number of polls; 0 = until ctrl-c
+  bool plain = false;        ///< top: no ANSI clear, append frames instead
   // observability (flags win over GPUPOWER_TRACE / GPUPOWER_METRICS)
   std::string trace_out;     ///< Chrome-trace JSON output path
   std::string metrics_out;   ///< metrics_json() output path (run commands)
@@ -121,15 +142,29 @@ constexpr gpusim::GpuModel kGpuByIndex[] = {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <discovery|dmon|sweep|features|predict|dvfs|fleet"
-               "|run|validate|serve> [options]\n"
+               "|run|validate|serve|top> [options]\n"
                "  run <spec.json>      execute a scenario / campaign spec\n"
                "  validate <spec.json> parse + expand a spec without running\n"
                "  serve                long-lived mode: newline-delimited "
                "spec JSON on stdin,\n"
                "                       NDJSON result events streamed as "
                "scenarios complete\n"
+               "  top                  live view of a running serve socket "
+               "(--socket PATH)\n"
+               "                       or a metrics document "
+               "(--metrics-file FILE)\n"
                "  --socket PATH    serve: accept concurrent clients on a "
                "Unix socket\n"
+               "                   top: poll this serve socket's stats "
+               "events\n"
+               "  --metrics-file F top: re-read a --metrics-out / "
+               "GPUPOWER_METRICS document\n"
+               "  --interval MS    top: poll interval in milliseconds "
+               "(default 1000)\n"
+               "  --count N        top: stop after N polls (default 0 = "
+               "until ctrl-c)\n"
+               "  --plain          top: append frames instead of clearing "
+               "the terminal\n"
                "  --full           serve: attach full result documents to "
                "result events\n"
                "  --stats-every N  serve: emit a stats event after every N "
@@ -347,6 +382,37 @@ bool parse_args(int argc, char** argv, Options& opts, std::string& error) {
       opts.socket_path = v;
     } else if (flag == "--full") {
       opts.full_results = true;
+    } else if (flag == "--metrics-file") {
+      const char* v = next();
+      if (!v) {
+        error = "--metrics-file needs a path";
+        return false;
+      }
+      opts.metrics_file = v;
+    } else if (flag == "--interval") {
+      const char* v = next();
+      if (!v) {
+        error = "--interval needs milliseconds";
+        return false;
+      }
+      opts.top_interval_ms = static_cast<int>(std::strtol(v, nullptr, 10));
+      if (opts.top_interval_ms < 1) {
+        error = "--interval needs a positive millisecond count";
+        return false;
+      }
+    } else if (flag == "--count") {
+      const char* v = next();
+      if (!v) {
+        error = "--count needs a poll count";
+        return false;
+      }
+      opts.top_count = static_cast<int>(std::strtol(v, nullptr, 10));
+      if (opts.top_count < 0) {
+        error = "--count needs a count >= 0";
+        return false;
+      }
+    } else if (flag == "--plain") {
+      opts.plain = true;
     } else if (flag == "--stats-every") {
       const char* v = next();
       if (!v) {
@@ -884,6 +950,317 @@ int cmd_serve(const Options& opts) {
   return 0;
 }
 
+// --- gpowerctl top: live operational view ----------------------------------
+
+/// One polled snapshot: the metrics_json() document plus — in socket mode
+/// — the live per-session rows embedded in the serve stats event.
+struct TopSample {
+  analysis::JsonValue metrics;
+  analysis::JsonValue sessions = analysis::JsonValue::array();
+  bool have_sessions = false;
+};
+
+/// Nested lookup that tolerates absent keys and non-objects: the metrics
+/// schema is stable, but `top` must render a partial document (e.g. a
+/// metrics file written mid-run by an older binary) instead of aborting.
+const analysis::JsonValue* json_member(const analysis::JsonValue* value,
+                                       std::string_view key) {
+  return value != nullptr ? value->find(key) : nullptr;
+}
+
+double json_number(const analysis::JsonValue* value, double fallback = 0.0) {
+  return value != nullptr ? value->as_number(fallback) : fallback;
+}
+
+/// Minimal NDJSON client for a `gpowerctl serve --socket` endpoint: one
+/// connection for the whole top session (so the serve side keeps ONE
+/// session row for the viewer instead of one per poll), a stats request
+/// per poll, and a line-buffered reader that skips any interleaved events
+/// until the stats event arrives.
+class ServeStatsClient {
+ public:
+  ServeStatsClient() = default;
+  ServeStatsClient(const ServeStatsClient&) = delete;
+  ServeStatsClient& operator=(const ServeStatsClient&) = delete;
+  ~ServeStatsClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connect_to(const std::string& path, std::string& error) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+      error = "socket path too long: " + path;
+      return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      error = path + ": " + std::strerror(errno);
+      return false;
+    }
+    return true;
+  }
+
+  bool poll(TopSample& sample, std::string& error) {
+    static constexpr char kRequest[] = "{\"cmd\":\"stats\"}\n";
+    const char* data = kRequest;
+    std::size_t remaining = sizeof kRequest - 1;
+    while (remaining > 0) {
+      const ssize_t n = ::write(fd_, data, remaining);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        error = std::string("write: ") + std::strerror(errno);
+        return false;
+      }
+      data += n;
+      remaining -= static_cast<std::size_t>(n);
+    }
+    // Any event may interleave ahead of our stats reply (periodic
+    // --stats-every emissions are themselves stats events and count).
+    for (;;) {
+      std::string line;
+      if (!read_line(line, error)) return false;
+      if (line.empty()) continue;
+      const analysis::JsonParseResult parsed = analysis::json_parse(line);
+      if (!parsed.ok || !parsed.value.is_object()) continue;
+      const analysis::JsonValue* type = parsed.value.find("type");
+      if (type == nullptr || !type->is_string() ||
+          type->as_string() != "stats") {
+        continue;
+      }
+      if (const analysis::JsonValue* metrics = parsed.value.find("metrics")) {
+        sample.metrics = *metrics;
+      }
+      if (const analysis::JsonValue* sessions = parsed.value.find("sessions");
+          sessions != nullptr && sessions->is_array()) {
+        sample.sessions = *sessions;
+        sample.have_sessions = true;
+      }
+      return true;
+    }
+  }
+
+ private:
+  bool read_line(std::string& line, std::string& error) {
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line.assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        error = std::string("read: ") + std::strerror(errno);
+        return false;
+      }
+      if (n == 0) {
+        error = "server closed the connection";
+        return false;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+bool read_metrics_file(const std::string& path, TopSample& sample,
+                       std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  analysis::JsonParseResult parsed = analysis::json_parse(text);
+  if (!parsed.ok) {
+    error = path + ": " + parsed.error;
+    return false;
+  }
+  sample.metrics = std::move(parsed.value);
+  return true;
+}
+
+/// Renders one frame.  `previous` is last poll's metrics document (nullptr
+/// on the first frame) — counter deltas and rates are computed against it,
+/// with elapsed time measured here (obs::now_ns) rather than trusting the
+/// producer's clock.
+void render_top(const Options& opts, const TopSample& sample,
+                const analysis::JsonValue* previous, double dt_s, long poll,
+                const std::string& source) {
+  if (!opts.plain) {
+    std::printf("\x1b[2J\x1b[H");
+  } else if (poll > 1) {
+    std::printf("\n");
+  }
+  const analysis::JsonValue* engine = json_member(&sample.metrics, "engine");
+  const analysis::JsonValue* prev_engine = json_member(previous, "engine");
+  const analysis::JsonValue* obs = json_member(&sample.metrics, "obs");
+  std::printf("gpowerctl top — %s   poll %ld, every %d ms\n", source.c_str(),
+              poll, opts.top_interval_ms);
+  std::printf("workers %.0f   queue depth %.0f\n\n",
+              json_number(json_member(engine, "workers")),
+              json_number(json_member(
+                  json_member(obs, "gauges"), "engine.queue_depth")));
+
+  // Engine counters with per-poll deltas.  The first frame has no
+  // baseline: deltas and rates render as 0 rather than as the totals.
+  static constexpr const char* kCounters[] = {
+      "submitted",    "cache_hits", "jobs_computed",
+      "replicas_run", "store_hits", "store_writes"};
+  analysis::Table counters({"counter", "total", "delta", "per s"});
+  for (const char* key : kCounters) {
+    const double now = json_number(json_member(engine, key));
+    const double before =
+        prev_engine != nullptr ? json_number(json_member(prev_engine, key), now)
+                               : now;
+    const double delta = now - before;
+    counters.add_row(key, {now, delta, dt_s > 0.0 ? delta / dt_s : 0.0}, 1);
+  }
+  counters.print(std::cout);
+
+  std::printf(
+      "\ntime (s): compute %.3f   queue wait %.3f   reduce %.3f   "
+      "store r/w %.3f/%.3f\n",
+      json_number(json_member(engine, "compute_seconds")),
+      json_number(json_member(engine, "queue_wait_seconds")),
+      json_number(json_member(engine, "reduce_seconds")),
+      json_number(json_member(engine, "store_read_seconds")),
+      json_number(json_member(engine, "store_write_seconds")));
+
+  if (const analysis::JsonValue* latency = json_member(
+          json_member(obs, "histograms"), "engine.replica_latency_ns")) {
+    std::printf(
+        "replica latency: p50 %.1f us   p95 %.1f us   p99 %.1f us   "
+        "max %.1f us   (%.0f sample(s))\n",
+        json_number(json_member(latency, "p50_ns")) * 1e-3,
+        json_number(json_member(latency, "p95_ns")) * 1e-3,
+        json_number(json_member(latency, "p99_ns")) * 1e-3,
+        json_number(json_member(latency, "max_ns")) * 1e-3,
+        json_number(json_member(latency, "count")));
+  }
+  const double dropped = json_number(
+      json_member(json_member(obs, "gauges"), "obs.ring_dropped_total"));
+  if (dropped > 0.0) {
+    std::printf("WARNING: %.0f trace event(s) dropped (ring full)\n", dropped);
+  }
+
+  // Per-kind breakdown, kinds that have seen traffic only.
+  if (const analysis::JsonValue* by_kind = json_member(engine, "by_kind")) {
+    analysis::Table kinds({"kind", "submitted", "computed", "replicas",
+                           "cache hits", "store hits", "compute (s)"});
+    bool any = false;
+    for (const std::string& kind : by_kind->keys()) {
+      const analysis::JsonValue* k = by_kind->find(kind);
+      if (json_number(json_member(k, "submitted")) == 0.0) continue;
+      any = true;
+      kinds.add_row(kind,
+                    {json_number(json_member(k, "submitted")),
+                     json_number(json_member(k, "jobs_computed")),
+                     json_number(json_member(k, "replicas_run")),
+                     json_number(json_member(k, "cache_hits")),
+                     json_number(json_member(k, "store_hits")),
+                     json_number(json_member(k, "compute_seconds"))},
+                    2);
+    }
+    if (any) {
+      std::printf("\n");
+      kinds.print(std::cout);
+    }
+  }
+
+  // Serve totals (process-wide obs counters) + the live session rows.
+  if (const analysis::JsonValue* counters_block =
+          json_member(obs, "counters");
+      json_member(counters_block, "serve.requests") != nullptr) {
+    std::printf(
+        "\nserve: %.0f session(s) live, %.0f total   requests %.0f   "
+        "results %.0f   dedup %.0f   store hits %.0f   streamed %.1f KiB\n",
+        json_number(json_member(json_member(obs, "gauges"),
+                                "serve.active_sessions")),
+        json_number(json_member(counters_block, "serve.sessions")),
+        json_number(json_member(counters_block, "serve.requests")),
+        json_number(json_member(counters_block, "serve.results")),
+        json_number(json_member(counters_block, "serve.dedup_hits")),
+        json_number(json_member(counters_block, "serve.store_hits")),
+        json_number(json_member(counters_block, "serve.bytes_streamed")) /
+            1024.0);
+  }
+  if (sample.have_sessions && sample.sessions.size() > 0) {
+    analysis::Table sessions({"session", "age (s)", "requests", "points",
+                              "results", "errors", "dedup", "store",
+                              "KiB out"});
+    for (std::size_t i = 0; i < sample.sessions.size(); ++i) {
+      const analysis::JsonValue& s = sample.sessions.at(i);
+      sessions.add_row(
+          "#" + std::to_string(
+                    static_cast<long long>(json_number(s.find("id")))),
+          {json_number(s.find("age_s")), json_number(s.find("requests")),
+           json_number(s.find("points")), json_number(s.find("results")),
+           json_number(s.find("errors")), json_number(s.find("dedup_hits")),
+           json_number(s.find("store_hits")),
+           json_number(s.find("bytes_streamed")) / 1024.0},
+          1);
+    }
+    std::printf("\n");
+    sessions.print(std::cout);
+  }
+  std::fflush(stdout);
+}
+
+/// Live terminal view: polls a serve socket's stats events (one persistent
+/// connection, so the viewer is a single session server-side) or re-reads
+/// a metrics JSON document, and renders deltas between polls.
+int cmd_top(const Options& opts) {
+  const bool socket_mode = !opts.socket_path.empty();
+  if (socket_mode == !opts.metrics_file.empty()) {
+    return spec_error(
+        "top needs exactly one of --socket PATH or --metrics-file FILE");
+  }
+  std::string error;
+  ServeStatsClient client;
+  if (socket_mode && !client.connect_to(opts.socket_path, error)) {
+    return spec_error("cannot connect: " + error);
+  }
+  const std::string source = socket_mode
+                                 ? "serve " + opts.socket_path
+                                 : "metrics file " + opts.metrics_file;
+  analysis::JsonValue previous;
+  bool have_previous = false;
+  std::int64_t previous_ns = 0;
+  for (long poll = 1; opts.top_count == 0 || poll <= opts.top_count; ++poll) {
+    if (poll > 1) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts.top_interval_ms));
+    }
+    TopSample sample;
+    const bool ok = socket_mode ? client.poll(sample, error)
+                                : read_metrics_file(opts.metrics_file, sample,
+                                                    error);
+    if (!ok) return spec_error(error);
+    const std::int64_t now_ns = core::obs::now_ns();
+    const double dt_s =
+        have_previous ? static_cast<double>(now_ns - previous_ns) * 1e-9 : 0.0;
+    render_top(opts, sample, have_previous ? &previous : nullptr, dt_s, poll,
+               source);
+    previous = std::move(sample.metrics);
+    have_previous = true;
+    previous_ns = now_ns;
+  }
+  return 0;
+}
+
 int cmd_dvfs(const Options& opts) {
   core::PatternSpec spec;
   if (!parse_pattern_or_die(opts, spec)) return 1;
@@ -1141,6 +1518,7 @@ int main(int argc, char** argv) {
   if (opts.command == "run") return cmd_run(opts);
   if (opts.command == "validate") return cmd_validate(opts);
   if (opts.command == "serve") return cmd_serve(opts);
+  if (opts.command == "top") return cmd_top(opts);
   std::fprintf(stderr, "error: unknown command '%s'\n", opts.command.c_str());
   return usage(argv[0]);
 }

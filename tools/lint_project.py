@@ -34,6 +34,14 @@ a documented contract of this codebase:
                    fork the time base: spans, metrics and bench timings
                    must agree about "now".  Time through core::obs
                    (now_ns / Span / StopWatch) only.
+  span-name        Trace span names follow the domain.verb convention
+                   (lowercase dotted segments, e.g. "engine.submit",
+                   "replica.fleet").  trace_report.py groupings, the
+                   check_trace --require/--require-args globs and the
+                   README's span table all key on these names; a
+                   camelCase or undotted one silently falls out of every
+                   analysis.  Checked at Span/record_span/obs_end call
+                   sites and k*SpanName literal arrays.
   cmake-complete   Every src/**/*.cpp must be listed in CMakeLists.txt;
                    an unregistered TU "builds" green while dead.
 
@@ -68,10 +76,21 @@ EXEMPT = {
     "one-clock": {"src/core/obs/obs.cpp"},
 }
 
+# span-name: "domain.verb" — at least two lowercase dotted segments.
+SPAN_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+# Call sites that take a span name as their first argument.  \bSpan\b
+# deliberately excludes SpanArgs.
+SPAN_SITE_RE = re.compile(
+    r"\bSpan\b\s*(\w+\s*)?\(|\brecord_span\s*\(|\bobs_end\s*\("
+)
+STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 
-def strip_comments(text: str) -> str:
-    """Blank out // and /* */ comments and string literals, preserving
-    line structure so reported line numbers stay exact."""
+
+def strip_comments(text: str, keep_strings: bool = False) -> str:
+    """Blank out // and /* */ comments and (unless keep_strings) string
+    literals, preserving line structure so reported line numbers stay
+    exact.  keep_strings=True is for rules that inspect literal contents
+    (span-name) without tripping over strings quoted in comments."""
     out = []
     i, n = 0, len(text)
     state = "code"  # code | line | block | str | chr
@@ -101,12 +120,12 @@ def strip_comments(text: str) -> str:
                     i += len(seg)
                     continue
                 state = "str"
-                out.append(" ")
+                out.append('"' if keep_strings else " ")
                 i += 1
                 continue
             if c == "'":
                 state = "chr"
-                out.append(" ")
+                out.append("'" if keep_strings else " ")
                 i += 1
                 continue
             out.append(c)
@@ -126,12 +145,15 @@ def strip_comments(text: str) -> str:
         elif state in ("str", "chr"):
             quote = '"' if state == "str" else "'"
             if c == "\\":
-                out.append("  ")
+                out.append(text[i : i + 2] if keep_strings else "  ")
                 i += 2
                 continue
             if c == quote:
                 state = "code"
-            out.append(" " if c != "\n" else "\n")
+            if keep_strings:
+                out.append(c)
+            else:
+                out.append(" " if c != "\n" else "\n")
         i += 1
     return "".join(out)
 
@@ -217,6 +239,40 @@ def lint_file(path: pathlib.Path, root: pathlib.Path) -> list[Finding]:
             add("one-clock", lineno,
                 "raw steady_clock outside core/obs — use core::obs::now_ns"
                 "/Span/StopWatch so all timings share one clock")
+
+    # span-name: span names at Span/record_span/obs_end call sites and in
+    # k*SpanName literal arrays follow domain.verb.  Sites are detected in
+    # the string-blanked code; names are extracted from a comment-stripped
+    # view that keeps literals, so strings quoted in doc comments don't
+    # false-positive.  Sites whose name is not a literal on the site line
+    # or the next (e.g. a kReplicaSpanName[i] lookup) are covered at the
+    # array definition instead.
+    code_with_strings = strip_comments(raw, keep_strings=True)
+    cws_lines = code_with_strings.splitlines()
+
+    def literal_window(lineno: int, span: int = 2) -> str:
+        return " ".join(cws_lines[lineno - 1 : lineno - 1 + span])
+
+    for lineno, _ in grep(code, SPAN_SITE_RE.pattern):
+        m = STRING_LITERAL_RE.search(literal_window(lineno))
+        if m and not SPAN_NAME_RE.match(m.group(1)):
+            add("span-name", lineno,
+                f'span name "{m.group(1)}" is not domain.verb — '
+                "trace_report/check_trace groupings key on lowercase "
+                "dotted names")
+    for lineno, _ in grep(code, r"\bk\w*SpanName\s*\["):
+        for offset in range(4):
+            window = cws_lines[lineno - 1 + offset : lineno + offset]
+            if not window:
+                break
+            for m in STRING_LITERAL_RE.finditer(window[0]):
+                if not SPAN_NAME_RE.match(m.group(1)):
+                    add("span-name", lineno + offset,
+                        f'span name "{m.group(1)}" is not domain.verb — '
+                        "trace_report/check_trace groupings key on "
+                        "lowercase dotted names")
+            if "}" in window[0]:
+                break
 
     # artifact-write: bench/tools/examples write artifacts only through
     # atomic_write_text.  (Tests may write deliberately corrupt fixtures.)
