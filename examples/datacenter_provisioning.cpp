@@ -9,6 +9,13 @@
 // per 1000-GPU cluster.
 //
 //   ./build/examples/datacenter_provisioning
+//
+// The same study is committed as a campaign-DAG spec at
+// examples/specs/datacenter_provisioning_dag.json: a `calibrate` node
+// (the a100/typical baseline, deduplicated with the grid through the
+// canonical-key cache), the full gpu x profile `grid`, and a `regret`
+// reduce node — `gpowerctl run` on that spec reproduces this driver's
+// numbers bit-identically.
 #include <cstdio>
 #include <iostream>
 

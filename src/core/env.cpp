@@ -85,6 +85,9 @@ StoreEnv read_store_env() {
     die("GPUPOWER_STORE", raw, "GPUPOWER_STORE_DIR to also be set");
   }
   env.enabled = on && !env.dir.empty();
+  env.max_bytes = static_cast<std::size_t>(
+      read_long("GPUPOWER_STORE_MAX_BYTES", 0, 0, 1ll << 62,
+                "integer byte budget >= 0; 0 = unlimited"));
   return env;
 }
 

@@ -8,10 +8,14 @@
 //   GPUPOWER_WORKERS  engine worker threads, 0 = hardware (default 0)
 //   GPUPOWER_CSV      when set, benches also print CSV blocks
 //
-// The persistent result store (core/store/) has its own pair, shared by
+// The persistent result store (core/store/) has its own knobs, shared by
 // gpowerctl's run and serve verbs:
-//   GPUPOWER_STORE_DIR  store directory; unset = store off
-//   GPUPOWER_STORE      'on' | 'off' override (default on when a dir is set)
+//   GPUPOWER_STORE_DIR        store directory; unset = store off
+//   GPUPOWER_STORE            'on' | 'off' override (default on when a dir
+//                             is set)
+//   GPUPOWER_STORE_MAX_BYTES  LRU size cap: opening a store sweeps
+//                             oldest-mtime entries until the directory
+//                             fits (0 / unset = unlimited)
 //
 // The observability layer (core/obs/) reads:
 //   GPUPOWER_TRACE    Chrome-trace output path; setting it turns tracing
@@ -57,6 +61,9 @@ struct BenchEnv {
 struct StoreEnv {
   std::string dir;       ///< GPUPOWER_STORE_DIR; empty = no store
   bool enabled = false;  ///< dir set and not overridden by GPUPOWER_STORE=off
+  /// GPUPOWER_STORE_MAX_BYTES: entry-size budget enforced by LRU eviction
+  /// when a store opens; 0 = unlimited.
+  std::size_t max_bytes = 0;
 };
 
 /// Reads GPUPOWER_STORE_DIR / GPUPOWER_STORE with the same strictness as

@@ -4,12 +4,14 @@
 #include <cstdio>
 #include <fstream>
 #include <initializer_list>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/config_builder.hpp"
+#include "core/dag/dag.hpp"
 #include "core/engine.hpp"
 #include "core/figures.hpp"
 #include "core/obs/obs.hpp"
@@ -791,7 +793,7 @@ bool parse_single(const JsonValue& doc, Ctx& ctx, ScenarioConfig& out) {
   const JsonValue* scenario = doc.find("scenario");
   if (scenario == nullptr) {
     return ctx.fail("scenario",
-                    "required (static | dvfs | fleet | campaign)");
+                    "required (static | dvfs | fleet | campaign | dag)");
   }
   std::string kind_name;
   if (!read_string(*scenario, "scenario", ctx, kind_name)) return false;
@@ -799,11 +801,15 @@ bool parse_single(const JsonValue& doc, Ctx& ctx, ScenarioConfig& out) {
     return ctx.fail("scenario",
                     "a campaign cannot nest inside another campaign's base");
   }
+  if (kind_name == "dag") {
+    return ctx.fail("scenario",
+                    "a dag cannot nest inside another spec's base");
+  }
   ScenarioKind kind;
   if (!parse_scenario_kind(kind_name, kind)) {
     return ctx.fail("scenario", "unknown scenario kind '" + kind_name +
                                     "' (expected static | dvfs | fleet | "
-                                    "campaign)");
+                                    "campaign | dag)");
   }
   switch (kind) {
     case ScenarioKind::kStatic:
@@ -1093,6 +1099,16 @@ SpecParseResult parse_scenario_spec(const JsonValue& doc) {
   bool ok = false;
   if (kind_name == "campaign") {
     ok = parse_campaign(doc, ctx, result.spec);
+  } else if (kind_name == "dag") {
+    auto parsed = std::make_shared<dag::DagSpec>();
+    std::string dag_error;
+    ok = dag::parse_dag(doc, *parsed, dag_error);
+    if (ok) {
+      result.spec.name = parsed->name;
+      result.spec.dag = std::move(parsed);
+    } else {
+      ctx.fail("", dag_error);
+    }
   } else {
     ok = parse_single(doc, ctx, result.spec.config);
   }
@@ -1227,6 +1243,13 @@ bool expand_campaign(const ScenarioSpec& spec, std::vector<CampaignPoint>& out,
                   .arg("points", static_cast<std::int64_t>(out.size())));
   }
   return true;
+}
+
+bool detail::set_spec_path(const analysis::JsonValue& in,
+                           std::string_view path,
+                           const analysis::JsonValue& leaf,
+                           analysis::JsonValue& out, std::string& error) {
+  return set_path(in, path, leaf, out, error);
 }
 
 bool submit_campaign(ExperimentEngine& engine, const ScenarioSpec& spec,

@@ -41,8 +41,14 @@
 // Axis `field` is a dotted path into the base document; each grid point
 // patches the fields, re-parses, and submits.  A "figure" axis expands to
 // the named paper figure's sweep points (pattern DSL values + labels).
+//
+// A fourth form, `"scenario": "dag"`, chains dependent scenarios and
+// campaigns into one study graph with `$ref` result substitutions — see
+// core/dag/dag.hpp for the node grammar.  parse_scenario_spec fills
+// ScenarioSpec::dag for that form.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -53,6 +59,10 @@
 #include "core/scenario.hpp"
 
 namespace gpupower::core {
+
+namespace dag {
+struct DagSpec;
+}  // namespace dag
 
 /// One campaign axis value: the JSON payload patched into the base
 /// document plus its display label (campaign point labels join axis labels
@@ -67,15 +77,17 @@ struct CampaignAxis {
   std::vector<CampaignAxisValue> values;
 };
 
-/// A parsed spec: either one scenario (config) or a campaign grid
-/// (base document + axes, expanded by expand_campaign).
+/// A parsed spec: one scenario (config), a campaign grid (base document +
+/// axes, expanded by expand_campaign), or a dag study (dag != nullptr,
+/// executed by dag::run_dag).
 struct ScenarioSpec {
   bool campaign = false;
-  std::string name;      ///< campaign name (bench documents); may be empty
+  std::string name;      ///< campaign/dag name (bench documents); may be empty
   std::string protocol;  ///< campaign protocol string for bench documents
   ScenarioConfig config;
   analysis::JsonValue base;
   std::vector<CampaignAxis> axes;
+  std::shared_ptr<const dag::DagSpec> dag;  ///< set for the "dag" form
 };
 
 struct SpecParseResult {
@@ -137,5 +149,16 @@ struct CampaignRun {
 [[nodiscard]] bool submit_campaign(ExperimentEngine& engine,
                                    const ScenarioSpec& spec, CampaignRun& out,
                                    std::string& error);
+
+namespace detail {
+/// The dotted-path document patch campaign axes expand with, shared with
+/// dag `$ref` substitutions: rebuilds `in` with `path` set to `leaf`
+/// (missing intermediate objects are created; an existing non-object on
+/// the path fails with `error` naming the segment).
+[[nodiscard]] bool set_spec_path(const analysis::JsonValue& in,
+                                 std::string_view path,
+                                 const analysis::JsonValue& leaf,
+                                 analysis::JsonValue& out, std::string& error);
+}  // namespace detail
 
 }  // namespace gpupower::core

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -11,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "analysis/json.hpp"
 #include "core/obs/obs.hpp"
@@ -111,7 +113,59 @@ ResultStore::ResultStore(StoreOptions options) : options_(std::move(options)) {
   // Opening a store adopts its directory, orphans and all: sweep temp
   // files from writers that died mid-save so the litter cannot accumulate
   // across crashed runs.  Age-gated, so concurrent writers are safe.
-  if (enabled()) (void)compact();
+  if (enabled()) {
+    (void)compact();
+    if (options_.max_bytes > 0) (void)evict(options_.max_bytes);
+  }
+}
+
+std::size_t ResultStore::evict(std::size_t max_bytes) const {
+  if (!enabled()) return 0;
+  obs::Span span("store.evict");
+  std::error_code ec;
+  fs::directory_iterator it(options_.dir, ec);
+  if (ec) return 0;  // no directory yet — nothing to evict
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uintmax_t size = 0;
+  };
+  std::vector<Entry> entries;
+  std::uintmax_t total = 0;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    // Only our entry files count against the budget; writer temp litter
+    // belongs to compact(), and foreign files are not ours to delete.
+    const std::string file_name = entry.path().filename().string();
+    if (file_name.size() <= 5 ||
+        file_name.compare(file_name.size() - 5, 5, ".json") != 0) {
+      continue;
+    }
+    Entry candidate;
+    candidate.path = entry.path();
+    candidate.mtime = entry.last_write_time(ec);
+    if (ec) continue;
+    candidate.size = entry.file_size(ec);
+    if (ec) continue;
+    total += candidate.size;
+    entries.push_back(std::move(candidate));
+  }
+  if (total <= max_bytes) return 0;
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path.filename().string() < b.path.filename().string();
+  });
+  std::size_t removed = 0;
+  for (const Entry& entry : entries) {
+    if (total <= max_bytes) break;
+    if (fs::remove(entry.path, ec) && !ec) {
+      total -= entry.size;
+      ++removed;
+    }
+  }
+  static obs::Counter& evictions = obs::counter("store.evictions");
+  evictions.add(removed);
+  return removed;
 }
 
 std::size_t ResultStore::compact(std::chrono::seconds min_age) const {

@@ -41,6 +41,9 @@ namespace gpupower::core {
 struct StoreOptions {
   /// Store directory (created on first save).  Empty disables the store.
   std::string dir;
+  /// Entry-size budget in bytes, enforced by oldest-mtime-first eviction
+  /// when the store opens (see evict()); 0 = unlimited.
+  std::size_t max_bytes = 0;
 };
 
 class ResultStore {
@@ -76,6 +79,16 @@ class ResultStore {
   /// automatically when a store opens on an existing directory.
   std::size_t compact(
       std::chrono::seconds min_age = std::chrono::minutes(10)) const;
+
+  /// LRU size cap: while the store's entry files total more than
+  /// `max_bytes`, removes oldest-mtime entries (filename breaks ties, so
+  /// the sweep order is deterministic).  An evicted entry is only a
+  /// future store miss — the engine recomputes and rewrites it.  Returns
+  /// the number of entries removed; never throws.  Runs automatically on
+  /// open when StoreOptions::max_bytes is set
+  /// (GPUPOWER_STORE_MAX_BYTES), under a `store.evict` span with the
+  /// removals in the `store.evictions` counter.
+  std::size_t evict(std::size_t max_bytes) const;
 
  private:
   StoreOptions options_;

@@ -21,6 +21,7 @@
 
 #include "analysis/json.hpp"
 #include "core/annotations.hpp"
+#include "core/dag/dag.hpp"
 #include "core/obs/obs.hpp"
 #include "core/spec.hpp"
 
@@ -145,6 +146,18 @@ std::string accepted_event(long req, ScenarioKind kind, std::size_t points) {
   return doc.dump();
 }
 
+/// Accepted event for a dag request: "points" counts nodes (the number of
+/// node events the client will see before done), since per-node point
+/// counts are not all known up front (search nodes evaluate adaptively).
+std::string dag_accepted_event(long req, std::size_t nodes) {
+  JsonValue doc = JsonValue::object();
+  doc.set("type", JsonValue::string("accepted"))
+      .set("req", JsonValue::integer(req))
+      .set("scenario", JsonValue::string("dag"))
+      .set("points", JsonValue::integer(static_cast<long long>(nodes)));
+  return doc.dump();
+}
+
 std::string done_event(long req, std::size_t points) {
   JsonValue doc = JsonValue::object();
   doc.set("type", JsonValue::string("done"))
@@ -194,6 +207,39 @@ std::string result_event(const PendingPoint& point,
   return doc.dump();
 }
 
+/// One dag node's event, emitted as the node finalises: the node name /
+/// kind, every executed point with its summary metrics (full display
+/// documents with ServeOptions::full_results), and the reduce/search
+/// result document.
+std::string dag_node_event(long req, const dag::DagNodeRun& node,
+                           const ServeOptions& options) {
+  JsonValue doc = JsonValue::object();
+  doc.set("type", JsonValue::string("node"))
+      .set("req", JsonValue::integer(req))
+      .set("node", JsonValue::string(node.name))
+      .set("kind", JsonValue::string(dag::name(node.kind)));
+  JsonValue points = JsonValue::array();
+  for (const dag::DagNodePoint& point : node.points) {
+    JsonValue entry = JsonValue::object();
+    entry.set("label", JsonValue::string(point.label));
+    JsonValue metrics = JsonValue::object();
+    for (const auto& [metric, value] : scenario_summary_metrics(point.result)) {
+      metrics.set(metric, JsonValue::number(value));
+    }
+    entry.set("metrics", std::move(metrics));
+    if (options.full_results) {
+      entry.set("result", scenario_to_json(point.config, point.result));
+    }
+    points.push(std::move(entry));
+  }
+  doc.set("points", std::move(points));
+  if (node.kind == dag::DagNodeKind::kReduce ||
+      node.kind == dag::DagNodeKind::kSearch) {
+    doc.set("result", node.doc);
+  }
+  return doc.dump();
+}
+
 std::string trimmed(const std::string& line) {
   std::size_t begin = 0;
   std::size_t end = line.size();
@@ -225,16 +271,94 @@ void count_outcome(SessionMetrics& metrics,
   }
 }
 
+/// A dag request in flight on its own helper thread: run_dag blocks on
+/// upstream results while resolving `$ref`s, and the reader must stay
+/// responsive to further request lines.  The reader reaps finished
+/// workers between requests (bounded growth on a long-lived session) and
+/// joins the rest before declaring itself done — detaching is banned
+/// project wide.
+struct DagWorker {
+  std::thread thread;
+  std::shared_ptr<std::atomic<bool>> finished;
+};
+
+void reap_dag_workers(std::vector<DagWorker>& workers, bool join_all) {
+  for (auto it = workers.begin(); it != workers.end();) {
+    if (join_all || it->finished->load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = workers.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+/// Launches a dag request: accepted event now, one node event per node as
+/// it finalises (deterministic order), done (or error) when the graph
+/// completes.  Engine submissions inside run_dag dedup through the shared
+/// cache/store exactly like direct submits from other sessions.
+void handle_dag_request(ExperimentEngine& engine, SessionState& session,
+                        SessionMetrics& metrics, const ServeOptions& options,
+                        long req,
+                        const std::shared_ptr<const dag::DagSpec>& spec,
+                        std::vector<DagWorker>& workers) {
+  {
+    MutexLock lock(session.mutex);
+    session.events.push_back(dag_accepted_event(req, spec->nodes.size()));
+  }
+  DagWorker worker;
+  worker.finished = std::make_shared<std::atomic<bool>>(false);
+  const auto finished = worker.finished;
+  worker.thread = std::thread([&engine, &session, &metrics, options, req, spec,
+                               finished] {
+    const auto on_node = [&](const dag::DagNodeRun& node) {
+      metrics.points.fetch_add(node.points.size(), std::memory_order_relaxed);
+      obs::counter("serve.points").add(node.points.size());
+      for (const dag::DagNodePoint& point : node.points) {
+        count_outcome(metrics, point.outcome);
+      }
+      metrics.results.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("serve.results").add();
+      MutexLock lock(session.mutex);
+      session.events.push_back(dag_node_event(req, node, options));
+    };
+    dag::DagRun run;
+    std::string error;
+    bool ok = false;
+    try {
+      ok = dag::run_dag(engine, *spec, run, error, on_node);
+    } catch (const std::exception& e) {
+      error = e.what();  // engine worker exceptions rethrown by handles
+    }
+    if (ok) {
+      MutexLock lock(session.mutex);
+      session.events.push_back(done_event(req, spec->nodes.size()));
+    } else {
+      metrics.errors.fetch_add(1, std::memory_order_relaxed);
+      MutexLock lock(session.mutex);
+      session.events.push_back(error_event(req, error));
+    }
+    finished->store(true, std::memory_order_release);
+  });
+  workers.push_back(std::move(worker));
+}
+
 /// Parses and submits one request line; records pending points and the
 /// accepted (or error) event under the session lock.
 void handle_request(ExperimentEngine& engine, SessionState& session,
-                    SessionMetrics& metrics, long req,
-                    const std::string& line) {
+                    SessionMetrics& metrics, const ServeOptions& options,
+                    long req, const std::string& line,
+                    std::vector<DagWorker>& dag_workers) {
   const SpecParseResult parsed = parse_scenario_spec_text(line);
   if (!parsed.ok) {
     metrics.errors.fetch_add(1, std::memory_order_relaxed);
     MutexLock lock(session.mutex);
     session.events.push_back(error_event(req, parsed.error));
+    return;
+  }
+  if (parsed.spec.dag != nullptr) {
+    handle_dag_request(engine, session, metrics, options, req, parsed.spec.dag,
+                       dag_workers);
     return;
   }
 
@@ -352,10 +476,12 @@ long serve_session(ExperimentEngine& engine, std::istream& in,
   // The reader thread turns stdin/socket lines into submissions without
   // blocking the event stream: a client can pipeline many requests and
   // results of the first interleave with parsing of the rest.
-  std::thread reader([&engine, &session, &metrics, &in] {
+  std::thread reader([&engine, &session, &metrics, &in, &options] {
+    std::vector<DagWorker> dag_workers;
     std::string raw;
     long req = 0;
     while (std::getline(in, raw)) {
+      reap_dag_workers(dag_workers, /*join_all=*/false);
       const std::string line = trimmed(raw);
       if (line.empty()) continue;
       ++req;
@@ -398,8 +524,13 @@ long serve_session(ExperimentEngine& engine, std::istream& in,
           continue;
         }
       }
-      handle_request(engine, session, metrics, req, line);
+      handle_request(engine, session, metrics, options, req, line,
+                     dag_workers);
     }
+    // Dag workers push node events until they finish; join them all
+    // before declaring the reader done so the streamer never exits with a
+    // dag still producing.
+    reap_dag_workers(dag_workers, /*join_all=*/true);
     MutexLock lock(session.mutex);
     session.reader_done = true;
     session.request_count = req;

@@ -8,8 +8,8 @@
 // shared cache/store and are computed at most once.
 //
 // Request lines:
-//   {"scenario": "fleet", ...}      any single-scenario or campaign spec,
-//                                   on one line
+//   {"scenario": "fleet", ...}      any single-scenario, campaign, or dag
+//                                   spec, on one line
 //   stats                           emit an engine stats event
 //   {"cmd":"stats"}                 same, as a JSON command (any line with
 //                                   a "cmd" key is a command, not a spec)
@@ -22,6 +22,13 @@
 //    "metrics":{"energy_j":...,"completion_s":...,...}}
 //   {"type":"done","req":1,"points":12}
 //   {"type":"error","req":2,"error":"..."}
+//   {"type":"node","req":3,"node":"grid","kind":"campaign",
+//    "points":[{"label":"uniform@0.50","metrics":{...}},...],
+//    "result":{...}}   (dag requests: one per node as it finalises, in
+//                       deterministic node order; "result" on
+//                       reduce/search nodes; a dag request's accepted
+//                       "points" counts nodes, and done follows the last
+//                       node event)
 //   {"type":"stats","engine":"4 worker(s), ...",
 //    "metrics":{"gpupower_metrics":1,"engine":{...},"obs":{...}},
 //    "sessions":[{"id":1,...},...]}

@@ -292,6 +292,67 @@ TEST(ResultStore, CompactSweepsOnlyAgedOrphanTempFiles) {
   EXPECT_TRUE(reopened.load(key, ScenarioKind::kStatic, out));
 }
 
+TEST(ResultStore, EvictSweepsOldestEntriesDownToTheByteBudget) {
+  TempDir dir("evict");
+  fs::create_directories(dir.path());
+  // Three 100-byte entries with distinct ages, plus writer litter and an
+  // unrelated file that the size sweep must never touch.
+  const auto plant = [&](const std::string& name, std::chrono::hours age) {
+    const std::string path = dir.path() + "/" + name;
+    std::ofstream out(path);
+    out << std::string(100, 'x');
+    out.close();
+    fs::last_write_time(path, fs::file_time_type::clock::now() - age);
+    return path;
+  };
+  const std::string oldest = plant("aaaaaaaaaaaaaaaa.json",
+                                   std::chrono::hours(3));
+  const std::string middle = plant("bbbbbbbbbbbbbbbb.json",
+                                   std::chrono::hours(2));
+  const std::string newest = plant("cccccccccccccccc.json",
+                                   std::chrono::hours(1));
+  const std::string litter = plant("dddddddddddddddd.json.tmp.12345.7",
+                                   std::chrono::hours(0));
+  const std::string unrelated = plant("README", std::chrono::hours(3));
+
+  // Opening with a 250-byte budget sweeps exactly the oldest entry
+  // (300 bytes of entries -> 200).
+  const ResultStore store(StoreOptions{dir.path(), 250});
+  EXPECT_FALSE(fs::exists(oldest));
+  EXPECT_TRUE(fs::exists(middle));
+  EXPECT_TRUE(fs::exists(newest));
+  EXPECT_TRUE(fs::exists(litter));     // compact()'s business, not evict's
+  EXPECT_TRUE(fs::exists(unrelated));  // not an entry: not ours
+
+  // A store within budget evicts nothing.
+  EXPECT_EQ(store.evict(200), 0u);
+  // A zero budget clears every entry, oldest first.
+  EXPECT_EQ(store.evict(0), 2u);
+  EXPECT_FALSE(fs::exists(middle));
+  EXPECT_FALSE(fs::exists(newest));
+  EXPECT_TRUE(fs::exists(unrelated));
+}
+
+TEST(ResultStore, EvictedEntryIsAMissAndRecomputesThroughTheEngine) {
+  TempDir dir("evictmiss");
+  const ScenarioConfig config(small_static_config());
+  const std::string key = canonical_scenario_key(config);
+  const ScenarioResult reference = run_scenario(config);
+  {
+    const ResultStore store(StoreOptions{dir.path()});
+    ASSERT_TRUE(store.save(key, reference));
+  }
+  // Reopen under a budget too small for the entry: it is evicted, the
+  // lookup misses, and a save rewrites it.
+  const ResultStore store(StoreOptions{dir.path(), 1});
+  ScenarioResult out;
+  EXPECT_FALSE(store.load(key, ScenarioKind::kStatic, out));
+  ASSERT_TRUE(store.save(key, reference));
+  EXPECT_TRUE(store.load(key, ScenarioKind::kStatic, out));
+  EXPECT_EQ(scenario_result_to_json(out).dump(),
+            scenario_result_to_json(reference).dump());
+}
+
 TEST(ResultStore, CompactOnMissingDirectoryIsANoOp) {
   const ResultStore store(StoreOptions{"/tmp/gpupower_never_created_dir_x"});
   EXPECT_EQ(store.compact(std::chrono::seconds(0)), 0u);

@@ -77,6 +77,7 @@
 
 #include "analysis/table.hpp"
 #include "core/config_builder.hpp"
+#include "core/dag/dag.hpp"
 #include "core/dvfs_experiment.hpp"
 #include "core/engine.hpp"
 #include "core/env.hpp"
@@ -121,6 +122,7 @@ struct Options {
   std::string spec_path;  ///< positional <spec.json> of run/validate
   std::string bench_out;  ///< campaign bench-document output path
   bool emit_spec = false; ///< dvfs/fleet: print the spec document and exit
+  bool expand = false;    ///< validate: print expanded points / node order
   // serve command knobs
   std::string socket_path;   ///< serve: Unix socket instead of stdin
   bool full_results = false; ///< serve: attach full result docs to events
@@ -143,8 +145,12 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <discovery|dmon|sweep|features|predict|dvfs|fleet"
                "|run|validate|serve|top> [options]\n"
-               "  run <spec.json>      execute a scenario / campaign spec\n"
+               "  run <spec.json>      execute a scenario / campaign / dag "
+               "spec\n"
                "  validate <spec.json> parse + expand a spec without running\n"
+               "                       (--expand prints campaign point labels "
+               "and dag\n"
+               "                       node order)\n"
                "  serve                long-lived mode: newline-delimited "
                "spec JSON on stdin,\n"
                "                       NDJSON result events streamed as "
@@ -373,6 +379,8 @@ bool parse_args(int argc, char** argv, Options& opts, std::string& error) {
       opts.bench_out = v;
     } else if (flag == "--emit-spec") {
       opts.emit_spec = true;
+    } else if (flag == "--expand") {
+      opts.expand = true;
     } else if (flag == "--socket") {
       const char* v = next();
       if (!v) {
@@ -502,7 +510,7 @@ core::ExperimentEngine make_engine(const Options& opts) {
   const core::StoreEnv store_env = core::read_store_env();
   if (store_env.enabled) {
     options.store = std::make_shared<core::ResultStore>(
-        core::StoreOptions{store_env.dir});
+        core::StoreOptions{store_env.dir, store_env.max_bytes});
   }
   return core::ExperimentEngine(options);
 }
@@ -800,10 +808,79 @@ void print_scenario_summary(const core::ScenarioConfig& config,
   }
 }
 
+/// --expand detail for one dag node: what the node will run, without
+/// running it (campaign grids of run nodes expand from the pre-substitution
+/// document, which parses stand-alone by the dag contract).
+int expand_dag_node(const core::dag::DagSpec& dag,
+                    const core::dag::DagNode& node) {
+  switch (node.kind) {
+    case core::dag::DagNodeKind::kScenario:
+      std::printf("    1 point\n");
+      return 0;
+    case core::dag::DagNodeKind::kCampaign: {
+      const core::SpecParseResult parsed = core::parse_scenario_spec(node.run);
+      if (!parsed.ok) return spec_error(parsed.error);
+      std::vector<core::CampaignPoint> points;
+      std::string error;
+      if (!core::expand_campaign(parsed.spec, points, error)) {
+        return spec_error("node '" + node.name + "': " + error);
+      }
+      std::printf("    %zu point(s)\n", points.size());
+      for (const core::CampaignPoint& point : points) {
+        std::printf("      %s\n", point.label.c_str());
+      }
+      return 0;
+    }
+    case core::dag::DagNodeKind::kReduce:
+      std::printf("    %s over '%s', metric %s\n", node.reduce.op.c_str(),
+                  dag.nodes[node.reduce.over].name.c_str(),
+                  node.reduce.metric.c_str());
+      return 0;
+    case core::dag::DagNodeKind::kSearch:
+      std::printf("    bisect %s in [%g, %g] until %s %s %g (tolerance %g)\n",
+                  node.search.field.c_str(), node.search.lo, node.search.hi,
+                  node.search.metric.c_str(), node.search.predicate.c_str(),
+                  node.search.target, node.search.tolerance);
+      return 0;
+  }
+  return 0;
+}
+
+int validate_dag(const Options& opts, const core::ScenarioSpec& spec) {
+  const core::dag::DagSpec& dag = *spec.dag;
+  std::size_t run_nodes = 0;
+  for (const core::dag::DagNode& node : dag.nodes) {
+    if (node.kind == core::dag::DagNodeKind::kScenario ||
+        node.kind == core::dag::DagNodeKind::kCampaign) {
+      ++run_nodes;
+    }
+  }
+  std::string order;
+  for (const std::size_t index : dag.order) {
+    if (!order.empty()) order += " -> ";
+    order += dag.nodes[index].name;
+  }
+  std::printf(
+      "spec OK: dag '%s', %zu node(s) (%zu run, %zu derived), order: %s\n",
+      dag.name.empty() ? "(unnamed)" : dag.name.c_str(), dag.nodes.size(),
+      run_nodes, dag.nodes.size() - run_nodes, order.c_str());
+  if (!opts.expand) return 0;
+  for (const std::size_t index : dag.order) {
+    const core::dag::DagNode& node = dag.nodes[index];
+    std::printf("  node %s (%s)\n", node.name.c_str(),
+                std::string(core::dag::name(node.kind)).c_str());
+    if (const int status = expand_dag_node(dag, node); status != 0) {
+      return status;
+    }
+  }
+  return 0;
+}
+
 int cmd_validate(const Options& opts) {
   if (opts.spec_path.empty()) return spec_error("validate needs <spec.json>");
   const core::SpecParseResult parsed = core::load_scenario_spec(opts.spec_path);
   if (!parsed.ok) return spec_error(parsed.error);
+  if (parsed.spec.dag != nullptr) return validate_dag(opts, parsed.spec);
   if (!parsed.spec.campaign) {
     std::printf("spec OK: %s scenario, %d seed(s)\n",
                 std::string(core::name(parsed.spec.config.kind())).c_str(),
@@ -826,6 +903,11 @@ int cmd_validate(const Options& opts) {
               points.size(),
               std::string(core::name(points.front().config.kind())).c_str(),
               axes.c_str());
+  if (opts.expand) {
+    for (const core::CampaignPoint& point : points) {
+      std::printf("  %s\n", point.label.c_str());
+    }
+  }
   return 0;
 }
 
@@ -890,10 +972,126 @@ int run_campaign(const Options& opts, const core::ScenarioSpec& spec) {
   return 0;
 }
 
+/// Prints the one-line summary of a derived (reduce/search) node from its
+/// result document.
+void print_derived_node_summary(const core::dag::DagNodeRun& node) {
+  const analysis::JsonValue* value = node.doc.find("value");
+  if (node.kind == core::dag::DagNodeKind::kReduce) {
+    const analysis::JsonValue* op = node.doc.find("op");
+    const analysis::JsonValue* over = node.doc.find("over");
+    const analysis::JsonValue* metric = node.doc.find("metric");
+    std::printf("  %s of %s over '%s' = %.6g\n",
+                op != nullptr ? op->as_string().c_str() : "?",
+                metric != nullptr ? metric->as_string().c_str() : "?",
+                over != nullptr ? over->as_string().c_str() : "?",
+                value != nullptr ? value->as_number() : 0.0);
+    return;
+  }
+  const analysis::JsonValue* field = node.doc.find("field");
+  const analysis::JsonValue* iterations = node.doc.find("iterations");
+  std::printf("  %s = %.17g (%d evaluation(s))\n",
+              field != nullptr ? field->as_string().c_str() : "?",
+              value != nullptr ? value->as_number() : 0.0,
+              iterations != nullptr ? static_cast<int>(iterations->as_number())
+                                    : 0);
+}
+
+/// Executes a dag spec end to end, then reports node by node in
+/// declaration order.  Run-node --json entries mirror the campaign --json
+/// point shape exactly, so a dag node can be diffed byte-for-byte against
+/// the equivalent stand-alone campaign run.
+int run_dag_spec(const Options& opts, const core::ScenarioSpec& spec) {
+  core::ExperimentEngine engine = make_engine(opts);
+  core::dag::DagRun run;
+  std::string error;
+  if (!core::dag::run_dag(engine, *spec.dag, run, error)) {
+    return spec_error(error);
+  }
+  engine.wait_all();
+
+  if (!opts.bench_out.empty()) {
+    std::vector<tools::BenchCase> cases;
+    for (const core::dag::DagNodeRun& node : run.nodes) {
+      for (const core::dag::DagNodePoint& point : node.points) {
+        tools::BenchCase bench_case;
+        bench_case.name = node.points.size() == 1
+                              ? node.name
+                              : node.name + "/" + point.label;
+        bench_case.metrics = kind_bench_metrics(point.result);
+        cases.push_back(std::move(bench_case));
+      }
+    }
+    const int status = write_bench_out(
+        opts, spec.name.empty() ? "dag" : spec.name, spec.protocol, cases);
+    if (status != 0) return status;
+  }
+  if (const int status = write_obs_outputs(opts, engine); status != 0) {
+    return status;
+  }
+
+  if (opts.json) {
+    analysis::JsonValue doc = analysis::JsonValue::object();
+    doc.set("dag", analysis::JsonValue::string(spec.name));
+    analysis::JsonValue nodes = analysis::JsonValue::array();
+    for (const core::dag::DagNodeRun& node : run.nodes) {
+      analysis::JsonValue entry = analysis::JsonValue::object();
+      entry.set("name", analysis::JsonValue::string(node.name))
+          .set("kind",
+               analysis::JsonValue::string(core::dag::name(node.kind)));
+      if (!node.points.empty()) {
+        analysis::JsonValue points = analysis::JsonValue::array();
+        for (const core::dag::DagNodePoint& point : node.points) {
+          analysis::JsonValue point_doc = analysis::JsonValue::object();
+          point_doc.set("label", analysis::JsonValue::string(point.label))
+              .set("result",
+                   core::scenario_to_json(point.config, point.result));
+          points.push(std::move(point_doc));
+        }
+        entry.set("points", std::move(points));
+      }
+      if (node.kind == core::dag::DagNodeKind::kReduce ||
+          node.kind == core::dag::DagNodeKind::kSearch) {
+        entry.set("result", node.doc);
+      }
+      nodes.push(std::move(entry));
+    }
+    doc.set("nodes", std::move(nodes));
+    std::printf("%s\n", doc.dump(/*pretty=*/true).c_str());
+    return 0;
+  }
+
+  for (const core::dag::DagNodeRun& node : run.nodes) {
+    std::printf("# node %s (%s)\n", node.name.c_str(),
+                std::string(core::dag::name(node.kind)).c_str());
+    if (node.kind == core::dag::DagNodeKind::kReduce ||
+        node.kind == core::dag::DagNodeKind::kSearch) {
+      print_derived_node_summary(node);
+    }
+    if (node.points.empty()) continue;
+    std::vector<std::string> headers{"point"};
+    for (std::string& header :
+         kind_metric_headers(node.points.front().config.kind())) {
+      headers.push_back(std::move(header));
+    }
+    analysis::Table table(std::move(headers));
+    for (const core::dag::DagNodePoint& point : node.points) {
+      table.add_row(point.label, kind_metric_values(point.result), 3);
+    }
+    if (opts.csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+  }
+  print_engine_stats(engine);
+  return 0;
+}
+
 int cmd_run(const Options& opts) {
   if (opts.spec_path.empty()) return spec_error("run needs <spec.json>");
   const core::SpecParseResult parsed = core::load_scenario_spec(opts.spec_path);
   if (!parsed.ok) return spec_error(parsed.error);
+  if (parsed.spec.dag != nullptr) return run_dag_spec(opts, parsed.spec);
   if (parsed.spec.campaign) return run_campaign(opts, parsed.spec);
 
   core::ExperimentEngine engine = make_engine(opts);

@@ -44,8 +44,15 @@ a documented contract of this codebase:
                    sites and k*SpanName literal arrays.
   cmake-complete   Every src/**/*.cpp must be listed in CMakeLists.txt;
                    an unregistered TU "builds" green while dead.
+  specs-valid      Every committed examples/specs/*.json must parse and
+                   validate through `gpowerctl validate` — a drifted spec
+                   (renamed field, stale enum value) otherwise rots
+                   silently until a user copies it.  Runs only when
+                   --gpowerctl points at a built binary, so the linter
+                   stays usable without a build tree.
 
-Usage: lint_project.py [--root DIR]      exit 0 clean, 1 with findings
+Usage: lint_project.py [--root DIR] [--gpowerctl PATH]
+       exit 0 clean, 1 with findings
 """
 
 from __future__ import annotations
@@ -53,6 +60,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import re
+import subprocess
 import sys
 
 # (rule, regex, dirs, exempt paths, message)
@@ -302,10 +310,34 @@ def lint_cmake(root: pathlib.Path) -> list[Finding]:
     return findings
 
 
+def lint_specs(root: pathlib.Path, gpowerctl: pathlib.Path) -> list[Finding]:
+    """specs-valid: every committed examples/specs/*.json validates through
+    the real parser (`gpowerctl validate`), covering single-scenario,
+    campaign, and dag forms alike."""
+    findings: list[Finding] = []
+    specs_dir = root / "examples" / "specs"
+    if not specs_dir.is_dir():
+        return findings
+    for spec in sorted(specs_dir.glob("*.json")):
+        proc = subprocess.run(
+            [str(gpowerctl), "validate", str(spec)],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            detail = (proc.stderr or proc.stdout).strip().splitlines()
+            findings.append((
+                "specs-valid", spec, 1,
+                "committed spec fails `gpowerctl validate`: "
+                + (detail[0] if detail else f"exit {proc.returncode}")))
+    return findings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=pathlib.Path(__file__).parent.parent,
                         type=pathlib.Path, help="repository root")
+    parser.add_argument("--gpowerctl", default=None, type=pathlib.Path,
+                        help="built gpowerctl binary; enables the "
+                             "specs-valid rule (skipped when absent)")
     args = parser.parse_args()
     root = args.root.resolve()
 
@@ -315,6 +347,8 @@ def main() -> int:
         checked += 1
         findings.extend(lint_file(path, root))
     findings.extend(lint_cmake(root))
+    if args.gpowerctl is not None and args.gpowerctl.exists():
+        findings.extend(lint_specs(root, args.gpowerctl))
 
     for rule, path, lineno, msg in findings:
         print(f"{rel(path, root)}:{lineno}: [{rule}] {msg}")
